@@ -1,0 +1,26 @@
+# Convenience targets for the q-MAX reproduction.
+
+PYTEST ?= python -m pytest
+
+.PHONY: test bench bench-fast examples lint all outputs
+
+test:
+	$(PYTEST) tests/
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only -s
+
+bench-fast:  ## benchmarks at a tenth of the default workload sizes
+	REPRO_SCALE=0.1 $(PYTEST) benchmarks/ --benchmark-only -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+outputs:  ## the deliverable transcripts
+	$(PYTEST) tests/ 2>&1 | tee test_output.txt
+	$(PYTEST) benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: test bench

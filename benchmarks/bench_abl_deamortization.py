@@ -1,0 +1,85 @@
+"""Ablation: deamortized vs amortized vs NumPy-vectorised q-MAX.
+
+DESIGN.md calls out the deamortization as the paper's key design move:
+it converts a bursty O(q) maintenance into a per-update constant.  This
+ablation quantifies what each variant costs in CPython:
+
+* ``QMax`` (Algorithm 1, deamortized): constant worst case, generator
+  dispatch overhead per micro-batch.
+* ``AmortizedQMax``: identical amortized cost, O(q) bursts, lowest
+  constants in CPython.
+* ``VectorQMax`` with batched ingestion: the same algorithmic idea with
+  C-speed filtering and selection.
+
+Also reports the realized worst-case per-update maintenance ops of the
+deamortized variant (the bound behind Theorem 1) next to the amortized
+variant's burst size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_stream, measure_backend, repeats, scaled
+
+from repro.bench.reporting import print_table
+from repro.bench.runner import measure_callable
+from repro.core.amortized import AmortizedQMax, VectorQMax
+from repro.core.qmax import QMax
+
+GAMMA = 0.25
+
+
+def test_ablation_deamortization(benchmark):
+    stream = list(bench_stream())
+    q = scaled(2_000, minimum=256)
+
+    rows = []
+    deamortized = measure_backend(
+        "deamortized", lambda: QMax(q, GAMMA), stream
+    )
+    amortized = measure_backend(
+        "amortized", lambda: AmortizedQMax(q, GAMMA), stream
+    )
+    rows.append(["qmax (deamortized)", deamortized.mpps])
+    rows.append(["qmax (amortized)", amortized.mpps])
+
+    ids = np.arange(len(stream))
+    vals = np.array([v for _, v in stream])
+
+    def batched_run():
+        s = VectorQMax(q, GAMMA)
+        for start in range(0, len(stream), 4096):
+            s.add_batch(ids[start:start + 4096],
+                        vals[start:start + 4096])
+        return len(stream)
+
+    vector = measure_callable("numpy-batched", lambda: batched_run,
+                              repeats=repeats())
+    rows.append(["qmax (numpy, 4096-batches)", vector.mpps])
+    print_table(
+        f"Ablation: q-MAX maintenance strategies (q={q}, gamma={GAMMA})",
+        ["variant", "MPPS"],
+        rows,
+    )
+
+    # Worst-case maintenance burst comparison.
+    inst = QMax(q, GAMMA, instrument=True)
+    for item_id, val in stream:
+        inst.add(item_id, val)
+    burst_rows = [
+        ["deamortized max ops per update", inst.max_step_ops],
+        ["amortized burst (one compaction)", int(q * (1 + GAMMA)) * 3],
+    ]
+    print_table(
+        "Ablation: worst-case maintenance burst (ops)",
+        ["quantity", "ops"],
+        burst_rows,
+    )
+
+    # The deamortized worst case must be far below one full compaction.
+    assert inst.max_step_ops < q
+    # Vectorised ingestion dominates everything in CPython.
+    assert vector.mpps > amortized.mpps
+
+    benchmark(batched_run)

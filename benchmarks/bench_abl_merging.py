@@ -1,0 +1,80 @@
+"""Ablation: the duplicate-merging q-MAX's cost drivers (§5.1).
+
+MergingQMax pays for (i) the merge function per duplicate pair and
+(ii) the refcount map.  This ablation compares merge functions (max vs
+log-sum-exp) and duplicate rates, explaining the LRFU throughput gap
+between Figure 4 (plain) and Figure 9 (merging) workloads.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import repeats, scaled
+
+from repro.bench.reporting import print_table
+from repro.bench.runner import measure_throughput
+from repro.bench.workloads import value_stream
+from repro.core.merging import MergingQMax
+from repro.core.qmax import QMax
+
+
+def _lse(w1: float, w2: float) -> float:
+    if w1 < w2:
+        w1, w2 = w2, w1
+    return w1 + math.log1p(math.exp(w2 - w1))
+
+
+def test_ablation_merging_cost(benchmark):
+    n = scaled(80_000, minimum=20_000)
+    q = scaled(1_000, minimum=128)
+    base = list(value_stream(n))
+
+    # Duplicate rates: every key unique / 10 repeats / 100 repeats.
+    streams = {
+        "unique keys": base,
+        "x10 duplicates": [(i // 10, v) for (i, v) in base],
+        "x100 duplicates": [(i // 100, v) for (i, v) in base],
+    }
+
+    rows = []
+    results = {}
+    for dup_label, stream in streams.items():
+        for merge_label, merge in (("max", max), ("log-sum-exp", _lse)):
+            m = measure_throughput(
+                f"{dup_label}/{merge_label}",
+                lambda merge=merge: MergingQMax(
+                    q, 0.25, merge=merge
+                ).add,
+                stream,
+                repeats=repeats(),
+            )
+            results[(dup_label, merge_label)] = m.mpps
+            rows.append([dup_label, merge_label, m.mpps])
+    plain = measure_throughput(
+        "plain qmax", lambda: QMax(q, 0.25).add, base, repeats=repeats()
+    )
+    rows.append(["unique keys", "plain qmax (no merging)", plain.mpps])
+    print_table(
+        f"Ablation: MergingQMax cost (q={q}, gamma=0.25)",
+        ["duplicate rate", "merge fn", "MPPS"],
+        rows,
+    )
+
+    # Shape: the plain structure (with its admission filter) is faster
+    # than the merging one, and max-merge is at least as fast as LSE.
+    assert plain.mpps > results[("unique keys", "max")]
+    assert (
+        results[("x100 duplicates", "max")]
+        >= 0.8 * results[("x100 duplicates", "log-sum-exp")]
+    )
+
+    stream = streams["x10 duplicates"]
+
+    def run():
+        m = MergingQMax(q, 0.25, merge=_lse)
+        add = m.add
+        for item_id, val in stream:
+            add(item_id, val)
+
+    benchmark(run)

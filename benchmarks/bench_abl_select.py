@@ -1,0 +1,71 @@
+"""Ablation: quickselect vs deterministic (BFPRT) Select inside QMax.
+
+Theorem 1 presumes a deterministic linear-time Select; the default
+implementation uses quickselect (expected-linear, lower constants).
+This ablation measures the price of determinism on a random stream and
+on a quickselect-adversarial (ascending) stream, where the BFPRT
+variant's bounded schedule is the point.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_stream, measure_backend, scaled
+
+from repro.bench.reporting import print_table
+from repro.core.qmax import QMax
+
+GAMMA = 0.5
+
+
+def test_ablation_select_strategy(benchmark):
+    q = scaled(2_000, minimum=256)
+    random_stream = list(bench_stream())
+    ascending = [(i, float(i)) for i in range(len(random_stream))]
+
+    rows = []
+    results = {}
+    for stream_name, stream in (("random", random_stream),
+                                ("ascending-adversary", ascending)):
+        for det in (False, True):
+            label = "bfprt" if det else "quickselect"
+            m = measure_backend(
+                f"{label}/{stream_name}",
+                lambda det=det: QMax(
+                    q, GAMMA, deterministic_select=det
+                ),
+                stream,
+            )
+            results[(stream_name, label)] = m.mpps
+            rows.append([stream_name, label, m.mpps])
+
+    # Worst-case per-update burst on the adversary.
+    for det in (False, True):
+        label = "bfprt" if det else "quickselect"
+        inst = QMax(q, GAMMA, deterministic_select=det, instrument=True)
+        for item_id, val in ascending:
+            inst.add(item_id, val)
+        rows.append(
+            [f"adversary worst ops/update", label, inst.max_step_ops]
+        )
+    print_table(
+        f"Ablation: Select strategy in QMax (q={q}, gamma={GAMMA})",
+        ["workload", "select", "MPPS / ops"],
+        rows,
+    )
+
+    # Shape: quickselect is faster on random data; BFPRT stays within
+    # a small factor even on its own worst-enemy workload.
+    assert results[("random", "quickselect")] > results[
+        ("random", "bfprt")
+    ]
+    assert results[("ascending-adversary", "bfprt")] > 0.05 * results[
+        ("ascending-adversary", "quickselect")
+    ]
+
+    def run():
+        s = QMax(q, GAMMA, deterministic_select=True)
+        add = s.add
+        for item_id, val in random_stream:
+            add(item_id, val)
+
+    benchmark(run)

@@ -1,0 +1,90 @@
+"""Ablation: Algorithm 3 vs Algorithm 4 vs Theorem 7 (sliding variants).
+
+The paper's progression trades update time against query time:
+
+* Algorithm 3 — O(1) update, O(q·τ⁻¹) query;
+* Algorithm 4 (c levels) — O(c) update, O(q·c·τ^(−1/c)) query;
+* Theorem 7 (buffered) — O(1) amortized update, fast queries.
+
+This ablation measures both axes for a small τ where they diverge.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import repeats, scaled
+
+from repro.bench.reporting import print_table
+from repro.bench.runner import measure_throughput
+from repro.bench.workloads import value_stream
+from repro.core.hierarchical import (
+    BufferedSlidingQMax,
+    HierarchicalSlidingQMax,
+)
+from repro.core.sliding import SlidingQMax
+
+TAU = 0.02
+
+
+def _query_rate(structure, n_queries: int = 20) -> float:
+    start = time.perf_counter()
+    for _ in range(n_queries):
+        structure.query()
+    return n_queries / (time.perf_counter() - start)
+
+
+def test_ablation_sliding_variants(benchmark):
+    stream = list(value_stream(scaled(60_000, minimum=20_000)))
+    q = scaled(200, minimum=32)
+    window = len(stream) // 3
+
+    variants = {
+        "basic (Alg 3)": lambda: SlidingQMax(q, window, TAU),
+        "hierarchical c=2 (Alg 4)": lambda: HierarchicalSlidingQMax(
+            q, window, TAU, levels=2
+        ),
+        "hierarchical c=3 (Alg 4)": lambda: HierarchicalSlidingQMax(
+            q, window, TAU, levels=3
+        ),
+        "buffered (Thm 7)": lambda: BufferedSlidingQMax(
+            q, window, TAU, levels=2
+        ),
+    }
+
+    rows = []
+    update_mpps = {}
+    query_qps = {}
+    for name, factory in variants.items():
+        m = measure_throughput(
+            name, lambda f=factory: f().add, stream, repeats=repeats()
+        )
+        filled = factory()
+        for item_id, val in stream:
+            filled.add(item_id, val)
+        qps = _query_rate(filled)
+        update_mpps[name] = m.mpps
+        query_qps[name] = qps
+        rows.append([name, m.mpps, qps])
+    print_table(
+        f"Ablation: sliding variants (q={q}, W={window}, tau={TAU})",
+        ["variant", "update MPPS", "queries/sec"],
+        rows,
+    )
+
+    # Shape: hierarchical queries beat the basic variant's; the
+    # buffered variant's updates beat the multi-level hierarchical's.
+    assert query_qps["hierarchical c=2 (Alg 4)"] > query_qps[
+        "basic (Alg 3)"
+    ]
+    assert update_mpps["buffered (Thm 7)"] > update_mpps[
+        "hierarchical c=3 (Alg 4)"
+    ]
+
+    def run():
+        s = SlidingQMax(q, window, TAU)
+        add = s.add
+        for item_id, val in stream:
+            add(item_id, val)
+
+    benchmark(run)

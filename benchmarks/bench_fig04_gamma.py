@@ -1,0 +1,50 @@
+"""Figure 4: q-MAX throughput as a function of γ, for several q.
+
+Paper shape: throughput grows steeply with γ up to roughly γ ≈ 0.25,
+then flattens; larger q is uniformly slower; the break-even against
+Heap/SkipList sits around γ ≈ 0.025.
+"""
+
+from __future__ import annotations
+
+from conftest import GAMMA_GRID, Q_GRID, bench_stream, measure_backend
+
+from repro.bench.reporting import print_series
+from repro.core.qmax import QMax
+
+
+def test_fig04_gamma_sweep(benchmark, gamma_q_sweep):
+    qmax_mpps, heap_mpps, skip_mpps, _amort = gamma_q_sweep
+    series = {
+        f"q={q}": [qmax_mpps[(g, q)] for g in GAMMA_GRID] for q in Q_GRID
+    }
+    series.update(
+        {f"heap q={q} (ref)": [heap_mpps[q]] * len(GAMMA_GRID)
+         for q in Q_GRID}
+    )
+    print_series(
+        "Figure 4: q-MAX MPPS vs gamma (random stream)",
+        "gamma",
+        list(GAMMA_GRID),
+        series,
+    )
+
+    # Shape assertions: more gamma never hurts much; the flat region is
+    # far faster than the tiny-gamma region.
+    for q in Q_GRID:
+        low = qmax_mpps[(GAMMA_GRID[0], q)]
+        high = max(qmax_mpps[(g, q)] for g in GAMMA_GRID[3:])
+        assert high > low, (q, low, high)
+
+    # Representative headline cell for pytest-benchmark.
+    stream = bench_stream()
+    q = Q_GRID[1]
+
+    def run():
+        qmax = QMax(q, 0.25)
+        add = qmax.add
+        for item_id, val in stream:
+            add(item_id, val)
+        return qmax
+
+    benchmark(run)

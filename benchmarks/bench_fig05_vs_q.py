@@ -1,0 +1,54 @@
+"""Figure 5: q-MAX vs Heap vs SkipList throughput as a function of q.
+
+Paper shape: for every q, q-MAX with γ ≥ 0.025 is at least as fast as
+both baselines, and with γ = 0.05–0.25 it is several times faster;
+all structures slow down as q grows (cache effects in the paper,
+constant-factor effects here).
+"""
+
+from __future__ import annotations
+
+from conftest import Q_GRID, bench_stream, measure_backend
+
+from repro.baselines.skiplist import SkipListQMax
+from repro.bench.reporting import print_series
+
+SHOW_GAMMAS = (0.025, 0.05, 0.25, 1.0)
+
+
+def test_fig05_backends_vs_q(benchmark, gamma_q_sweep):
+    qmax_mpps, heap_mpps, skip_mpps, amort_mpps = gamma_q_sweep
+    series = {
+        f"qmax g={g}": [qmax_mpps[(g, q)] for q in Q_GRID]
+        for g in SHOW_GAMMAS
+    }
+    series["qmax-amort g=0.25"] = [
+        amort_mpps[(0.25, q)] for q in Q_GRID
+    ]
+    series["heap"] = [heap_mpps[q] for q in Q_GRID]
+    series["skiplist"] = [skip_mpps[q] for q in Q_GRID]
+    print_series(
+        "Figure 5: MPPS vs q (random stream)", "q", list(Q_GRID), series
+    )
+
+    # Shape: with a healthy gamma, q-MAX beats the skip list at every q
+    # (paper: everywhere from gamma=0.025; CPython's per-op costs shift
+    # the heap crossover to larger gamma — see EXPERIMENTS.md).  At the
+    # smallest q the amortized variant and the heap are neck-and-neck
+    # and run-to-run noise on shared machines reaches ~20%, so the
+    # heap claim is asserted where the gap is structural: the largest q.
+    for q in Q_GRID:
+        assert qmax_mpps[(0.25, q)] > skip_mpps[q], q
+    q_big = Q_GRID[-1]
+    assert amort_mpps[(0.25, q_big)] > heap_mpps[q_big]
+
+    stream = bench_stream()
+
+    def run():
+        s = SkipListQMax(Q_GRID[1])
+        add = s.add
+        for item_id, val in stream:
+            add(item_id, val)
+        return s
+
+    benchmark(run)

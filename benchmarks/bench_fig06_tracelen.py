@@ -1,0 +1,80 @@
+"""Figure 6: throughput along the trace (γ = 0.1, varying q).
+
+Paper shape: all structures accelerate as the trace progresses (the
+admission threshold rises, so ever more items are filtered in O(1));
+q-MAX stays above the alternatives; larger q is slower.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import repeats, scaled
+
+from repro.baselines.heap import HeapQMax
+from repro.baselines.skiplist import SkipListQMax
+from repro.bench.reporting import print_series
+from repro.bench.workloads import value_stream
+from repro.core.qmax import QMax
+
+CHECKPOINTS = 5
+
+
+def _segment_rates(factory, stream):
+    """MPPS of each of CHECKPOINTS consecutive trace segments."""
+    seg = len(stream) // CHECKPOINTS
+    best = [float("inf")] * CHECKPOINTS
+    for _ in range(repeats()):
+        s = factory()
+        add = s.add
+        for c in range(CHECKPOINTS):
+            chunk = stream[c * seg:(c + 1) * seg]
+            start = time.perf_counter()
+            for item_id, val in chunk:
+                add(item_id, val)
+            best[c] = min(best[c], time.perf_counter() - start)
+    return [seg / t / 1e6 for t in best]
+
+
+def test_fig06_throughput_along_trace(benchmark):
+    stream = value_stream(scaled(200_000, minimum=50_000))
+    qs = (scaled(500, minimum=64), scaled(5_000, minimum=512))
+    series = {}
+    for q in qs:
+        series[f"qmax q={q}"] = _segment_rates(
+            lambda: QMax(q, 0.1), stream
+        )
+        series[f"heap q={q}"] = _segment_rates(
+            lambda: HeapQMax(q), stream
+        )
+        series[f"skiplist q={q}"] = _segment_rates(
+            lambda: SkipListQMax(q), stream
+        )
+    xs = [
+        (c + 1) * (len(stream) // CHECKPOINTS) for c in range(CHECKPOINTS)
+    ]
+    print_series(
+        "Figure 6: MPPS vs trace position (gamma=0.1)",
+        "items",
+        xs,
+        series,
+    )
+
+    # Shape: every structure speeds up from the first to the last
+    # segment (admission filtering), and q-MAX >= skiplist throughout.
+    for q in qs:
+        assert series[f"qmax q={q}"][-1] > series[f"qmax q={q}"][0]
+        assert series[f"heap q={q}"][-1] > series[f"heap q={q}"][0]
+        assert (
+            series[f"qmax q={q}"][-1] > series[f"skiplist q={q}"][-1]
+        )
+
+    q = qs[0]
+
+    def run():
+        s = QMax(q, 0.1)
+        add = s.add
+        for item_id, val in stream:
+            add(item_id, val)
+
+    benchmark(run)

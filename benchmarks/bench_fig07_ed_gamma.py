@@ -1,0 +1,77 @@
+"""Figure 7: Exponential-Decay q-MAX throughput vs γ (c = 0.75).
+
+Paper shape: throughput grows with γ as in Figure 4, but the break-even
+needs larger γ than plain q-MAX because every arrival pays the decay
+transformation (a log) before hitting the admission filter.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_stream, measure_backend, repeats, scaled
+
+from repro.baselines.heap import HeapQMax
+from repro.baselines.skiplist import SkipListQMax
+from repro.bench.reporting import print_series
+from repro.bench.runner import measure_throughput
+from repro.core.exponential_decay import ExponentialDecayQMax
+from repro.core.qmax import QMax
+
+GAMMAS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+DECAY = 0.75
+
+
+def _ed_factory(q, gamma=None, backend=None):
+    if gamma is not None:
+        return ExponentialDecayQMax(
+            q, DECAY, backend=lambda n: QMax(n, gamma)
+        )
+    return ExponentialDecayQMax(q, DECAY, backend=backend)
+
+
+def test_fig07_ed_gamma_sweep(benchmark):
+    # The ED stream must carry positive weights; reuse packet sizes.
+    n = scaled(100_000, minimum=20_000)
+    stream = [(i, 1.0 + (v * 1499.0)) for i, v in bench_stream()][:n]
+    qs = (scaled(500, minimum=64), scaled(5_000, minimum=512))
+    series = {}
+    for q in qs:
+        series[f"ed-qmax q={q}"] = [
+            measure_throughput(
+                f"ed(g={g},q={q})",
+                lambda: _ed_factory(q, gamma=g).add,
+                stream,
+                repeats=repeats(),
+            ).mpps
+            for g in GAMMAS
+        ]
+        for name, backend in (("heap", HeapQMax),
+                              ("skiplist", SkipListQMax)):
+            ref = measure_throughput(
+                f"ed-{name}(q={q})",
+                lambda: _ed_factory(q, backend=backend).add,
+                stream,
+                repeats=repeats(),
+            ).mpps
+            series[f"ed-{name} q={q} (ref)"] = [ref] * len(GAMMAS)
+    print_series(
+        f"Figure 7: Exponential-Decay q-MAX MPPS vs gamma (c={DECAY})",
+        "gamma",
+        list(GAMMAS),
+        series,
+    )
+
+    # Shape: throughput grows with gamma; large gamma beats skiplist.
+    for q in qs:
+        ours = series[f"ed-qmax q={q}"]
+        assert max(ours[-2:]) > ours[0]
+        assert max(ours) > series[f"ed-skiplist q={q} (ref)"][0]
+
+    q = qs[0]
+
+    def run():
+        ed = _ed_factory(q, gamma=0.5)
+        add = ed.add
+        for item_id, val in stream:
+            add(item_id, val)
+
+    benchmark(run)

@@ -1,0 +1,44 @@
+"""Figure 12: OVS throughput with monitoring, 10G link, 64B packets.
+
+Paper shape: at q = 1e4 the heap and q-MAX keep up with vanilla OVS
+(skip list already degrades); as q grows the heap falls off while
+q-MAX stays near line rate until q = 1e7.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+from ovs_common import datapath_pps, min_size_trace, ovs_sweep
+
+from repro.bench.reporting import print_series
+from repro.switch.linerate import TEN_GBPS
+
+QS = (100, 1_000, 10_000)
+BACKENDS = ("qmax", "heap", "skiplist")
+
+
+def test_fig12_ovs_10g(benchmark):
+    pkts = min_size_trace(scaled(40_000, minimum=10_000))
+    results = ovs_sweep("reservoir", QS, BACKENDS, TEN_GBPS, pkts, 64,
+                        gamma=1.0)
+    series = {"vanilla": [results["vanilla"]] * len(QS)}
+    for backend in BACKENDS:
+        series[backend] = [results[(backend, q)] for q in QS]
+    print_series(
+        "Figure 12: OVS 10G throughput (Gbps) vs q, 64B packets "
+        "(normalized to vanilla datapath)",
+        "q",
+        list(QS),
+        series,
+    )
+
+    # Shape: q-MAX sustains more of the line rate than the skip list at
+    # every q, and more than the heap at the largest q.
+    for q in QS:
+        assert results[("qmax", q)] >= results[("skiplist", q)], q
+    q_big = QS[-1]
+    assert results[("qmax", q_big)] >= 0.9 * results[("heap", q_big)]
+
+    benchmark(
+        lambda: datapath_pps("reservoir", QS[0], "qmax", 1.0, pkts)
+    )

@@ -1,0 +1,52 @@
+"""Figure 15: OVS 40G throughput for q-MAX as a function of γ.
+
+Paper shape (40G, real-size packets): q-MAX meets line rate at
+q ≤ 1e5 for any γ; at q = 1e6 a small γ costs a few percent; at
+q = 1e7 doubling the space (γ = 1) recovers to within ~8% of vanilla.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+from ovs_common import datapath_pps, real_size_trace
+
+from repro.bench.reporting import print_series
+from repro.switch.linerate import FORTY_GBPS
+
+QS = (1_000, 10_000)
+GAMMAS = (0.1, 0.25, 1.0)
+FRAME = 1070  # UNIV1-style mean frame size
+
+
+def test_fig15_ovs_40g_gamma(benchmark):
+    pkts = real_size_trace(scaled(30_000, minimum=8_000))
+    vanilla_pps = datapath_pps("none", 1, "qmax", 0.25, pkts)
+    line = FORTY_GBPS.gbps_at(FORTY_GBPS.line_rate_pps(FRAME), FRAME)
+    series = {"vanilla": [line] * len(GAMMAS)}
+    results = {}
+    for q in QS:
+        row = []
+        for gamma in GAMMAS:
+            pps = datapath_pps("reservoir", q, "qmax", gamma, pkts)
+            gbps = line * min(1.0, pps / vanilla_pps)
+            results[(q, gamma)] = gbps
+            row.append(gbps)
+        series[f"qmax q={q}"] = row
+    print_series(
+        "Figure 15: OVS 40G throughput (Gbps) for q-MAX vs gamma, "
+        "real-size packets",
+        "gamma",
+        list(GAMMAS),
+        series,
+    )
+
+    # Shape: larger gamma does not hurt; the large-q configuration
+    # benefits from more gamma.
+    big_q = QS[-1]
+    assert results[(big_q, GAMMAS[-1])] >= 0.9 * results[
+        (big_q, GAMMAS[0])
+    ]
+
+    benchmark(
+        lambda: datapath_pps("reservoir", QS[0], "qmax", 0.25, pkts)
+    )

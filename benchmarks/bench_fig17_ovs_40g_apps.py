@@ -1,0 +1,51 @@
+"""Figure 17: measurement applications inside 40G OVS.
+
+Paper shape: q-MAX enables line-rate measurement at q = 1e6 and is the
+only backend with acceptable throughput at q = 1e7, for both Priority
+Sampling and network-wide heavy hitters.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+from ovs_common import datapath_pps, ovs_sweep, real_size_trace
+
+from repro.bench.reporting import print_table
+from repro.switch.linerate import FORTY_GBPS
+
+QS = (1_000, 10_000)
+BACKENDS = ("qmax", "heap", "skiplist")
+FRAME = 1070
+
+
+def test_fig17_ovs_40g_applications(benchmark):
+    pkts = real_size_trace(scaled(25_000, minimum=8_000))
+    rows = []
+    results = {}
+    for kind in ("priority-sampling", "network-wide-hh"):
+        sweep = ovs_sweep(kind, QS, BACKENDS, FORTY_GBPS, pkts, FRAME,
+                          gamma=0.25)
+        for backend in BACKENDS:
+            for q in QS:
+                gbps = sweep[(backend, q)]
+                results[(kind, backend, q)] = gbps
+                rows.append([kind, backend, q, gbps])
+        rows.append([kind, "vanilla", "-", sweep["vanilla"]])
+    print_table(
+        "Figure 17: OVS 40G throughput (Gbps) with measurement apps",
+        ["application", "backend", "q", "Gbps"],
+        rows,
+    )
+
+    for kind in ("priority-sampling", "network-wide-hh"):
+        for q in QS:
+            assert (
+                results[(kind, "qmax", q)]
+                >= 0.95 * results[(kind, "skiplist", q)]
+            ), (kind, q)
+
+    benchmark(
+        lambda: datapath_pps(
+            "network-wide-hh", QS[0], "qmax", 0.25, pkts
+        )
+    )

@@ -1,0 +1,56 @@
+"""Table 1: min/max speedups of q-MAX vs Heap and SkipList per γ.
+
+Paper shape: min speedup crosses 1.0 between γ = 2.5% and 5% and
+saturates near ×1.9 (heap) / ×2.5 (skiplist); max speedup keeps growing
+with γ (paper: up to ×23 / ×86 at γ = 200%).
+"""
+
+from __future__ import annotations
+
+from conftest import GAMMA_GRID, Q_GRID, bench_stream
+
+from repro.bench.reporting import print_table
+from repro.core.qmax import QMax
+
+
+def test_tab01_speedups(benchmark, gamma_q_sweep):
+    qmax_mpps, heap_mpps, skip_mpps, _amort = gamma_q_sweep
+    rows = []
+    speedups = {}
+    for gamma in GAMMA_GRID:
+        vs_heap = [qmax_mpps[(gamma, q)] / heap_mpps[q] for q in Q_GRID]
+        vs_skip = [qmax_mpps[(gamma, q)] / skip_mpps[q] for q in Q_GRID]
+        speedups[gamma] = (vs_heap, vs_skip)
+        rows.append(
+            [
+                f"{gamma:.1%}",
+                f"x{min(vs_heap):.2f}",
+                f"x{max(vs_heap):.2f}",
+                f"x{min(vs_skip):.2f}",
+                f"x{max(vs_skip):.2f}",
+            ]
+        )
+    print_table(
+        "Table 1: q-MAX speedup vs Heap and SkipList per gamma",
+        ["gamma", "min vs heap", "max vs heap", "min vs skiplist",
+         "max vs skiplist"],
+        rows,
+    )
+
+    # Shape: speedups grow with gamma; healthy gammas beat the skip
+    # list everywhere.
+    big_gamma = GAMMA_GRID[-1]
+    mid_gamma = 0.25
+    assert min(speedups[mid_gamma][1]) > 1.0  # vs skiplist
+    assert max(speedups[big_gamma][1]) >= max(speedups[0.05][1]) * 0.9
+
+    stream = bench_stream()
+
+    def run():
+        qmax = QMax(Q_GRID[-1], 2.0)
+        add = qmax.add
+        for item_id, val in stream:
+            add(item_id, val)
+        return qmax
+
+    benchmark(run)

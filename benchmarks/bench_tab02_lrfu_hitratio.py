@@ -1,0 +1,68 @@
+"""Table 2: hit ratio of q-MAX-based LRFU vs exact LRFU caches.
+
+Paper shape (q = 1e4, c = 0.75, P1-ARC): for each γ the q-MAX cache's
+hit ratio lies between the q-sized and the q(1+γ)-sized exact LRFU,
+and grows with γ.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.apps.lrfu import ClassicLRFU, QMaxLRFU
+from repro.apps.lrfu_deamortized import DeamortizedLRFU
+from repro.bench.reporting import print_table
+from repro.bench.workloads import cache_stream
+
+GAMMAS = (0.1, 0.5, 1.0)
+DECAY = 0.75
+
+
+def _hit_ratio(cache, trace) -> float:
+    access = cache.access
+    for key in trace:
+        access(key)
+    return cache.hit_ratio
+
+
+def test_tab02_lrfu_hit_ratio(benchmark):
+    trace = list(cache_stream(scaled(80_000, minimum=20_000)))
+    q = scaled(1_000, minimum=128)
+
+    base = _hit_ratio(ClassicLRFU(q, DECAY), trace)
+    rows = [["-", "q-sized LRFU", f"{base:.1%}"]]
+    measured = {}
+    for gamma in GAMMAS:
+        qmax_ratio = _hit_ratio(QMaxLRFU(q, DECAY, gamma=gamma), trace)
+        deam_ratio = _hit_ratio(
+            DeamortizedLRFU(q, DECAY, gamma=gamma), trace
+        )
+        big_ratio = _hit_ratio(
+            ClassicLRFU(int(q * (1 + gamma)), DECAY), trace
+        )
+        measured[gamma] = (qmax_ratio, big_ratio)
+        rows.append([f"{gamma:.0%}", "q-MAX based LRFU",
+                     f"{qmax_ratio:.1%}"])
+        rows.append([f"{gamma:.0%}", "q-MAX LRFU (deamortized)",
+                     f"{deam_ratio:.1%}"])
+        rows.append([f"{gamma:.0%}", "q(1+gamma)-sized LRFU",
+                     f"{big_ratio:.1%}"])
+    print_table(
+        f"Table 2: LRFU hit ratios (q={q}, c={DECAY})",
+        ["gamma", "algorithm", "hit ratio"],
+        rows,
+    )
+
+    # Shape: base <= qmax <= q(1+gamma) (small tolerance for the
+    # floating population), and the qmax ratio is non-decreasing in
+    # gamma.
+    ratios = []
+    for gamma in GAMMAS:
+        qmax_ratio, big_ratio = measured[gamma]
+        assert qmax_ratio >= base - 0.015, (gamma, qmax_ratio, base)
+        assert qmax_ratio <= big_ratio + 0.015, (gamma, qmax_ratio,
+                                                 big_ratio)
+        ratios.append(qmax_ratio)
+    assert ratios[-1] >= ratios[0] - 0.01
+
+    benchmark(lambda: _hit_ratio(QMaxLRFU(q, DECAY, gamma=0.5), trace))

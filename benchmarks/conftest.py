@@ -1,0 +1,105 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (§6), printing the same rows/series the paper
+reports.  Absolute numbers are Python-scale (DESIGN.md §2); the shapes
+— who wins, by what factor, where the crossovers sit — are the
+reproduction targets recorded in EXPERIMENTS.md.
+
+Sizes honour ``REPRO_SCALE`` (default 1.0, laptop-scale).  Run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Sequence, Tuple
+
+import pytest
+
+# Make `benchmarks.*`-local imports and the tests helpers available.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.baselines.heap import HeapQMax
+from repro.baselines.skiplist import SkipListQMax
+from repro.bench.runner import Measurement, measure_throughput
+from repro.bench.workloads import scaled, value_stream
+from repro.core.amortized import AmortizedQMax
+from repro.core.qmax import QMax
+
+#: The γ grid of Figure 4 / Table 1.
+GAMMA_GRID = (0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+
+#: γ values measured for the amortized variant (ablation columns).
+AMORT_GAMMAS = (0.05, 0.25, 1.0)
+
+#: Scaled-down version of the paper's q grid (1e4..1e7 → /100).
+Q_GRID = (100, 1_000, 10_000)
+
+#: Default stream length (paper: 150M → laptop default 150k).
+def stream_length() -> int:
+    return scaled(150_000, minimum=20_000)
+
+
+def bench_stream(seed: int = 0):
+    """The shared "randomly generated stream of numbers"."""
+    return value_stream(stream_length(), seed)
+
+
+def repeats() -> int:
+    """Paper runs each point 10 times; we default to 3 (scale up via
+    REPRO_SCALE if desired)."""
+    return 3
+
+
+def measure_backend(
+    label: str,
+    factory: Callable[[], object],
+    stream,
+    n_repeats: int = None,
+) -> Measurement:
+    """Measure a q-MAX-interface backend's add() throughput."""
+    return measure_throughput(
+        label,
+        lambda: factory().add,
+        stream,
+        repeats=n_repeats or repeats(),
+    )
+
+
+@pytest.fixture(scope="session")
+def gamma_q_sweep():
+    """The (γ, q) throughput sweep shared by Fig 4, Fig 5 and Table 1.
+
+    Returns ``(qmax_mpps, heap_mpps, skiplist_mpps)`` where the first
+    maps ``(gamma, q) -> MPPS`` and the others map ``q -> MPPS``.
+    """
+    stream = bench_stream()
+    qmax_mpps: Dict[Tuple[float, int], float] = {}
+    for q in Q_GRID:
+        for gamma in GAMMA_GRID:
+            m = measure_backend(
+                f"qmax(g={gamma},q={q})", lambda: QMax(q, gamma), stream
+            )
+            qmax_mpps[(gamma, q)] = m.mpps
+    heap_mpps = {
+        q: measure_backend(f"heap(q={q})", lambda: HeapQMax(q), stream).mpps
+        for q in Q_GRID
+    }
+    skip_mpps = {
+        q: measure_backend(
+            f"skiplist(q={q})", lambda: SkipListQMax(q), stream
+        ).mpps
+        for q in Q_GRID
+    }
+    amort_mpps = {
+        (gamma, q): measure_backend(
+            f"qmax-amortized(g={gamma},q={q})",
+            lambda: AmortizedQMax(q, gamma),
+            stream,
+        ).mpps
+        for q in Q_GRID
+        for gamma in AMORT_GAMMAS
+    }
+    return qmax_mpps, heap_mpps, skip_mpps, amort_mpps

@@ -1,0 +1,86 @@
+"""Shared harness for the Open-vSwitch-style experiments (Figs 12–17).
+
+The paper attaches each monitoring structure to a DPDK OVS and measures
+the achieved throughput on a 10G/40G link.  Our substitute (DESIGN.md
+§2) runs the same trace through the simulated datapath with each
+monitor attached and *normalizes* to the vanilla (no-measurement)
+datapath: the normalized rate times the link speed gives the "achieved
+Gbps" a switch whose vanilla datapath exactly saturates the link would
+reach.  This preserves the figures' shapes — which monitor degrades the
+switch, and at which q each falls off line rate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Sequence
+
+from conftest import repeats, scaled
+
+from repro.bench.workloads import packet_trace
+from repro.switch.datapath import Datapath
+from repro.switch.linerate import LinkModel
+from repro.switch.monitor import make_monitor
+from repro.traffic.packet import Packet
+
+
+def min_size_trace(n: int):
+    """The 10G stress test: minimal-size packets (64B)."""
+    pkts = packet_trace(n)
+    return tuple(
+        Packet(p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.proto,
+               64, p.timestamp, p.packet_id)
+        for p in pkts
+    )
+
+
+def real_size_trace(n: int):
+    """The 40G experiments: realistic (UNIV1-average) packet sizes."""
+    return packet_trace(n, profile="univ1")
+
+
+def datapath_pps(monitor_kind: str, q: int, backend: str, gamma: float,
+                 pkts: Sequence[Packet]) -> float:
+    """Best-of-repeats packet rate of the datapath with a monitor."""
+    best = float("inf")
+    for _ in range(repeats()):
+        dp = Datapath(
+            monitor=make_monitor(monitor_kind, q, backend, gamma)
+        )
+        start = time.perf_counter()
+        dp.run(pkts)
+        best = min(best, time.perf_counter() - start)
+    return len(pkts) / best
+
+
+def achieved_gbps(
+    pps: float, vanilla_pps: float, link: LinkModel, frame_bytes: int
+) -> float:
+    """Normalized throughput mapped onto the link (see module doc)."""
+    line_pps = link.line_rate_pps(frame_bytes)
+    achieved = line_pps * min(1.0, pps / vanilla_pps)
+    return link.gbps_at(achieved, frame_bytes)
+
+
+def ovs_sweep(
+    monitor_kind: str,
+    qs: Sequence[int],
+    backends: Sequence[str],
+    link: LinkModel,
+    pkts,
+    frame_bytes: int,
+    gamma: float = 0.25,
+) -> Dict:
+    """Gbps for each (backend, q), plus the vanilla reference."""
+    vanilla = datapath_pps("none", 1, "qmax", gamma, pkts)
+    results = {"vanilla": link.gbps_at(
+        link.line_rate_pps(frame_bytes), frame_bytes
+    )}
+    for backend in backends:
+        for q in qs:
+            pps = datapath_pps(monitor_kind, q, backend, gamma, pkts)
+            results[(backend, q)] = achieved_gbps(
+                pps, vanilla, link, frame_bytes
+            )
+    results["_vanilla_pps"] = vanilla
+    return results

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Network-wide heavy hitters over a simulated data-center pod.
+
+Run:  python examples/network_wide_heavy_hitters.py
+
+Reproduces the paper's §2.6 application end to end: a fat-tree pod
+where every switch runs an NMP keeping the q minimal-hash packets,
+packets traverse multiple NMPs (so naive counting would double-count),
+and a controller merges the reports into the global heavy hitters.
+"""
+
+from __future__ import annotations
+
+from repro.netwide import NetworkSimulation, NetworkTopology
+from repro.traffic import CAIDA16, generate_packets
+from repro.traffic.packet import ip_to_str
+
+
+def main() -> None:
+    topology = NetworkTopology.fat_tree_pod(
+        edge_switches=4, hosts_per_edge=4
+    )
+    print(
+        f"Topology: {len(topology.switches)} switches, "
+        f"{len(topology.hosts)} hosts"
+    )
+
+    sim = NetworkSimulation(topology, q=2_000, backend="qmax", seed=7)
+    packets = generate_packets(CAIDA16, 50_000, seed=1, n_flows=5_000)
+    sim.run(packets)
+    print(
+        f"Routed {sim.packets_routed} packets; each crossed "
+        f"{sim.mean_path_length:.2f} NMPs on average "
+        f"({sim.observations} total observations)"
+    )
+
+    theta, epsilon = 0.01, 0.005
+    reported = sim.heavy_hitters(theta=theta, epsilon=epsilon)
+    truth = sim.true_heavy_hitters(packets, theta=theta)
+
+    print(
+        f"\nFlows above {theta:.1%} of traffic "
+        f"(margin epsilon={epsilon:.1%}):"
+    )
+    print(f"{'flow (src ip)':>16} {'true pkts':>10} {'estimated':>10}")
+    true_counts = dict(truth)
+    for flow, estimate in reported[:10]:
+        true_count = true_counts.get(flow, 0)
+        print(
+            f"{ip_to_str(flow):>16} {true_count:>10} {estimate:>10.0f}"
+        )
+
+    missed = {f for f, _ in truth} - {f for f, _ in reported}
+    print(
+        f"\nTrue heavy hitters: {len(truth)}; reported: "
+        f"{len(reported)}; missed: {len(missed)}"
+    )
+    if not missed:
+        print("No false negatives — the epsilon margin did its job.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A telemetry pipeline combining several q-MAX applications.
+
+Run:  python examples/telemetry_pipeline.py
+
+Processes one synthetic CAIDA-style trace through four measurement
+applications at once — priority sampling (byte-volume estimation),
+per-flow aggregation (PBA), distinct-source counting (KMV), and a
+UnivMon sketch (entropy / F2) — then prints a small network report.
+This is the "many measurement tasks share one stream" setting the
+paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+
+from repro.apps import (
+    CountDistinct,
+    PriorityBasedAggregation,
+    PrioritySampler,
+    UnivMon,
+)
+from repro.traffic import CAIDA16, generate_packets
+from repro.traffic.packet import ip_to_str
+
+
+def main() -> None:
+    packets = generate_packets(CAIDA16, 80_000, seed=9, n_flows=8_000)
+
+    sampler = PrioritySampler(k=2_000, backend="qmax", seed=1)
+    pba = PriorityBasedAggregation(k=200, backend="qmax", seed=2)
+    distinct = CountDistinct(q=512, backend="qmax", seed=3)
+    univmon = UnivMon(levels=8, q=64, width=2048, depth=5,
+                      backend="qmax", seed=4)
+
+    for pkt in packets:
+        sampler.update(pkt.packet_id, pkt.size)   # per-packet bytes
+        pba.update(pkt.src_ip, pkt.size)          # per-source bytes
+        distinct.update(pkt.src_ip)               # distinct sources
+        univmon.update(pkt.src_ip)                # frequency moments
+
+    # ------------------------------------------------------------------
+    # Report.
+    # ------------------------------------------------------------------
+    true_bytes = sum(p.size for p in packets)
+    est_bytes = sampler.estimate_total()
+    print("== Telemetry report ==")
+    print(
+        f"Total bytes:      {true_bytes:>12,}  "
+        f"(estimated {est_bytes:>14,.0f})"
+    )
+
+    true_sources = len({p.src_ip for p in packets})
+    print(
+        f"Distinct sources: {true_sources:>12,}  "
+        f"(estimated {distinct.estimate():>14,.0f})"
+    )
+
+    counts = collections.Counter(p.src_ip for p in packets)
+    n = len(packets)
+    true_entropy = -sum(
+        (c / n) * math.log2(c / n) for c in counts.values()
+    )
+    print(
+        f"Source entropy:   {true_entropy:>12.3f}  "
+        f"(estimated {univmon.estimate_entropy():>14.3f})"
+    )
+
+    print("\nTop sources by sampled byte volume (PBA):")
+    true_volume = collections.Counter()
+    for p in packets:
+        true_volume[p.src_ip] += p.size
+    print(f"{'source':>16} {'true bytes':>12} {'estimate':>12}")
+    for src, _w, estimate in pba.sample()[:8]:
+        print(
+            f"{ip_to_str(src):>16} {true_volume[src]:>12,} "
+            f"{estimate:>12,.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Measurement applications built on the q-MAX pattern (§2 of the paper).
+
+Each application accepts a pluggable reservoir backend so benchmarks can
+swap q-MAX against the Heap/SkipList baselines without touching the
+application logic — exactly how the paper's evaluation is constructed.
+"""
+
+from repro.apps.reservoirs import (
+    BACKENDS,
+    make_reservoir,
+    make_updatable_reservoir,
+)
+from repro.apps.priority_sampling import PrioritySampler
+from repro.apps.sliding_sampling import SlidingPrioritySampler
+from repro.apps.pba import PriorityBasedAggregation
+from repro.apps.count_distinct import CountDistinct, SlidingCountDistinct
+from repro.apps.bottom_k import BottomKSketch
+from repro.apps.univmon import UnivMon
+from repro.apps.dbm import DynamicBucketMerge
+from repro.apps.superspreader import SuperSpreaderDetector
+from repro.apps.lrfu import ClassicLRFU, QMaxLRFU, SkipListLRFU, StdHeapLRFU
+from repro.apps.lrfu_deamortized import DeamortizedLRFU
+
+__all__ = [
+    "BACKENDS",
+    "make_reservoir",
+    "make_updatable_reservoir",
+    "PrioritySampler",
+    "SlidingPrioritySampler",
+    "PriorityBasedAggregation",
+    "CountDistinct",
+    "SlidingCountDistinct",
+    "BottomKSketch",
+    "UnivMon",
+    "DynamicBucketMerge",
+    "SuperSpreaderDetector",
+    "ClassicLRFU",
+    "QMaxLRFU",
+    "SkipListLRFU",
+    "StdHeapLRFU",
+    "DeamortizedLRFU",
+]

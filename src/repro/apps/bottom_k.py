@@ -1,0 +1,226 @@
+"""Bottom-k sketches (Cohen & Kaplan, PODC 2007) — §2.2.
+
+A bottom-k sketch of a weighted set assigns each key a *rank* derived
+from a per-key uniform and the key's weight and keeps the ``k`` keys
+with the smallest ranks plus the (k+1)-st rank as a threshold.  We use
+exponential ranks ``r_x = -ln(u_x) / w_x`` (ppswor — probability
+proportional to size, without replacement): conditioned on the
+threshold ``τ``, key ``x`` is in the sketch with probability
+``p_x = 1 - exp(-w_x·τ)``, giving the Horvitz-Thompson subset-sum
+estimator ``Σ w_x / p_x`` over sampled keys that match the subset.
+
+Bottom-k sketches are *mergeable* — the union's sketch is computable
+from the parts' sketches, which is what lets an SDN controller combine
+per-NMP summaries into network-wide statistics.
+
+The per-item work is one hash, one log, one division and a q-MIN
+reservoir update — the reservoir again being a pluggable q-MAX backend
+(``q = k + 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from repro.apps.reservoirs import make_reservoir
+from repro.core.qmin import QMin
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+from repro.types import ItemId, Value
+
+
+class BottomKSketch:
+    """Bottom-k (ppswor) sketch of a weighted key stream.
+
+    Keys are assumed distinct (aggregate beforehand, or see PBA).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.seed = seed
+        self._reservoir = QMin(
+            k + 1, backend=lambda n: make_reservoir(backend, n, gamma)
+        )
+        self._uniform = UniformHasher(seed)
+        #: Upper bound on the threshold inherited through merges: ranks
+        #: at or above it were unobservable in some merged part.
+        self._tau_cap = math.inf
+        self.processed = 0
+
+    def rank_of(self, key: ItemId, weight: Value) -> float:
+        """The ppswor rank ``-ln(u)/w`` of a (key, weight) pair."""
+        return -math.log(self._uniform.unit_open(key)) / weight
+
+    def update(self, key: ItemId, weight: Value) -> None:
+        """Process one distinct (key, weight) observation."""
+        if weight <= 0:
+            raise ConfigurationError(
+                f"weights must be positive, got {weight}"
+            )
+        self._reservoir.add((key, weight), self.rank_of(key, weight))
+        self.processed += 1
+
+    def sketch(self) -> Tuple[List[Tuple[ItemId, Value, float]], float]:
+        """Current sketch: ``(entries, tau)``.
+
+        ``entries`` holds up to ``k`` tuples ``(key, weight, rank)``
+        sorted by ascending rank; ``tau`` is the (k+1)-st smallest rank
+        (``inf`` while underfull, meaning inclusion was certain).
+        """
+        smallest = self._reservoir.query()
+        if len(smallest) > self.k:
+            tau = min(smallest[self.k][1], self._tau_cap)
+            smallest = smallest[: self.k]
+        else:
+            tau = self._tau_cap
+        entries = [
+            (key, weight, rank)
+            for (key, weight), rank in smallest
+            if rank < tau
+        ]
+        return entries, tau
+
+    def estimate_subset_sum(
+        self, predicate: Callable[[ItemId], bool]
+    ) -> float:
+        """Horvitz-Thompson estimate of the matching keys' total weight."""
+        entries, tau = self.sketch()
+        total = 0.0
+        for key, weight, _rank in entries:
+            if not predicate(key):
+                continue
+            if math.isinf(tau):
+                total += weight  # inclusion probability 1
+            else:
+                p_x = -math.expm1(-weight * tau)
+                total += weight / p_x
+        return total
+
+    def estimate_subset_count(
+        self, predicate: Callable[[ItemId], bool]
+    ) -> float:
+        """Estimate of *how many* keys match ``predicate``."""
+        entries, tau = self.sketch()
+        total = 0.0
+        for key, weight, _rank in entries:
+            if not predicate(key):
+                continue
+            if math.isinf(tau):
+                total += 1.0
+            else:
+                total += 1.0 / -math.expm1(-weight * tau)
+        return total
+
+    def estimate_subset_mean(
+        self, predicate: Callable[[ItemId], bool]
+    ) -> float:
+        """Estimated mean weight of keys matching ``predicate``
+        (ratio of the HT sum and HT count estimators)."""
+        count = self.estimate_subset_count(predicate)
+        if count == 0.0:
+            return 0.0
+        return self.estimate_subset_sum(predicate) / count
+
+    def estimate_subset_variance(
+        self, predicate: Callable[[ItemId], bool]
+    ) -> float:
+        """Estimated population variance of matching keys' weights.
+
+        Uses HT estimates of the first two moments:
+        ``Var = E[w²] − E[w]²`` with each moment estimated as
+        ``Σ g(w_x)/p_x`` over the sampled matching keys.
+        """
+        entries, tau = self.sketch()
+        count = sum2 = sumsq = 0.0
+        for key, weight, _rank in entries:
+            if not predicate(key):
+                continue
+            if math.isinf(tau):
+                inv_p = 1.0
+            else:
+                inv_p = 1.0 / -math.expm1(-weight * tau)
+            count += inv_p
+            sum2 += weight * inv_p
+            sumsq += weight * weight * inv_p
+        if count == 0.0:
+            return 0.0
+        mean = sum2 / count
+        return max(0.0, sumsq / count - mean * mean)
+
+    def estimate_subset_percentile(
+        self, predicate: Callable[[ItemId], bool], fraction: float
+    ) -> float:
+        """Estimated weight percentile of matching keys (e.g. 0.5 for
+        the median, 0.99 for tail latency — §2.2's QoS use case).
+
+        Computed as the weighted quantile of the sampled matching
+        keys, each carrying its inverse inclusion probability.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0, 1], got {fraction}"
+            )
+        entries, tau = self.sketch()
+        weighted: List[Tuple[Value, float]] = []
+        for key, weight, _rank in entries:
+            if not predicate(key):
+                continue
+            if math.isinf(tau):
+                inv_p = 1.0
+            else:
+                inv_p = 1.0 / -math.expm1(-weight * tau)
+            weighted.append((weight, inv_p))
+        if not weighted:
+            return 0.0
+        weighted.sort()
+        total = sum(mass for _w, mass in weighted)
+        target = fraction * total
+        running = 0.0
+        for weight, mass in weighted:
+            running += mass
+            if running >= target:
+                return weight
+        return weighted[-1][0]
+
+    def merge(self, other: "BottomKSketch") -> "BottomKSketch":
+        """Sketch of the union of two disjoint key sets.
+
+        Both sketches must share ``k`` and the rank seed (ranks are a
+        function of the key, so the same key observed by two NMPs gets
+        the same rank — duplicates collapse naturally).
+        """
+        if self.k != other.k or self.seed != other.seed:
+            raise ConfigurationError(
+                "can only merge sketches with identical k and seed"
+            )
+        merged = BottomKSketch(self.k, seed=self.seed)
+        seen: Dict[ItemId, Tuple[Value, float]] = {}
+        taus = []
+        for sketch in (self, other):
+            entries, tau = sketch.sketch()
+            taus.append(tau)
+            for key, weight, rank in entries:
+                # The same key observed by both parts carries the same
+                # rank (it is a function of the key), so duplicates
+                # collapse to one entry.
+                seen.setdefault(key, (weight, rank))
+        # Ranks at or above either part's threshold were unobservable,
+        # so the merged threshold may not exceed them.
+        merged._tau_cap = min(taus)
+        for key, (weight, rank) in seen.items():
+            merged._reservoir.add((key, weight), rank)
+        merged.processed = self.processed + other.processed
+        return merged
+
+    @property
+    def backend_name(self) -> str:
+        return self._reservoir.inner.name

@@ -1,0 +1,291 @@
+"""Dynamic Bucket Merge (Uyeda et al., NSDI 2011) — §2.5.
+
+DBM monitors bandwidth at query-time-chosen granularities: it keeps at
+most ``m`` time buckets, each accumulating the bytes of a span of the
+measurement period.  When a new bucket would exceed the budget, the
+*pair of adjacent buckets whose merge loses the least information* is
+merged.  Finding that pair is a running-minimum problem over pair
+costs — the q-MAX pattern with ``q = 1`` over a changing set, which the
+paper accelerates by replacing the heap of pair costs.
+
+We implement the bucket list with a doubly linked list and two
+interchangeable minimum trackers:
+
+* ``backend="heap"`` — an :class:`~repro.baselines.heap.IndexedHeap`
+  with O(log m) update-key (the classic implementation), and
+* ``backend="qmax"`` — a q-MIN reservoir with *lazy invalidation*:
+  stale pair costs are skipped at extraction (each pair cost enters the
+  structure once, so total work stays linear amortized).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.heap import IndexedHeap
+from repro.core.amortized import AmortizedQMax
+from repro.core.qmin import QMin
+from repro.errors import ConfigurationError
+
+
+class _Bucket:
+    """One time bucket: [start, end) with accumulated byte count."""
+
+    __slots__ = ("start", "end", "bytes", "prev", "next", "alive")
+
+    def __init__(self, start: float, end: float, nbytes: float) -> None:
+        self.start = start
+        self.end = end
+        self.bytes = nbytes
+        self.prev: Optional["_Bucket"] = None
+        self.next: Optional["_Bucket"] = None
+        self.alive = True
+
+
+def _merge_cost(a: _Bucket, b: _Bucket) -> float:
+    """Information lost by merging two adjacent buckets.
+
+    Following DBM, the cost is the merged bucket's byte count (merging
+    two small buckets loses little resolution; merging heavy ones
+    smears a lot of traffic across a wider span).
+    """
+    return a.bytes + b.bytes
+
+
+class DynamicBucketMerge:
+    """Bandwidth monitor with ``m`` mergeable time buckets.
+
+    Parameters
+    ----------
+    m:
+        Memory budget: max number of buckets (controls query error).
+    bucket_seconds:
+        Span of each freshly opened bucket.
+    backend:
+        ``"heap"`` (indexed heap) or ``"qmax"`` (lazy q-MIN) for the
+        minimum-cost pair tracker.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        bucket_seconds: float = 1.0,
+        backend: str = "qmax",
+    ) -> None:
+        if m < 2:
+            raise ConfigurationError(f"m must be >= 2, got {m}")
+        if bucket_seconds <= 0:
+            raise ConfigurationError("bucket_seconds must be positive")
+        if backend not in ("heap", "qmax"):
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        self.m = m
+        self.bucket_seconds = bucket_seconds
+        self.backend = backend
+        self._head: Optional[_Bucket] = None
+        self._tail: Optional[_Bucket] = None
+        self._count = 0
+        self._pair_seq = itertools.count()
+        self._pair_of: Dict[int, Tuple[_Bucket, _Bucket]] = {}
+        self._pair_id: Dict[Tuple[int, int], int] = {}
+        if backend == "heap":
+            self._heap = IndexedHeap()
+        else:
+            # Lazy tracker: the reservoir holds (pair_id, cost) entries;
+            # entries whose pair_id is no longer in _pair_of are stale
+            # (superseded cost, or a merged-away bucket) and are skipped
+            # at extraction time.
+            self._qmin = QMin(
+                m, backend=lambda n: AmortizedQMax(n, gamma=0.5)
+            )
+        self.merges = 0
+
+    # ------------------------------------------------------------------
+    # Pair-cost tracking.
+    # ------------------------------------------------------------------
+
+    def _pair_key(self, left: _Bucket) -> Tuple[int, int]:
+        return (id(left), id(left.next))
+
+    def _register_pair(self, left: _Bucket) -> None:
+        if left is None or left.next is None:
+            return
+        cost = _merge_cost(left, left.next)
+        pair_id = next(self._pair_seq)
+        key = self._pair_key(left)
+        old = self._pair_id.pop(key, None)
+        if old is not None:
+            # Supersede the previous cost entry for this adjacency.
+            self._pair_of.pop(old, None)
+            if self.backend == "heap" and old in self._heap:
+                self._heap.remove(old)
+        self._pair_of[pair_id] = (left, left.next)
+        self._pair_id[key] = pair_id
+        if self.backend == "heap":
+            self._heap.push(pair_id, cost)
+        else:
+            self._qmin.add(pair_id, cost)
+
+    def _unregister_pair(self, left: _Bucket) -> None:
+        if left is None or left.next is None:
+            return
+        key = self._pair_key(left)
+        pair_id = self._pair_id.pop(key, None)
+        if pair_id is None:
+            return
+        self._pair_of.pop(pair_id, None)
+        if self.backend == "heap" and pair_id in self._heap:
+            self._heap.remove(pair_id)
+
+    def _pop_min_pair(self) -> Tuple[_Bucket, _Bucket]:
+        if self.backend == "heap":
+            pair_id, _cost = self._heap.pop_min()
+            left, right = self._pair_of.pop(pair_id)
+            del self._pair_id[self._pair_key(left)]
+            return left, right
+        # Lazy q-MIN: pop candidates until a live, still-adjacent pair.
+        while True:
+            candidates = self._qmin.query()
+            for pair_id, _cost in candidates:
+                pair = self._pair_of.get(pair_id)
+                if pair is None:
+                    continue
+                left, right = pair
+                if left.alive and right.alive and left.next is right:
+                    # Consume this entry; a surviving adjacency will be
+                    # re-registered by the merge.
+                    del self._pair_of[pair_id]
+                    self._pair_id.pop(self._pair_key(left), None)
+                    return left, right
+                del self._pair_of[pair_id]  # stale entry
+            # All reservoir candidates were stale: rebuild from scratch.
+            self._qmin.reset()
+            self._pair_id.clear()
+            self._pair_of.clear()
+            node = self._head
+            while node is not None and node.next is not None:
+                self._register_pair(node)
+                node = node.next
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def add(self, timestamp: float, nbytes: float) -> None:
+        """Account ``nbytes`` at ``timestamp`` (must be non-decreasing)."""
+        tail = self._tail
+        if tail is not None and timestamp < tail.end:
+            tail.bytes += nbytes
+            # The tail participates in one pair whose cost changed.
+            if tail.prev is not None:
+                if self.backend == "heap":
+                    self._unregister_pair(tail.prev)
+                self._register_pair(tail.prev)
+            return
+        start = (
+            timestamp // self.bucket_seconds
+        ) * self.bucket_seconds
+        bucket = _Bucket(start, start + self.bucket_seconds, nbytes)
+        if tail is None:
+            self._head = self._tail = bucket
+        else:
+            tail.next = bucket
+            bucket.prev = tail
+            self._tail = bucket
+            self._register_pair(tail)
+        self._count += 1
+        if self._count > self.m:
+            self._merge_min_pair()
+
+    def _merge_min_pair(self) -> None:
+        left, right = self._pop_min_pair()
+        # Neighbouring pairs disappear with the merge.
+        if left.prev is not None:
+            self._unregister_pair(left.prev)
+        self._unregister_pair(right)
+        left.end = right.end
+        left.bytes += right.bytes
+        left.next = right.next
+        if right.next is not None:
+            right.next.prev = left
+        else:
+            self._tail = left
+        right.alive = False
+        self._count -= 1
+        self.merges += 1
+        if left.prev is not None:
+            self._register_pair(left.prev)
+        if left.next is not None:
+            self._register_pair(left)
+
+    def buckets(self) -> List[Tuple[float, float, float]]:
+        """Current buckets as (start, end, bytes), oldest first."""
+        result = []
+        node = self._head
+        while node is not None:
+            result.append((node.start, node.end, node.bytes))
+            node = node.next
+        return result
+
+    def bandwidth(self, t1: float, t2: float) -> float:
+        """Bytes in ``[t1, t2)``, prorating partially covered buckets."""
+        if t2 <= t1:
+            raise ConfigurationError("need t2 > t1")
+        total = 0.0
+        for start, end, nbytes in self.buckets():
+            overlap = min(end, t2) - max(start, t1)
+            if overlap > 0:
+                total += nbytes * overlap / (end - start)
+        return total
+
+    def busiest_interval(
+        self, span: float
+    ) -> Tuple[float, float, float]:
+        """The ``span``-second interval with the most traffic.
+
+        This is DBM's raison d'être: the granularity is chosen at
+        *query* time.  Slides a ``span`` window across the bucket
+        boundaries (an optimum always aligns with one) and returns
+        ``(start, end, bytes)``.
+        """
+        if span <= 0:
+            raise ConfigurationError("span must be positive")
+        buckets = self.buckets()
+        if not buckets:
+            return (0.0, span, 0.0)
+        candidates = {start for start, _e, _b in buckets}
+        candidates.update(end - span for _s, end, _b in buckets)
+        first = buckets[0][0]
+        best = (first, first + span, -1.0)
+        for start in candidates:
+            if start < first - span:
+                continue
+            volume = self.bandwidth(start, start + span)
+            if volume > best[2]:
+                best = (start, start + span, volume)
+        return best
+
+    def rate_timeseries(
+        self, resolution: float
+    ) -> List[Tuple[float, float]]:
+        """Traffic volume per ``resolution``-second tick, from the
+        merged buckets (query-time granularity, prorated)."""
+        if resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        buckets = self.buckets()
+        if not buckets:
+            return []
+        start = buckets[0][0]
+        end = buckets[-1][1]
+        series = []
+        tick = start
+        while tick < end:
+            series.append(
+                (tick, self.bandwidth(tick, tick + resolution))
+            )
+            tick += resolution
+        return series
+
+    @property
+    def n_buckets(self) -> int:
+        return self._count

@@ -1,0 +1,289 @@
+"""LRFU caching (Lee et al., IEEE ToC 2001) — §2.7 and §5.1.
+
+LRFU scores every cached item by a Combined Recency and Frequency value
+``CRF_x(t) = Σ_{accesses i of x} c^(t-i)`` for an aging parameter
+``c ∈ (0, 1)``; the minimal-score item is evicted.  Because all scores
+decay by the *same* factor per tick, their relative order between
+accesses never changes — so, as in §5, we store scores in the time-free
+log domain: an access at tick ``t`` contributes ``t·|log c|`` to the
+key's log-score, and scores combine with log-sum-exp.
+
+Three interchangeable implementations drive Figure 9 and Table 2:
+
+* :class:`QMaxLRFU` — the paper's contribution: a
+  :class:`~repro.core.merging.MergingQMax` holding between ``q`` and
+  ``q(1+γ)`` entries, constant amortized time per request.
+* :class:`ClassicLRFU` — an indexed min-heap with O(log q) sift on
+  every hit (the textbook implementation).
+* :class:`StdHeapLRFU` — a heap without sift support: a hit rewrites
+  the score in place and re-heapifies in O(q), matching the paper's
+  observation about the standard-library heap baseline.
+* :class:`SkipListLRFU` — remove + reinsert in O(log q).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.baselines.heap import IndexedHeap
+from repro.baselines.skiplist import SkipList
+from repro.core.merging import MergingQMax
+from repro.errors import ConfigurationError
+
+
+def _log_sum_exp(w1: float, w2: float) -> float:
+    """log(e^w1 + e^w2) without overflow."""
+    if w1 < w2:
+        w1, w2 = w2, w1
+    return w1 + math.log1p(math.exp(w2 - w1))
+
+
+class _LRFUBase:
+    """Shared bookkeeping: the decay clock and hit/miss accounting."""
+
+    def __init__(self, capacity: int, decay: float) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(
+                f"decay must be in (0, 1), got {decay}"
+            )
+        self.capacity = capacity
+        self.decay = decay
+        self._tick_weight = -math.log(decay)  # |log c| > 0
+        self._t = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _access_log_weight(self) -> float:
+        """Log-domain contribution of an access at the current tick."""
+        return self._t * self._tick_weight
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+
+class ClassicLRFU(_LRFUBase):
+    """Textbook LRFU: dict + indexed min-heap, O(log q) per request."""
+
+    def __init__(self, capacity: int, decay: float = 0.75) -> None:
+        super().__init__(capacity, decay)
+        self._heap = IndexedHeap()
+
+    def access(self, key: Hashable) -> bool:
+        """Process one request; returns True on a cache hit."""
+        contribution = self._access_log_weight()
+        self._t += 1
+        if key in self._heap:
+            self.hits += 1
+            new_score = _log_sum_exp(self._heap.value_of(key), contribution)
+            self._heap.update(key, new_score)
+            return True
+        self.misses += 1
+        if len(self._heap) >= self.capacity:
+            self._heap.pop_min()
+        self._heap.push(key, contribution)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._heap
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def name(self) -> str:
+        return "lrfu-indexedheap"
+
+
+class StdHeapLRFU(_LRFUBase):
+    """The paper's Heap baseline: no sift, hits cost O(q) re-heapify."""
+
+    def __init__(self, capacity: int, decay: float = 0.75) -> None:
+        super().__init__(capacity, decay)
+        self._scores: List[float] = []
+        self._keys: List[Hashable] = []
+        self._index: Dict[Hashable, int] = {}
+
+    def access(self, key: Hashable) -> bool:
+        contribution = self._access_log_weight()
+        self._t += 1
+        idx = self._index.get(key)
+        if idx is not None:
+            self.hits += 1
+            self._scores[idx] = _log_sum_exp(
+                self._scores[idx], contribution
+            )
+            self._heapify()  # O(q): the standard heap has no sift
+            return True
+        self.misses += 1
+        if len(self._scores) >= self.capacity:
+            evicted = self._keys[0]
+            del self._index[evicted]
+            last_s, last_k = self._scores.pop(), self._keys.pop()
+            if self._scores:
+                self._scores[0] = last_s
+                self._keys[0] = last_k
+                self._index[last_k] = 0
+                self._sift_down(0)
+        self._scores.append(contribution)
+        self._keys.append(key)
+        self._index[key] = len(self._scores) - 1
+        self._sift_up(len(self._scores) - 1)
+        return False
+
+    def _heapify(self) -> None:
+        for i in range(len(self._scores) // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def _sift_up(self, i: int) -> None:
+        scores, keys, index = self._scores, self._keys, self._index
+        s, k = scores[i], keys[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if scores[parent] <= s:
+                break
+            scores[i], keys[i] = scores[parent], keys[parent]
+            index[keys[i]] = i
+            i = parent
+        scores[i], keys[i] = s, k
+        index[k] = i
+
+    def _sift_down(self, i: int) -> None:
+        scores, keys, index = self._scores, self._keys, self._index
+        n = len(scores)
+        s, k = scores[i], keys[i]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and scores[right] < scores[child]:
+                child = right
+            if scores[child] >= s:
+                break
+            scores[i], keys[i] = scores[child], keys[child]
+            index[keys[i]] = i
+            i = child
+        scores[i], keys[i] = s, k
+        index[k] = i
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    @property
+    def name(self) -> str:
+        return "lrfu-stdheap"
+
+
+class SkipListLRFU(_LRFUBase):
+    """Skip-list LRFU: hits remove + reinsert the node, O(log q)."""
+
+    def __init__(self, capacity: int, decay: float = 0.75) -> None:
+        super().__init__(capacity, decay)
+        self._list = SkipList()
+        self._score_of: Dict[Hashable, float] = {}
+
+    def access(self, key: Hashable) -> bool:
+        contribution = self._access_log_weight()
+        self._t += 1
+        old = self._score_of.get(key)
+        if old is not None:
+            self.hits += 1
+            new_score = _log_sum_exp(old, contribution)
+            self._list.remove(old, key)
+            self._list.insert(new_score, key)
+            self._score_of[key] = new_score
+            return True
+        self.misses += 1
+        if len(self._list) >= self.capacity:
+            evicted_key, _ = self._list.pop_min()
+            del self._score_of[evicted_key]
+        self._list.insert(contribution, key)
+        self._score_of[key] = contribution
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._score_of
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    @property
+    def name(self) -> str:
+        return "lrfu-skiplist"
+
+
+class QMaxLRFU(_LRFUBase):
+    """Constant-time LRFU via the §5.1 duplicate-merging q-MAX.
+
+    Every request simply appends a (key, log-contribution) entry; the
+    periodic maintenance merges a key's entries with log-sum-exp and
+    evicts the lowest-scored keys.  The cache population floats between
+    ``q`` and ``q(1+γ)`` — as the paper notes, negligible for small γ,
+    and the top-q guarantee matches a q-sized LRFU.
+    """
+
+    def __init__(
+        self, capacity: int, decay: float = 0.75, gamma: float = 0.25
+    ) -> None:
+        super().__init__(capacity, decay)
+        self.gamma = gamma
+        self._store = MergingQMax(
+            capacity, gamma, merge=_log_sum_exp, track_evictions=False
+        )
+
+    def access(self, key: Hashable) -> bool:
+        contribution = self._access_log_weight()
+        self._t += 1
+        hit = key in self._store
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._store.add(key, contribution)
+        return hit
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def name(self) -> str:
+        return f"lrfu-qmax(gamma={self.gamma:g})"
+
+
+def make_lrfu(
+    backend: str,
+    capacity: int,
+    decay: float = 0.75,
+    gamma: float = 0.25,
+) -> _LRFUBase:
+    """Factory used by benchmarks: build an LRFU cache by backend name."""
+    if backend == "qmax":
+        return QMaxLRFU(capacity, decay, gamma)
+    if backend == "qmax-deamortized":
+        from repro.apps.lrfu_deamortized import DeamortizedLRFU
+
+        return DeamortizedLRFU(capacity, decay, gamma)
+    if backend == "indexedheap":
+        return ClassicLRFU(capacity, decay)
+    if backend == "heap":
+        return StdHeapLRFU(capacity, decay)
+    if backend == "skiplist":
+        return SkipListLRFU(capacity, decay)
+    raise ConfigurationError(f"unknown LRFU backend {backend!r}")

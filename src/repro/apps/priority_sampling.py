@@ -1,0 +1,109 @@
+"""Priority Sampling (Duffield, Lund & Thorup, J.ACM 2007) — §2.1.
+
+Each distinct key ``x`` with weight ``w_x`` receives the priority
+``w_x / u_x`` where ``u_x`` is a per-key uniform in ``(0, 1]``.  A
+priority sample of size ``k`` consists of the ``k`` keys with the
+largest priorities together with the threshold ``τ`` — the (k+1)-st
+largest priority.  The subset-sum estimator assigns each sampled key
+the weight estimate ``max(w_x, τ)``; it is unbiased, and priority
+sampling's variance is (essentially) optimal among all weighted
+sampling schemes.
+
+The hot path is one uniform-hash evaluation, one division, and one
+reservoir update — the reservoir being whichever q-MAX backend the
+caller selects (``q = k + 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.apps.reservoirs import make_reservoir
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+from repro.types import ItemId, Value
+
+
+class PrioritySampler:
+    """Maintains a k-item priority sample of a weighted key stream.
+
+    Parameters
+    ----------
+    k:
+        Sample size.
+    backend:
+        Reservoir backend name (see :data:`repro.apps.reservoirs.BACKENDS`).
+    gamma:
+        Space/time parameter forwarded to q-MAX backends.
+    seed:
+        Seed of the per-key uniform hash (keys are deterministic:
+        re-processing a stream reproduces the sample exactly).
+
+    Notes
+    -----
+    Keys are assumed *distinct* as in the original algorithm; feed
+    repeated keys to :class:`repro.apps.pba.PriorityBasedAggregation`
+    instead.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        self.k = k
+        # Reservoir keeps k+1 items: the extra one is the threshold.
+        self._reservoir: QMaxBase = make_reservoir(backend, k + 1, gamma)
+        self._uniform = UniformHasher(seed)
+        self.processed = 0
+
+    def update(self, key: ItemId, weight: Value) -> None:
+        """Process one (key, weight) observation (the hot path)."""
+        if weight <= 0:
+            raise ConfigurationError(
+                f"weights must be positive, got {weight}"
+            )
+        priority = weight / self._uniform.unit_open(key)
+        # Store the weight alongside the key: the estimator needs it and
+        # the reservoir is the only state we keep.
+        self._reservoir.add((key, weight), priority)
+        self.processed += 1
+
+    def sample(self) -> Tuple[List[Tuple[ItemId, Value, float]], float]:
+        """The current sample and threshold.
+
+        Returns ``(entries, tau)`` where ``entries`` is a list of
+        ``(key, true_weight, weight_estimate)`` for up to ``k`` keys and
+        ``tau`` is the (k+1)-st priority (0.0 while underfull).
+        """
+        top = self._reservoir.query()
+        if len(top) > self.k:
+            tau = top[self.k][1]
+            top = top[: self.k]
+        else:
+            tau = 0.0
+        entries = [
+            (key, weight, max(weight, tau)) for (key, weight), _ in top
+        ]
+        return entries, tau
+
+    def estimate_subset_sum(
+        self, predicate: Callable[[ItemId], bool]
+    ) -> float:
+        """Unbiased estimate of the total weight of keys satisfying
+        ``predicate`` (the core priority-sampling query)."""
+        entries, _tau = self.sample()
+        return sum(est for key, _w, est in entries if predicate(key))
+
+    def estimate_total(self) -> float:
+        """Estimate of the total weight of the whole stream."""
+        return self.estimate_subset_sum(lambda _key: True)
+
+    @property
+    def backend_name(self) -> str:
+        return self._reservoir.name

@@ -1,0 +1,263 @@
+"""Reservoir backends shared by the measurement applications.
+
+Two interface flavours:
+
+* **Plain reservoirs** (:func:`make_reservoir`): the q-MAX interface —
+  items are (id, value) with distinct ids; used by Priority Sampling,
+  KMV, bottom-k and network-wide heavy hitters.  Backends: ``qmax``
+  (Algorithm 1), ``qmax-amortized``, ``heap``, ``skiplist``,
+  ``sortedlist``.
+
+* **Updatable reservoirs** (:func:`make_updatable_reservoir`): keys
+  recur and their value must be *replaced* (PBA priorities grow,
+  UnivMon estimates change).  q-MAX handles this with the §5.1
+  duplicate-merging scheme; the heap baseline mirrors the paper's
+  observation that the standard heap has no sift/update and therefore
+  pays O(q) per update; the skip list removes and reinserts in
+  O(log q).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.baselines.heap import HeapQMax
+from repro.baselines.skiplist import SkipList, SkipListQMax
+from repro.baselines.sortedlist import SortedListQMax
+from repro.core.amortized import AmortizedQMax
+from repro.core.interface import QMaxBase
+from repro.core.merging import MergingQMax
+from repro.core.qmax import QMax
+from repro.errors import ConfigurationError
+from repro.types import Item, ItemId, Value
+
+#: Plain-reservoir backend names accepted throughout the apps.
+BACKENDS = ("qmax", "qmax-amortized", "heap", "skiplist", "sortedlist")
+
+
+def make_reservoir(
+    backend: str,
+    q: int,
+    gamma: float = 0.25,
+    track_evictions: bool = False,
+) -> QMaxBase:
+    """Build a plain q-MAX reservoir by backend name."""
+    if backend == "qmax":
+        return QMax(q, gamma, track_evictions=track_evictions)
+    if backend == "qmax-amortized":
+        return AmortizedQMax(q, gamma, track_evictions=track_evictions)
+    if backend == "heap":
+        return HeapQMax(q, track_evictions=track_evictions)
+    if backend == "skiplist":
+        return SkipListQMax(q, track_evictions=track_evictions)
+    if backend == "sortedlist":
+        return SortedListQMax(q, track_evictions=track_evictions)
+    raise ConfigurationError(
+        f"unknown backend {backend!r}; expected one of {BACKENDS}"
+    )
+
+
+class UpdatableReservoir:
+    """Interface: keep the q keys with the largest current values, where
+    a key's value may be replaced by a larger one at any time."""
+
+    q: int
+
+    def set_value(self, key: ItemId, value: Value) -> None:
+        """Insert ``key`` or raise its value to ``value``."""
+        raise NotImplementedError
+
+    def __contains__(self, key: ItemId) -> bool:
+        raise NotImplementedError
+
+    def query(self) -> List[Item]:
+        """Top q (key, value) pairs, sorted descending, deduplicated."""
+        raise NotImplementedError
+
+    def take_evicted_keys(self) -> List[ItemId]:
+        """Keys dropped from the reservoir since the last drain."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class QMaxUpdatableReservoir(UpdatableReservoir):
+    """q-MAX flavour: reinsert on every update, merge duplicates during
+    maintenance with ``max`` (values only grow) — §5.1's scheme."""
+
+    def __init__(self, q: int, gamma: float = 0.25) -> None:
+        self.q = q
+        self._inner = MergingQMax(
+            q, gamma, merge=max, track_evictions=True
+        )
+        self._evicted: List[ItemId] = []
+
+    def set_value(self, key: ItemId, value: Value) -> None:
+        self._inner.add(key, value)
+        if self._inner._evicted:
+            self._evicted.extend(k for k, _ in self._inner.take_evicted())
+
+    def __contains__(self, key: ItemId) -> bool:
+        return key in self._inner
+
+    def query(self) -> List[Item]:
+        return self._inner.query()
+
+    def take_evicted_keys(self) -> List[ItemId]:
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    @property
+    def name(self) -> str:
+        return "qmax"
+
+
+class HeapUpdatableReservoir(UpdatableReservoir):
+    """Heap flavour mirroring the paper's std-heap baseline: no sift
+    support, so updating an existing key's value costs O(q) (rewrite
+    in place, then rebuild the heap bottom-up)."""
+
+    def __init__(self, q: int) -> None:
+        self.q = q
+        self._vals: List[Value] = []
+        self._keys: List[ItemId] = []
+        self._index: Dict[ItemId, int] = {}
+        self._evicted: List[ItemId] = []
+
+    def set_value(self, key: ItemId, value: Value) -> None:
+        idx = self._index.get(key)
+        if idx is not None:
+            self._vals[idx] = value
+            self._heapify()  # O(q): the paper's "no value updates" cost
+            return
+        if len(self._vals) < self.q:
+            self._vals.append(value)
+            self._keys.append(key)
+            self._index[key] = len(self._vals) - 1
+            self._sift_up(len(self._vals) - 1)
+            return
+        if value <= self._vals[0]:
+            return
+        old_key = self._keys[0]
+        del self._index[old_key]
+        self._evicted.append(old_key)
+        self._vals[0] = value
+        self._keys[0] = key
+        self._index[key] = 0
+        self._sift_down(0)
+
+    def _heapify(self) -> None:
+        for i in range(len(self._vals) // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def _sift_up(self, i: int) -> None:
+        vals, keys, index = self._vals, self._keys, self._index
+        v, k = vals[i], keys[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if vals[parent] <= v:
+                break
+            vals[i], keys[i] = vals[parent], keys[parent]
+            index[keys[i]] = i
+            i = parent
+        vals[i], keys[i] = v, k
+        index[k] = i
+
+    def _sift_down(self, i: int) -> None:
+        vals, keys, index = self._vals, self._keys, self._index
+        n = len(vals)
+        v, k = vals[i], keys[i]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and vals[right] < vals[child]:
+                child = right
+            if vals[child] >= v:
+                break
+            vals[i], keys[i] = vals[child], keys[child]
+            index[keys[i]] = i
+            i = child
+        vals[i], keys[i] = v, k
+        index[k] = i
+
+    def __contains__(self, key: ItemId) -> bool:
+        return key in self._index
+
+    def query(self) -> List[Item]:
+        return sorted(
+            zip(self._keys, self._vals), key=lambda p: p[1], reverse=True
+        )
+
+    def take_evicted_keys(self) -> List[ItemId]:
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    @property
+    def name(self) -> str:
+        return "heap"
+
+
+class SkipListUpdatableReservoir(UpdatableReservoir):
+    """Skip-list flavour: updates remove the old node and reinsert —
+    O(log q), the paper's stronger baseline."""
+
+    def __init__(self, q: int, seed: int = 0x5EED) -> None:
+        self.q = q
+        self._list = SkipList(seed)
+        self._value_of: Dict[ItemId, Value] = {}
+        self._evicted: List[ItemId] = []
+
+    def set_value(self, key: ItemId, value: Value) -> None:
+        old = self._value_of.get(key)
+        if old is not None:
+            self._list.remove(old, key)
+            self._list.insert(value, key)
+            self._value_of[key] = value
+            return
+        if len(self._list) >= self.q:
+            if value <= self._list.min_value():
+                return
+            dropped_key, _ = self._list.pop_min()
+            del self._value_of[dropped_key]
+            self._evicted.append(dropped_key)
+        self._list.insert(value, key)
+        self._value_of[key] = value
+
+    def __contains__(self, key: ItemId) -> bool:
+        return key in self._value_of
+
+    def query(self) -> List[Item]:
+        return sorted(
+            self._value_of.items(), key=lambda p: p[1], reverse=True
+        )
+
+    def take_evicted_keys(self) -> List[ItemId]:
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    @property
+    def name(self) -> str:
+        return "skiplist"
+
+
+#: Updatable-reservoir backend names.
+UPDATABLE_BACKENDS = ("qmax", "heap", "skiplist")
+
+
+def make_updatable_reservoir(
+    backend: str, q: int, gamma: float = 0.25
+) -> UpdatableReservoir:
+    """Build an updatable reservoir by backend name."""
+    if backend == "qmax":
+        return QMaxUpdatableReservoir(q, gamma)
+    if backend == "heap":
+        return HeapUpdatableReservoir(q)
+    if backend == "skiplist":
+        return SkipListUpdatableReservoir(q)
+    raise ConfigurationError(
+        f"unknown backend {backend!r}; expected one of {UPDATABLE_BACKENDS}"
+    )

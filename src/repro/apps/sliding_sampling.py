@@ -1,0 +1,116 @@
+"""Slack-window priority sampling (§2.1's sliding extension).
+
+The paper notes that its slack-window q-MAX "extend[s] these methods
+[Priority Sampling / PBA] to slack windows": sampling the recent
+traffic is what load balancers and traffic-engineering loops actually
+need.  A priority sample over a window is straightforward with the
+block layout of Algorithm 3: per-key priorities are deterministic
+(``w/u(key)``), so merging per-block reservoirs yields exactly the
+priority sample of the covered suffix.
+
+:class:`SlidingPrioritySampler` keeps one (k+1)-reservoir per block and
+answers weighted subset-sum queries over the last ``W'`` items,
+``W(1-τ) <= W' <= W``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+from repro.apps.reservoirs import make_reservoir
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+from repro.types import ItemId, Value
+
+
+class SlidingPrioritySampler:
+    """Priority sample of the last ``~W`` stream items.
+
+    Keys are assumed distinct across the stream (e.g. packet ids — the
+    paper's OVS integration samples per packet); a key recurring across
+    blocks receives the same uniform and therefore the same priority,
+    so the merge keeps one copy.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        window: int,
+        tau: float,
+        backend: str = "qmax-amortized",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < tau <= 1.0:
+            raise ConfigurationError(f"tau must be in (0, 1], got {tau}")
+        self.k = k
+        self.window = window
+        self.tau = tau
+        self._n_blocks = max(1, math.ceil(1.0 / tau))
+        self._block_size = max(1, math.ceil(window / self._n_blocks))
+        make_block: Callable[[], QMaxBase] = lambda: make_reservoir(
+            backend, k + 1, gamma
+        )
+        self._blocks: List[QMaxBase] = [
+            make_block() for _ in range(self._n_blocks)
+        ]
+        self._uniform = UniformHasher(seed)
+        self._i = 0
+        self.processed = 0
+
+    def update(self, key: ItemId, weight: Value) -> None:
+        """Process one (key, weight) observation — O(1)."""
+        if weight <= 0:
+            raise ConfigurationError(
+                f"weights must be positive, got {weight}"
+            )
+        priority = weight / self._uniform.unit_open(key)
+        i = self._i
+        self._blocks[i // self._block_size].add((key, weight), priority)
+        i += 1
+        if i >= self._n_blocks * self._block_size:
+            i = 0
+        if i % self._block_size == 0:
+            self._blocks[i // self._block_size].reset()
+        self._i = i
+        self.processed += 1
+
+    def sample(self) -> Tuple[List[Tuple[ItemId, Value, float]], float]:
+        """Priority sample over the slack window: ``(entries, tau)``.
+
+        ``entries`` holds up to ``k`` tuples ``(key, weight, estimate)``
+        and ``tau`` is the (k+1)-st merged priority (0.0 while fewer
+        than k+1 windowed keys exist).
+        """
+        best = {}
+        for block in self._blocks:
+            for (key, weight), priority in block.query():
+                best[(key, weight)] = priority
+        merged = sorted(best.items(), key=lambda p: p[1], reverse=True)
+        if len(merged) > self.k:
+            threshold = merged[self.k][1]
+            merged = merged[: self.k]
+        else:
+            threshold = 0.0
+        entries = [
+            (key, weight, max(weight, threshold))
+            for (key, weight), _priority in merged
+        ]
+        return entries, threshold
+
+    def estimate_subset_sum(
+        self, predicate: Callable[[ItemId], bool]
+    ) -> float:
+        """Estimated total weight of matching keys in the window."""
+        entries, _ = self.sample()
+        return sum(est for key, _w, est in entries if predicate(key))
+
+    def estimate_total(self) -> float:
+        """Estimated total weight of the window."""
+        return self.estimate_subset_sum(lambda _key: True)

@@ -1,0 +1,138 @@
+"""Super-spreader and port-scan detection (§1, §2.3).
+
+The paper motivates count-distinct with "identifying a source IP that
+contacts many distinct ports is used to identify port-scanners", and
+network-wide views with super-spreader detection.  This module builds
+that application from the repository's parts:
+
+* per-source *fanout* (distinct destinations or ports) is estimated
+  with a small KMV reservoir per tracked source, and
+* the top-q sources by estimated fanout are maintained in an
+  *updatable* reservoir (fanout estimates only grow, so the §5.1
+  reinsert-and-merge-with-max scheme applies — the same pattern as
+  PBA).
+
+Memory is O(q·(1+γ)·kmv_size): only sources currently in the reservoir
+keep KMV state; an evicted source restarts if it reappears (bounded
+memory, no false *positives* from restarts — only delayed detection,
+the usual trade in scan detection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.apps.reservoirs import make_updatable_reservoir
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+
+
+class _MiniKMV:
+    """A tiny k-minimum-values cardinality estimator (sorted list —
+    k is small, so bisect-free insertion into a list wins)."""
+
+    __slots__ = ("k", "values")
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+        self.values: List[float] = []
+
+    def add(self, value: float) -> bool:
+        """Insert a hash value; returns True if the sketch changed."""
+        values = self.values
+        if value in values:
+            return False
+        if len(values) < self.k:
+            values.append(value)
+            values.sort()
+            return True
+        if value >= values[-1]:
+            return False
+        values.pop()
+        values.append(value)
+        values.sort()
+        return True
+
+    def estimate(self) -> float:
+        values = self.values
+        if len(values) < self.k:
+            return float(len(values))
+        return (self.k - 1) / values[-1]
+
+
+class SuperSpreaderDetector:
+    """Track the q sources with the largest distinct-destination fanout.
+
+    Parameters
+    ----------
+    q:
+        Number of top spreaders to maintain.
+    kmv_size:
+        Per-source KMV reservoir size (standard error ≈ 1/√(k−2)).
+    backend:
+        Updatable-reservoir backend (``qmax``/``heap``/``skiplist``).
+    """
+
+    def __init__(
+        self,
+        q: int,
+        kmv_size: int = 32,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if kmv_size < 2:
+            raise ConfigurationError(
+                f"kmv_size must be >= 2, got {kmv_size}"
+            )
+        self.q = q
+        self.kmv_size = kmv_size
+        self._reservoir = make_updatable_reservoir(backend, q, gamma)
+        self._uniform = UniformHasher(seed)
+        self._kmv_of: Dict[Hashable, _MiniKMV] = {}
+        self.processed = 0
+
+    def update(self, source: Hashable, destination: Hashable) -> None:
+        """Observe one (source, destination) contact (the hot path)."""
+        kmv = self._kmv_of.get(source)
+        if kmv is None:
+            kmv = _MiniKMV(self.kmv_size)
+            self._kmv_of[source] = kmv
+        # The destination hash is source-independent so the same dest
+        # always maps to the same value (per-source dedup for free).
+        if kmv.add(self._uniform.unit_open(destination)):
+            self._reservoir.set_value(source, kmv.estimate())
+            for evicted in self._reservoir.take_evicted_keys():
+                self._kmv_of.pop(evicted, None)
+        self.processed += 1
+
+    def top_spreaders(self) -> List[Tuple[Hashable, float]]:
+        """Sources with the largest estimated fanout, descending."""
+        return [
+            (source, estimate)
+            for source, estimate in self._reservoir.query()
+            if source in self._kmv_of
+        ][: self.q]
+
+    def fanout_of(self, source: Hashable) -> float:
+        """Current fanout estimate of a tracked source (0 if untracked)."""
+        kmv = self._kmv_of.get(source)
+        return kmv.estimate() if kmv is not None else 0.0
+
+    def scanners(self, threshold: float) -> List[Tuple[Hashable, float]]:
+        """Tracked sources whose fanout estimate exceeds ``threshold``
+        (the port-scan alarm query)."""
+        if threshold <= 0:
+            raise ConfigurationError("threshold must be positive")
+        return [
+            (source, estimate)
+            for source, estimate in self.top_spreaders()
+            if estimate >= threshold
+        ]
+
+    @property
+    def tracked_sources(self) -> int:
+        """Number of sources currently holding KMV state."""
+        return len(self._kmv_of)

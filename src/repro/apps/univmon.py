@@ -1,0 +1,135 @@
+"""Universal Monitoring sketch (Liu et al., SIGCOMM 2016) — §2.4.
+
+UnivMon answers a whole family of metrics from one structure.  It keeps
+``L`` levels; level ``ℓ`` sees the substream of keys whose sampling
+hash has ``ℓ`` trailing one-bits (so each level halves the expected
+substream).  Every level holds a Count Sketch plus a top-``q`` heavy-
+hitter tracker keyed by the sketch's running frequency estimate.  A
+G-sum ``Σ g(f_x)`` is estimated by the recursive unbiased estimator
+
+    Y_L = Σ_{HH at level L} g(ŵ)
+    Y_ℓ = 2·Y_{ℓ+1} + Σ_{HH at level ℓ} g(ŵ)·(1 − 2·[x sampled at ℓ+1])
+
+The heavy-hitter tracker is exactly the q-MAX pattern *with value
+updates* (an item's estimate changes every time it recurs), so the
+backend is a :class:`repro.apps.reservoirs.UpdatableReservoir` — the
+paper removes the tracker's logarithmic heap cost with q-MAX.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List
+
+from repro.apps.reservoirs import make_updatable_reservoir
+from repro.errors import ConfigurationError
+from repro.hashing.mix import key_to_u64, mix64
+from repro.sketches.count_sketch import CountSketch
+
+
+class UnivMon:
+    """Universal sketch with pluggable heavy-hitter reservoirs.
+
+    Parameters
+    ----------
+    levels:
+        Number of substream levels ``L`` (≈ log2 of the expected number
+        of distinct keys for full generality).
+    q:
+        Heavy hitters tracked per level.
+    width / depth:
+        Count Sketch dimensions per level.
+    backend:
+        Heavy-hitter reservoir backend (``qmax``/``heap``/``skiplist``).
+    """
+
+    def __init__(
+        self,
+        levels: int = 8,
+        q: int = 64,
+        width: int = 1024,
+        depth: int = 5,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.levels = levels
+        self.q = q
+        self._sketches = [
+            CountSketch(width, depth, seed=seed * 131 + lvl)
+            for lvl in range(levels)
+        ]
+        self._trackers = [
+            make_updatable_reservoir(backend, q, gamma)
+            for _ in range(levels)
+        ]
+        self._sample_seed = mix64(seed ^ 0x5A17)
+        self.total = 0
+
+    def _level_of(self, key: Hashable) -> int:
+        """Deepest level the key belongs to (trailing ones of its hash).
+
+        Level 0 contains every key; level ℓ those with ℓ trailing ones.
+        """
+        h = key_to_u64(key, self._sample_seed)
+        # Count trailing ones, capped at levels-1.
+        trailing = (~h & (h + 1)).bit_length() - 1
+        return min(trailing, self.levels - 1)
+
+    def update(self, key: Hashable, count: int = 1) -> None:
+        """Process one key occurrence (the hot path)."""
+        deepest = self._level_of(key)
+        for lvl in range(deepest + 1):
+            sketch = self._sketches[lvl]
+            sketch.update(key, count)
+            estimate = sketch.estimate(key)
+            if estimate > 0:
+                self._trackers[lvl].set_value(key, float(estimate))
+        self.total += count
+
+    def heavy_hitters(self, level: int = 0) -> List:
+        """The tracked heavy hitters of a level: (key, estimate)."""
+        return self._trackers[level].query()
+
+    def estimate_gsum(self, g: Callable[[float], float]) -> float:
+        """Unbiased recursive estimate of ``Σ_x g(f_x)``."""
+        estimate = 0.0
+        for lvl in range(self.levels - 1, -1, -1):
+            level_sum = 0.0
+            for key, est in self._trackers[lvl].query():
+                sampled_deeper = self._level_of(key) > lvl
+                indicator = 1.0 - 2.0 * (1.0 if sampled_deeper else 0.0)
+                level_sum += g(est) * indicator
+            if lvl == self.levels - 1:
+                estimate = sum(
+                    g(est) for _k, est in self._trackers[lvl].query()
+                )
+            else:
+                estimate = 2.0 * estimate + level_sum
+        return estimate
+
+    def estimate_f2(self) -> float:
+        """Second frequency moment ``Σ f_x²``."""
+        return self.estimate_gsum(lambda x: x * x)
+
+    def estimate_distinct(self) -> float:
+        """Number of distinct keys (``g(x) = 1`` for ``x > 0``)."""
+        return self.estimate_gsum(lambda x: 1.0 if x > 0 else 0.0)
+
+    def estimate_entropy(self) -> float:
+        """Empirical Shannon entropy of the frequency distribution."""
+        if self.total == 0:
+            return 0.0
+        n = float(self.total)
+        gsum = self.estimate_gsum(
+            lambda x: x * math.log2(x) if x > 0 else 0.0
+        )
+        return max(0.0, math.log2(n) - gsum / n)
+
+    @property
+    def backend_name(self) -> str:
+        return self._trackers[0].name

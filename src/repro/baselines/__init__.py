@@ -1,0 +1,20 @@
+"""Baseline implementations of the q-MAX interface.
+
+These are the structures the paper measures against: a size-q binary
+min-heap (the "standard C++ algorithm library" baseline), a skip list,
+and a sorted array standing in for balanced search trees.  All are
+written from scratch so the comparison exercises the same language
+runtime as the q-MAX implementations.
+"""
+
+from repro.baselines.heap import HeapQMax, IndexedHeap
+from repro.baselines.skiplist import SkipList, SkipListQMax
+from repro.baselines.sortedlist import SortedListQMax
+
+__all__ = [
+    "HeapQMax",
+    "IndexedHeap",
+    "SkipList",
+    "SkipListQMax",
+    "SortedListQMax",
+]

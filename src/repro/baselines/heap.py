@@ -1,0 +1,243 @@
+"""Heap baselines.
+
+:class:`HeapQMax` is the paper's Heap baseline: a binary *min*-heap of
+at most ``q`` items keyed by value.  An arriving item beats the root or
+is discarded; beating it costs one sift-down, i.e. O(log q) — the
+logarithmic update the paper's q-MAX removes.
+
+:class:`IndexedHeap` is a general addressable binary heap (push /
+pop-min / update-key / remove) used by the classic LRFU implementation
+(§2.7, scores change on every access) and by the DBM application
+(§2.5, merging buckets changes neighbouring pair errors).  It is the
+"priority queue that supports sifts" whose absence from ``std::`` the
+paper notes makes the naive C++ Heap baseline O(q) for those
+applications.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError, EmptyStructureError, InvariantError
+from repro.types import Item, ItemId, Value
+
+
+class HeapQMax(QMaxBase):
+    """Size-q binary min-heap maintaining the q largest stream values."""
+
+    __slots__ = ("q", "_vals", "_ids", "_track_evictions", "_evicted")
+
+    def __init__(self, q: int, track_evictions: bool = False) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.q = q
+        self._track_evictions = track_evictions
+        self.reset()
+
+    def reset(self) -> None:
+        self._vals: List[Value] = []
+        self._ids: List[ItemId] = []
+        self._evicted: List[Item] = []
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """O(log q): insert if the heap is short or ``val`` beats the min."""
+        vals = self._vals
+        if len(vals) < self.q:
+            vals.append(val)
+            self._ids.append(item_id)
+            self._sift_up(len(vals) - 1)
+            return
+        if val <= vals[0]:
+            if self._track_evictions:
+                self._evicted.append((item_id, val))
+            return
+        if self._track_evictions:
+            self._evicted.append((self._ids[0], vals[0]))
+        vals[0] = val
+        self._ids[0] = item_id
+        self._sift_down(0)
+
+    def _sift_up(self, i: int) -> None:
+        vals, ids = self._vals, self._ids
+        v, d = vals[i], ids[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if vals[parent] <= v:
+                break
+            vals[i] = vals[parent]
+            ids[i] = ids[parent]
+            i = parent
+        vals[i] = v
+        ids[i] = d
+
+    def _sift_down(self, i: int) -> None:
+        vals, ids = self._vals, self._ids
+        n = len(vals)
+        v, d = vals[i], ids[i]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and vals[right] < vals[child]:
+                child = right
+            if vals[child] >= v:
+                break
+            vals[i] = vals[child]
+            ids[i] = ids[child]
+            i = child
+        vals[i] = v
+        ids[i] = d
+
+    def items(self) -> Iterator[Item]:
+        return iter(zip(self._ids, self._vals))
+
+    def take_evicted(self) -> List[Item]:
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    @property
+    def name(self) -> str:
+        return "heap"
+
+    def check_invariants(self) -> None:
+        vals = self._vals
+        for i in range(1, len(vals)):
+            if vals[(i - 1) >> 1] > vals[i]:
+                raise InvariantError(f"heap order violated at index {i}")
+        if len(vals) > self.q:
+            raise InvariantError("heap grew beyond q")
+
+
+class IndexedHeap:
+    """Addressable binary min-heap: update-key and remove in O(log n).
+
+    Keys are hashable ids; priorities are totally ordered values.  Used
+    by classic LRFU (decrease/increase-key on every cache hit) and by
+    the DBM bucket-merge monitor.
+    """
+
+    __slots__ = ("_vals", "_ids", "_pos")
+
+    def __init__(self) -> None:
+        self._vals: List[Value] = []
+        self._ids: List[ItemId] = []
+        self._pos: Dict[ItemId, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._vals)
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        return item_id in self._pos
+
+    def push(self, item_id: ItemId, val: Value) -> None:
+        """Insert a new id (must not be present)."""
+        if item_id in self._pos:
+            raise ConfigurationError(f"id {item_id!r} already in heap")
+        self._vals.append(val)
+        self._ids.append(item_id)
+        self._pos[item_id] = len(self._vals) - 1
+        self._sift_up(len(self._vals) - 1)
+
+    def peek_min(self) -> Item:
+        """The (id, value) with the minimal value, without removing it."""
+        if not self._vals:
+            raise EmptyStructureError("peek on empty IndexedHeap")
+        return self._ids[0], self._vals[0]
+
+    def pop_min(self) -> Item:
+        """Remove and return the (id, value) with the minimal value."""
+        if not self._vals:
+            raise EmptyStructureError("pop on empty IndexedHeap")
+        result = (self._ids[0], self._vals[0])
+        self._remove_at(0)
+        return result
+
+    def value_of(self, item_id: ItemId) -> Value:
+        """Current priority of ``item_id``."""
+        return self._vals[self._pos[item_id]]
+
+    def update(self, item_id: ItemId, val: Value) -> None:
+        """Change the priority of an existing id (any direction)."""
+        i = self._pos[item_id]
+        old = self._vals[i]
+        self._vals[i] = val
+        if val < old:
+            self._sift_up(i)
+        elif val > old:
+            self._sift_down(i)
+
+    def remove(self, item_id: ItemId) -> Value:
+        """Remove an id, returning its priority."""
+        i = self._pos[item_id]
+        val = self._vals[i]
+        self._remove_at(i)
+        return val
+
+    def items(self) -> Iterator[Item]:
+        return iter(zip(self._ids, self._vals))
+
+    def _remove_at(self, i: int) -> None:
+        vals, ids, pos = self._vals, self._ids, self._pos
+        del pos[ids[i]]
+        last_val, last_id = vals.pop(), ids.pop()
+        if i < len(vals):
+            old = vals[i]
+            vals[i] = last_val
+            ids[i] = last_id
+            pos[last_id] = i
+            if last_val < old:
+                self._sift_up(i)
+            else:
+                self._sift_down(i)
+
+    def _sift_up(self, i: int) -> None:
+        vals, ids, pos = self._vals, self._ids, self._pos
+        v, d = vals[i], ids[i]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if vals[parent] <= v:
+                break
+            vals[i] = vals[parent]
+            ids[i] = ids[parent]
+            pos[ids[i]] = i
+            i = parent
+        vals[i] = v
+        ids[i] = d
+        pos[d] = i
+
+    def _sift_down(self, i: int) -> None:
+        vals, ids, pos = self._vals, self._ids, self._pos
+        n = len(vals)
+        v, d = vals[i], ids[i]
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and vals[right] < vals[child]:
+                child = right
+            if vals[child] >= v:
+                break
+            vals[i] = vals[child]
+            ids[i] = ids[child]
+            pos[ids[i]] = i
+            i = child
+        vals[i] = v
+        ids[i] = d
+        pos[d] = i
+
+    def check_invariants(self) -> None:
+        vals, ids, pos = self._vals, self._ids, self._pos
+        for i in range(1, len(vals)):
+            if vals[(i - 1) >> 1] > vals[i]:
+                raise InvariantError(f"heap order violated at index {i}")
+        if len(pos) != len(vals):
+            raise InvariantError("position map size mismatch")
+        for item_id, i in pos.items():
+            if ids[i] != item_id:
+                raise InvariantError(f"position map stale for {item_id!r}")

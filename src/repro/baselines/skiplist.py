@@ -1,0 +1,213 @@
+"""Skip list baseline (the paper's SkipList comparator).
+
+A from-scratch probabilistic skip list ordered ascending by value, with
+a deterministic seeded level generator so runs are reproducible.  The
+q-MAX adapter keeps at most ``q`` nodes: an arriving item either beats
+the current minimum (head successor) and is inserted in O(log q), or is
+discarded in O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError, EmptyStructureError, InvariantError
+from repro.hashing.mix import mix64
+from repro.types import Item, ItemId, Value
+
+_MAX_LEVEL = 32
+
+
+class _Node:
+    __slots__ = ("val", "item_id", "forward")
+
+    def __init__(self, val: Value, item_id: ItemId, level: int) -> None:
+        self.val = val
+        self.item_id = item_id
+        self.forward: List[Optional[_Node]] = [None] * level
+
+
+class SkipList:
+    """Ascending-by-value skip list with duplicate values allowed."""
+
+    __slots__ = ("_head", "_level", "_size", "_rng_state")
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._head = _Node(float("-inf"), None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._rng_state = mix64(seed) | 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_level(self) -> int:
+        """Geometric(1/2) level from a 64-bit xorshift stream."""
+        x = self._rng_state
+        x ^= (x << 13) & 0xFFFFFFFFFFFFFFFF
+        x ^= x >> 7
+        x ^= (x << 17) & 0xFFFFFFFFFFFFFFFF
+        self._rng_state = x
+        level = 1
+        while x & 1 and level < _MAX_LEVEL:
+            level += 1
+            x >>= 1
+        return level
+
+    def insert(self, val: Value, item_id: ItemId) -> None:
+        """O(log n) expected insertion."""
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.val < val:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new = _Node(val, item_id, level)
+        for lvl in range(level):
+            new.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = new
+        self._size += 1
+
+    def min_value(self) -> Value:
+        """Smallest value in O(1)."""
+        first = self._head.forward[0]
+        if first is None:
+            raise EmptyStructureError("min of empty skip list")
+        return first.val
+
+    def pop_min(self) -> Item:
+        """Remove and return the (id, value) with the smallest value."""
+        first = self._head.forward[0]
+        if first is None:
+            raise EmptyStructureError("pop from empty skip list")
+        for lvl in range(len(first.forward)):
+            self._head.forward[lvl] = first.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return first.item_id, first.val
+
+    def remove(self, val: Value, item_id: ItemId) -> bool:
+        """Remove one node with exactly this (value, id); O(log n).
+
+        Returns False when no such node exists.  Needed by applications
+        that update a key's value (PBA, LRFU): the skip-list baseline
+        removes the old entry and reinserts the new one.
+        """
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.forward[lvl]
+            while nxt is not None and nxt.val < val:
+                node = nxt
+                nxt = node.forward[lvl]
+            update[lvl] = node
+        # Walk equal-valued nodes at level 0 to match the id.
+        target = update[0].forward[0]
+        while target is not None and target.val == val:
+            if target.item_id == item_id:
+                break
+            target = target.forward[0]
+        else:
+            return False
+        if target is None:
+            return False
+        # Re-walk each level's predecessor up to the exact target node.
+        for lvl in range(len(target.forward)):
+            node = update[lvl]
+            while node.forward[lvl] is not target:
+                node = node.forward[lvl]
+                if node is None:  # pragma: no cover - defensive
+                    return False
+            node.forward[lvl] = target.forward[lvl]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def __iter__(self) -> Iterator[Item]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.item_id, node.val
+            node = node.forward[0]
+
+    def check_invariants(self) -> None:
+        count = 0
+        prev_val = float("-inf")
+        node = self._head.forward[0]
+        while node is not None:
+            if node.val < prev_val:
+                raise InvariantError("skip list order violated")
+            prev_val = node.val
+            count += 1
+            node = node.forward[0]
+        if count != self._size:
+            raise InvariantError(
+                f"size counter {self._size} != actual {count}"
+            )
+        # Every higher-level chain must be a subsequence of level 0.
+        for lvl in range(1, self._level):
+            node = self._head.forward[lvl]
+            prev = float("-inf")
+            while node is not None:
+                if node.val < prev:
+                    raise InvariantError(f"order violated at level {lvl}")
+                prev = node.val
+                node = node.forward[lvl]
+
+
+class SkipListQMax(QMaxBase):
+    """q-MAX via a size-bounded skip list (the paper's baseline)."""
+
+    __slots__ = ("q", "_list", "_seed", "_track_evictions", "_evicted")
+
+    def __init__(
+        self, q: int, seed: int = 0x5EED, track_evictions: bool = False
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.q = q
+        self._seed = seed
+        self._track_evictions = track_evictions
+        self.reset()
+
+    def reset(self) -> None:
+        self._list = SkipList(self._seed)
+        self._evicted: List[Item] = []
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        lst = self._list
+        if len(lst) >= self.q:
+            if val <= lst.min_value():
+                if self._track_evictions:
+                    self._evicted.append((item_id, val))
+                return
+            dropped = lst.pop_min()
+            if self._track_evictions:
+                self._evicted.append(dropped)
+        lst.insert(val, item_id)
+
+    def items(self) -> Iterator[Item]:
+        return iter(self._list)
+
+    def take_evicted(self) -> List[Item]:
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    @property
+    def name(self) -> str:
+        return "skiplist"
+
+    def check_invariants(self) -> None:
+        self._list.check_invariants()
+        if len(self._list) > self.q:
+            raise InvariantError("skip list grew beyond q")

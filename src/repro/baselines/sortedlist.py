@@ -1,0 +1,75 @@
+"""Sorted-array baseline (the balanced-search-tree stand-in).
+
+The paper groups balanced search trees with heaps and skip lists as the
+"standard data structures" q-MAX replaces.  In Python the closest
+honest comparator is a bisect-maintained sorted array: O(log q) search
+plus O(q) shifting per insert (``list.insert`` memmove) — the same
+asymptotic family, with very low constants for small q.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator, List, Tuple
+
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError, InvariantError
+from repro.types import Item, ItemId, Value
+
+
+class SortedListQMax(QMaxBase):
+    """q-MAX via a sorted array of ``(value, seq, id)`` triples.
+
+    The ``seq`` tiebreaker guarantees tuple comparison never reaches the
+    (possibly unorderable) id.
+    """
+
+    __slots__ = ("q", "_entries", "_seq", "_track_evictions", "_evicted")
+
+    def __init__(self, q: int, track_evictions: bool = False) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.q = q
+        self._track_evictions = track_evictions
+        self.reset()
+
+    def reset(self) -> None:
+        self._entries: List[Tuple[Value, int, ItemId]] = []
+        self._seq = 0
+        self._evicted: List[Item] = []
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        entries = self._entries
+        if len(entries) >= self.q:
+            if val <= entries[0][0]:
+                if self._track_evictions:
+                    self._evicted.append((item_id, val))
+                return
+            dropped = entries.pop(0)
+            if self._track_evictions:
+                self._evicted.append((dropped[2], dropped[0]))
+        self._seq += 1
+        insort(entries, (val, self._seq, item_id))
+
+    def items(self) -> Iterator[Item]:
+        for val, _, item_id in self._entries:
+            yield item_id, val
+
+    def take_evicted(self) -> List[Item]:
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def name(self) -> str:
+        return "sortedlist"
+
+    def check_invariants(self) -> None:
+        entries = self._entries
+        for i in range(1, len(entries)):
+            if entries[i - 1] > entries[i]:
+                raise InvariantError("sorted order violated")
+        if len(entries) > self.q:
+            raise InvariantError("sorted list grew beyond q")

@@ -1,0 +1,32 @@
+"""Benchmark substrate: throughput measurement, statistics, reporting.
+
+The paper reports throughput in Millions of Packets Per Second (MPPS)
+with 99% Student-t confidence intervals over ten repetitions; this
+package provides the measurement loop, the statistics, the shared
+workload builders, and paper-style table/series printers used by every
+file under ``benchmarks/``.
+"""
+
+from repro.bench.runner import Measurement, measure_throughput, mpps
+from repro.bench.stats import confidence_interval, summarize
+from repro.bench.workloads import (
+    scale,
+    scaled,
+    trace_streams,
+    value_stream,
+)
+from repro.bench.reporting import print_series, print_table
+
+__all__ = [
+    "Measurement",
+    "measure_throughput",
+    "mpps",
+    "confidence_interval",
+    "summarize",
+    "scale",
+    "scaled",
+    "trace_streams",
+    "value_stream",
+    "print_series",
+    "print_table",
+]

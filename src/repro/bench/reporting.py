@@ -1,0 +1,106 @@
+"""Paper-style table and series printers for benchmark output.
+
+Every benchmark prints the same rows/series the corresponding paper
+table or figure reports, so `pytest benchmarks/ --benchmark-only -s`
+regenerates a textual version of the evaluation section.
+
+Set ``REPRO_CSV_DIR=<dir>`` to additionally write each table as a CSV
+file (named from a slug of its title) — the plotting-tool-friendly
+export used to regenerate figures outside this repository.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _slugify(title: str) -> str:
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-")
+    return slug[:80] or "table"
+
+
+def _maybe_export_csv(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> None:
+    directory = os.environ.get("REPRO_CSV_DIR")
+    if not directory:
+        return
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / f"{_slugify(title)}.csv").write_text(
+        to_csv(columns, rows), encoding="utf-8"
+    )
+
+
+def _format_cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def print_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Print (and return) an aligned text table."""
+    widths = [
+        max(len(str(col)), *(len(_format_cell(row[i], 0).strip())
+                             for row in rows)) if rows else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    lines = [f"\n=== {title} ==="]
+    lines.append(
+        "  ".join(str(col).rjust(w) for col, w in zip(columns, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(
+                _format_cell(cell, w) for cell, w in zip(row, widths)
+            )
+        )
+    text = "\n".join(lines)
+    print(text)
+    _maybe_export_csv(title, columns, rows)
+    return text
+
+
+def to_csv(
+    columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a table as CSV text (plotting-tool friendly).
+
+    Cells containing commas, quotes or newlines are quoted per RFC 4180.
+    """
+
+    def cell(value: object) -> str:
+        text = f"{value:.6g}" if isinstance(value, float) else str(value)
+        if any(ch in text for ch in ',"\n'):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(c) for c in columns)]
+    lines.extend(",".join(cell(c) for c in row) for row in rows)
+    return "\n".join(lines) + "\n"
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[Number],
+    series: Dict[str, Sequence[Number]],
+) -> str:
+    """Print a figure as one table: x column plus one column per line."""
+    columns = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    return print_table(title, columns, rows)

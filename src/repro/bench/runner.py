@@ -1,0 +1,123 @@
+"""Throughput measurement for the paper-style benchmarks.
+
+``measure_throughput`` times a callable over a workload several times
+and reports MPPS with the paper's 99% confidence interval.  It is
+deliberately simple — wall-clock around a tight loop — because every
+figure in the paper is a *relative* comparison between backends run
+through the identical harness.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.bench.stats import confidence_interval
+from repro.errors import ConfigurationError
+from repro.types import Item
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Result of one throughput measurement."""
+
+    label: str
+    n_items: int
+    seconds_per_run: Tuple[float, ...]
+    confidence: float = 0.99
+
+    @property
+    def mpps(self) -> float:
+        """Mean throughput in millions of items per second."""
+        mean_s, _ = confidence_interval(self.seconds_per_run,
+                                        self.confidence)
+        return self.n_items / mean_s / 1e6
+
+    @property
+    def mpps_ci(self) -> Tuple[float, float]:
+        """(mean, halfwidth) of the per-run MPPS distribution."""
+        rates = [self.n_items / s / 1e6 for s in self.seconds_per_run]
+        return confidence_interval(rates, self.confidence)
+
+    def __str__(self) -> str:
+        mean, half = self.mpps_ci
+        return f"{self.label}: {mean:.3f} ± {half:.3f} MPPS"
+
+
+def mpps(n_items: int, seconds: float) -> float:
+    """Millions of items per second."""
+    return n_items / seconds / 1e6
+
+
+def measure_throughput(
+    label: str,
+    make_consumer: Callable[[], Callable[[object, float], None]],
+    stream: Sequence[Item],
+    repeats: int = 3,
+    confidence: float = 0.99,
+) -> Measurement:
+    """Time ``consumer(id, value)`` over ``stream``, ``repeats`` times.
+
+    ``make_consumer`` builds a *fresh* consumer per run (a bound
+    ``add``/``update`` method) so runs are independent, as in the
+    paper's methodology.
+    """
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    if not stream:
+        raise ConfigurationError("stream must be non-empty")
+    times: List[float] = []
+    for _ in range(repeats):
+        consumer = make_consumer()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for item_id, value in stream:
+                consumer(item_id, value)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        times.append(elapsed)
+    return Measurement(
+        label=label,
+        n_items=len(stream),
+        seconds_per_run=tuple(times),
+        confidence=confidence,
+    )
+
+
+def measure_callable(
+    label: str,
+    make_runner: Callable[[], Callable[[], int]],
+    repeats: int = 3,
+    confidence: float = 0.99,
+) -> Measurement:
+    """Variant for workloads that drive themselves (e.g. the datapath).
+
+    ``make_runner`` returns a zero-argument callable that processes its
+    workload and returns the number of items processed.
+    """
+    if repeats < 1:
+        raise ConfigurationError("repeats must be >= 1")
+    times: List[float] = []
+    n_items = 0
+    for _ in range(repeats):
+        runner = make_runner()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            n_items = runner()
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        times.append(elapsed)
+    if n_items <= 0:
+        raise ConfigurationError("runner processed no items")
+    return Measurement(
+        label=label,
+        n_items=n_items,
+        seconds_per_run=tuple(times),
+        confidence=confidence,
+    )

@@ -1,0 +1,43 @@
+"""Statistics for benchmark reporting.
+
+The paper: "We ran each data point ten times, and we report the mean
+and 99% confidence intervals according to Student's t-test."  The same
+computation lives here (scipy provides the t quantile).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from scipy import stats as _scipy_stats
+
+from repro.errors import ConfigurationError
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.99
+) -> Tuple[float, float]:
+    """Mean and half-width of the Student-t confidence interval.
+
+    With a single sample the half-width is reported as 0 (no spread
+    information), matching common bench-harness behaviour.
+    """
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = float(_scipy_stats.t.ppf((1 + confidence) / 2, df=n - 1))
+    return mean, t_crit * sem
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.99) -> str:
+    """Human-readable ``mean ± halfwidth`` string."""
+    mean, half = confidence_interval(samples, confidence)
+    return f"{mean:.3f} ± {half:.3f}"

@@ -1,0 +1,70 @@
+"""Shared workload builders for the benchmark suite.
+
+All sizes honour the ``REPRO_SCALE`` environment variable (a float,
+default 1.0): the defaults are laptop-scale versions of the paper's
+150M-item streams (DESIGN.md §2 documents the scaling substitution);
+setting ``REPRO_SCALE=10`` (or more) pushes every benchmark toward the
+paper's regimes.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.traffic.cache_trace import generate_cache_trace
+from repro.traffic.synthetic import (
+    PROFILES,
+    generate_packets,
+    generate_value_stream,
+)
+
+
+def scale() -> float:
+    """The global benchmark scale factor from ``REPRO_SCALE``."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    """Scale a default size by the global factor."""
+    return max(minimum, int(n * scale()))
+
+
+@lru_cache(maxsize=8)
+def value_stream(n: int, seed: int = 0) -> Tuple[Tuple[int, float], ...]:
+    """Cached random value stream (the paper's synthetic workload)."""
+    return tuple(generate_value_stream(n, seed))
+
+
+@lru_cache(maxsize=8)
+def trace_streams(
+    n: int, seed: int = 0
+) -> Dict[str, Tuple[Tuple[int, int], ...]]:
+    """(key, weight) streams for the three trace profiles.
+
+    Key = source IP, weight = packet size — the paper's convention.
+    """
+    streams = {}
+    for name, profile in PROFILES.items():
+        packets = generate_packets(
+            profile, n, seed=seed, n_flows=max(64, n // 20)
+        )
+        streams[name] = tuple((p.src_ip, p.size) for p in packets)
+    return streams
+
+
+@lru_cache(maxsize=4)
+def cache_stream(n: int, seed: int = 0) -> Tuple[int, ...]:
+    """Cached P1-ARC-style cache trace."""
+    return tuple(generate_cache_trace(n, n_keys=max(256, n // 4),
+                                      seed=seed))
+
+
+@lru_cache(maxsize=4)
+def packet_trace(n: int, profile: str = "caida16", seed: int = 0):
+    """Cached full-packet trace for the switch benchmarks."""
+    return tuple(
+        generate_packets(PROFILES[profile], n, seed=seed,
+                         n_flows=max(64, n // 20))
+    )

@@ -1,0 +1,291 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Sub-commands wire the library's pieces into end-to-end workflows a
+network operator would actually run:
+
+* ``gen-trace``   — synthesize a trace (CAIDA/UNIV1-style) into a pcap.
+* ``top-flows``   — top-q flows of a pcap by byte volume (q-MAX).
+* ``heavy-hitters`` — network-wide heavy hitters from one or more pcaps
+  (each file acts as one NMP; reports are merged without double
+  counting by packet id).
+* ``distinct``    — KMV estimate of distinct sources in a pcap.
+* ``cache-sim``   — LRFU hit-ratio simulation on a synthetic trace.
+* ``bench``       — a quick q-MAX vs heap vs skip-list sweep.
+
+Every command prints a small table to stdout and exits 0 on success;
+argument errors exit 2 (argparse) and data errors exit 1 with a message
+on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    from repro.traffic import PROFILES, generate_packets, write_pcap
+
+    profile = PROFILES[args.profile]
+    packets = generate_packets(
+        profile, args.packets, seed=args.seed,
+        n_flows=args.flows or None,
+    )
+    count = write_pcap(args.output, packets)
+    print(f"wrote {count} {profile.name}-style packets to {args.output}")
+    return 0
+
+
+def _cmd_top_flows(args: argparse.Namespace) -> int:
+    from repro.apps.pba import PriorityBasedAggregation
+    from repro.traffic import read_pcap
+    from repro.traffic.packet import ip_to_str
+
+    packets = read_pcap(args.pcap)
+    pba = PriorityBasedAggregation(args.q, backend=args.backend,
+                                   seed=args.seed)
+    for pkt in packets:
+        pba.update(pkt.src_ip, pkt.size)
+    print(f"{'source':>16} {'bytes (sampled est.)':>22}")
+    for src, _w, estimate in pba.sample()[: args.q]:
+        print(f"{ip_to_str(src):>16} {estimate:>22,.0f}")
+    return 0
+
+
+def _cmd_heavy_hitters(args: argparse.Namespace) -> int:
+    from repro.netwide import Controller, MeasurementPoint
+    from repro.traffic import read_pcap
+    from repro.traffic.packet import ip_to_str
+
+    nmps = []
+    for path in args.pcaps:
+        nmp = MeasurementPoint(args.q, backend=args.backend,
+                               seed=args.seed, name=path)
+        for pkt in read_pcap(path):
+            nmp.observe(pkt)
+        nmps.append(nmp)
+    controller = Controller(args.q)
+    heavy = controller.heavy_hitters(nmps, theta=args.theta,
+                                     epsilon=args.epsilon)
+    print(
+        f"network-wide heavy hitters over {len(nmps)} NMP(s), "
+        f"theta={args.theta:g}, epsilon={args.epsilon:g}:"
+    )
+    print(f"{'flow (src ip)':>16} {'est. packets':>13}")
+    for flow, estimate in heavy:
+        print(f"{ip_to_str(flow):>16} {estimate:>13.0f}")
+    return 0
+
+
+def _cmd_distinct(args: argparse.Namespace) -> int:
+    from repro.apps.count_distinct import CountDistinct
+    from repro.traffic import read_pcap
+
+    counter = CountDistinct(args.q, backend=args.backend, seed=args.seed)
+    packets = read_pcap(args.pcap)
+    for pkt in packets:
+        counter.update(pkt.src_ip)
+    print(
+        f"{len(packets)} packets, ~{counter.estimate():.0f} distinct "
+        f"sources (KMV, q={args.q})"
+    )
+    return 0
+
+
+def _cmd_cache_sim(args: argparse.Namespace) -> int:
+    from repro.apps.lrfu import make_lrfu
+    from repro.traffic import generate_cache_trace
+
+    trace = generate_cache_trace(args.requests, n_keys=args.keys,
+                                 seed=args.seed)
+    print(f"{'backend':>18} {'hit ratio':>10}")
+    for backend in args.backends:
+        cache = make_lrfu(backend, args.capacity, decay=args.decay,
+                          gamma=args.gamma)
+        for key in trace:
+            cache.access(key)
+        print(f"{backend:>18} {cache.hit_ratio:>10.1%}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.traffic import read_pcap
+    from repro.traffic.stats import compute_stats, size_histogram
+
+    packets = read_pcap(args.pcap)
+    stats = compute_stats(packets)
+    for label, value in stats.as_rows():
+        print(f"{label:>20}: {value}")
+    print(f"{'size histogram':>20}:")
+    for bucket, fraction in size_histogram(packets).items():
+        print(f"{bucket:>20}  {fraction:.1%}")
+    return 0
+
+
+def _cmd_scan_detect(args: argparse.Namespace) -> int:
+    from repro.apps.superspreader import SuperSpreaderDetector
+    from repro.traffic import read_pcap
+    from repro.traffic.packet import ip_to_str
+
+    detector = SuperSpreaderDetector(
+        args.q, kmv_size=args.kmv, backend=args.backend, seed=args.seed
+    )
+    for pkt in read_pcap(args.pcap):
+        detector.update(pkt.src_ip, (pkt.dst_ip, pkt.dst_port))
+    alarms = detector.scanners(args.threshold)
+    if not alarms:
+        print(f"no sources above fanout {args.threshold:g}")
+        return 0
+    print(f"{'source':>16} {'~distinct destinations':>23}")
+    for source, fanout in alarms:
+        print(f"{ip_to_str(source):>16} {fanout:>23.0f}")
+    return 0
+
+
+def _cmd_export_netflow(args: argparse.Namespace) -> int:
+    from repro.apps.pba import PriorityBasedAggregation
+    from repro.traffic import read_pcap
+    from repro.traffic.netflow import encode_packets, records_from_sample
+
+    pba = PriorityBasedAggregation(args.q, backend=args.backend,
+                                   seed=args.seed)
+    for pkt in read_pcap(args.pcap):
+        pba.update(pkt.src_ip, pkt.size)
+    packets = encode_packets(records_from_sample(pba.sample()))
+    with open(args.output, "wb") as fh:
+        for blob in packets:
+            fh.write(blob)
+    print(
+        f"exported {min(args.q, len(pba.sample()))} flow records in "
+        f"{len(packets)} NetFlow v5 packet(s) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.baselines.heap import HeapQMax
+    from repro.baselines.skiplist import SkipListQMax
+    from repro.bench.runner import measure_throughput
+    from repro.core.qmax import QMax
+    from repro.traffic import generate_value_stream
+
+    stream = generate_value_stream(args.items, seed=args.seed)
+    print(f"{'structure':>22} {'MPPS':>8}")
+    for label, factory in (
+        (f"qmax(g={args.gamma:g})", lambda: QMax(args.q, args.gamma)),
+        ("heap", lambda: HeapQMax(args.q)),
+        ("skiplist", lambda: SkipListQMax(args.q)),
+    ):
+        m = measure_throughput(label, lambda f=factory: f().add,
+                               stream, repeats=args.repeats)
+        print(f"{label:>22} {m.mpps:>8.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="q-MAX network-measurement toolkit (IMC'19 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-trace", help="synthesize a pcap trace")
+    p.add_argument("output", help="output pcap path")
+    p.add_argument("--profile", default="caida16",
+                   choices=("caida16", "caida18", "univ1"))
+    p.add_argument("--packets", type=int, default=10_000)
+    p.add_argument("--flows", type=int, default=0,
+                   help="flow count override (0 = profile default)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen_trace)
+
+    p = sub.add_parser("top-flows", help="top flows by byte volume")
+    p.add_argument("pcap")
+    p.add_argument("-q", type=int, default=10)
+    p.add_argument("--backend", default="qmax",
+                   choices=("qmax", "heap", "skiplist"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_top_flows)
+
+    p = sub.add_parser("heavy-hitters",
+                       help="network-wide heavy hitters from pcaps")
+    p.add_argument("pcaps", nargs="+",
+                   help="one pcap per measurement point")
+    p.add_argument("-q", type=int, default=1_000)
+    p.add_argument("--theta", type=float, default=0.01)
+    p.add_argument("--epsilon", type=float, default=0.005)
+    p.add_argument("--backend", default="qmax")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_heavy_hitters)
+
+    p = sub.add_parser("distinct", help="distinct-source estimate")
+    p.add_argument("pcap")
+    p.add_argument("-q", type=int, default=256)
+    p.add_argument("--backend", default="qmax")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_distinct)
+
+    p = sub.add_parser("cache-sim", help="LRFU hit-ratio simulation")
+    p.add_argument("--capacity", type=int, default=1_000)
+    p.add_argument("--requests", type=int, default=50_000)
+    p.add_argument("--keys", type=int, default=20_000)
+    p.add_argument("--decay", type=float, default=0.75)
+    p.add_argument("--gamma", type=float, default=0.25)
+    p.add_argument("--backends", nargs="+",
+                   default=["qmax", "indexedheap", "skiplist"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_cache_sim)
+
+    p = sub.add_parser("stats", help="trace statistics from a pcap")
+    p.add_argument("pcap")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("scan-detect",
+                       help="super-spreader / port-scan detection")
+    p.add_argument("pcap")
+    p.add_argument("-q", type=int, default=50)
+    p.add_argument("--kmv", type=int, default=32)
+    p.add_argument("--threshold", type=float, default=100.0)
+    p.add_argument("--backend", default="qmax",
+                   choices=("qmax", "heap", "skiplist"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_scan_detect)
+
+    p = sub.add_parser("export-netflow",
+                       help="measure a pcap and export NetFlow v5")
+    p.add_argument("pcap")
+    p.add_argument("output", help="output file for export packets")
+    p.add_argument("-q", type=int, default=100)
+    p.add_argument("--backend", default="qmax",
+                   choices=("qmax", "heap", "skiplist"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_export_netflow)
+
+    p = sub.add_parser("bench", help="quick throughput sweep")
+    p.add_argument("-q", type=int, default=1_000)
+    p.add_argument("--gamma", type=float, default=0.25)
+    p.add_argument("--items", type=int, default=100_000)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Exponential-Decay q-MAX (§5 of the paper).
+
+Under exponential decay with aging parameter ``c ∈ (0, 1]``, the weight
+of the item that arrived at time ``i`` is ``val_i · c**(t-i)`` at the
+current time ``t``; the goal is to report the q items with the largest
+*decayed* weights.
+
+Re-weighting everything on each arrival is hopeless, and the naive
+static transformation ``val_i · c**(-i)`` overflows floating point.
+The paper's fix — which this module implements — works in the log
+domain: feed ``val'_i = log(val_i) − i·log(c)`` to a standard q-MAX.
+The transformation is strictly monotone in the decayed weight, so the
+top-q under ``val'`` equals the top-q under decayed weight at any time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List
+
+from repro.core.interface import QMaxBase
+from repro.core.qmax import QMax
+from repro.errors import ConfigurationError
+from repro.types import Item, ItemId, TopItems, Value
+
+
+class ExponentialDecayQMax(QMaxBase):
+    """q-MAX under exponential decay, via the log-domain reduction.
+
+    Parameters
+    ----------
+    q:
+        Number of maximal items to maintain.
+    decay:
+        The paper's aging parameter ``c ∈ (0, 1]``; each new arrival
+        multiplies the effective weight of all previous items by ``c``.
+        ``c = 1`` degenerates to plain q-MAX.
+    backend:
+        Factory for the underlying q-MAX structure (receives ``q``).
+    """
+
+    __slots__ = ("q", "decay", "_neg_log_c", "_t", "_inner")
+
+    def __init__(
+        self,
+        q: int,
+        decay: float = 0.99,
+        backend: Callable[[int], QMaxBase] = QMax,
+    ) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError(
+                f"decay must be in (0, 1], got {decay}"
+            )
+        self.q = q
+        self.decay = decay
+        self._neg_log_c = -math.log(decay)
+        self._t = 0
+        self._inner = backend(q)
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """Record an arrival of positive weight ``val`` at the next tick."""
+        if val <= 0:
+            raise ConfigurationError(
+                f"exponential decay requires positive weights, got {val}"
+            )
+        self._inner.add(item_id, math.log(val) + self._t * self._neg_log_c)
+        self._t += 1
+
+    @property
+    def now(self) -> int:
+        """Number of arrivals processed (the logical clock)."""
+        return self._t
+
+    def _decayed(self, transformed: Value) -> float:
+        """Convert a stored log-domain value to the current decayed weight.
+
+        The current time is the latest arrival's timestamp (``t - 1``):
+        the most recent item has not decayed at all yet.
+        """
+        now = max(0, self._t - 1)
+        return math.exp(transformed - now * self._neg_log_c)
+
+    def items(self) -> Iterator[Item]:
+        """Live items with their *current decayed* weights."""
+        for item_id, transformed in self._inner.items():
+            yield item_id, self._decayed(transformed)
+
+    def query(self) -> TopItems:
+        """Top q items by decayed weight, sorted descending."""
+        # The transformation is monotone, so the inner top-q is ours;
+        # we only convert the reported values back to decayed weights.
+        return [
+            (item_id, self._decayed(transformed))
+            for item_id, transformed in self._inner.query()
+        ]
+
+    def reset(self) -> None:
+        self._t = 0
+        self._inner.reset()
+
+    def take_evicted(self) -> List[Item]:
+        return [
+            (item_id, self._decayed(v))
+            for item_id, v in self._inner.take_evicted()
+        ]
+
+    def check_invariants(self) -> None:
+        self._inner.check_invariants()
+
+    @property
+    def name(self) -> str:
+        return f"ed-qmax(c={self.decay:g})[{self._inner.name}]"

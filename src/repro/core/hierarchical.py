@@ -1,0 +1,289 @@
+"""Algorithm 4 and Theorem 7: fast-query slack-window q-MAX.
+
+Algorithm 3 answers queries in O(q·τ⁻¹) — too slow for small τ.  The
+paper layers ``c`` instances with geometrically coarser blocks: level
+``ℓ ∈ {1..c}`` uses blocks of ``W·τ^((c-ℓ+1)/c)`` items (level ``c`` is
+the finest, with blocks of ``W·τ``; level 1 the coarsest).  Every block
+boundary of a coarser level aligns with the finer levels, so a query can
+cover the slack window with O(c·τ^(1/c)) *disjoint* blocks, taking the
+coarsest-possible block at each position (this greedy cover is an
+equivalent restatement of the paper's PARTIAL-based decomposition in
+Algorithm 4 and achieves the same O(q·c·τ^(-1/c)) query bound,
+Theorem 6).
+
+Updates touch all ``c`` levels — O(c) per item.  Theorem 7 removes that
+factor: :class:`BufferedSlidingQMax` funnels arrivals through a single
+front q-MAX covering the current finest block and, on each finest-block
+boundary, forwards only that block's top q into the hierarchy.  Because
+"top-q of a union" equals "top-q of the union of per-part top-q's",
+coarser blocks built from forwarded items answer exactly like blocks
+built from the raw stream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.core.interface import QMaxBase
+from repro.core.sliding import default_block_factory
+from repro.errors import ConfigurationError
+from repro.types import Item, ItemId, TopItems, Value
+
+
+class _Level:
+    """One level: a cyclic buffer of per-block q-MAX instances."""
+
+    __slots__ = ("block_size", "n_blocks", "blocks")
+
+    def __init__(
+        self,
+        block_size: int,
+        n_blocks: int,
+        factory: Callable[[int], QMaxBase],
+        q: int,
+    ) -> None:
+        self.block_size = block_size
+        self.n_blocks = n_blocks
+        self.blocks: List[QMaxBase] = [factory(q) for _ in range(n_blocks)]
+
+    def slot(self, block_start: int) -> QMaxBase:
+        """The buffer slot holding the block starting at ``block_start``."""
+        return self.blocks[(block_start // self.block_size) % self.n_blocks]
+
+
+class HierarchicalSlidingQMax(QMaxBase):
+    """Multi-level slack-window q-MAX (Algorithm 4).
+
+    Parameters
+    ----------
+    q, window, tau:
+        As in :class:`~repro.core.sliding.SlidingQMax`.
+    levels:
+        The paper's ``c``: number of levels.  ``c = 1`` degenerates to
+        Algorithm 3; larger ``c`` trades update time (O(c)) for query
+        time (O(q·c·τ^(-1/c))).
+    block_factory:
+        Builds one q-MAX per block (receives ``q``).
+    """
+
+    __slots__ = ("q", "window", "tau", "c", "_levels", "_t",
+                 "_finest", "_result_factory")
+
+    def __init__(
+        self,
+        q: int,
+        window: int,
+        tau: float,
+        levels: int = 2,
+        block_factory: Callable[[int], QMaxBase] = default_block_factory,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < tau <= 1.0:
+            raise ConfigurationError(f"tau must be in (0, 1], got {tau}")
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        self.q = q
+        self.window = window
+        self.tau = tau
+        self.c = levels
+        self._result_factory = block_factory
+
+        # Geometric block sizes: finest = ceil(W·τ); each coarser level
+        # multiplies by r = ceil(τ^(-1/c)).  Coarser block sizes are
+        # exact multiples of finer ones so boundaries align.
+        finest = max(1, math.ceil(window * tau))
+        ratio = max(2, math.ceil((1.0 / tau) ** (1.0 / levels)))
+        self._levels: List[_Level] = []
+        size = finest
+        for _ in range(levels):
+            if size >= window:
+                break
+            n_blocks = math.ceil(window / size) + 1
+            self._levels.append(_Level(size, n_blocks, block_factory, q))
+            size *= ratio
+        if not self._levels:
+            # Window so small a single finest block covers it.
+            self._levels.append(_Level(finest, 2, block_factory, q))
+        self._finest = self._levels[0]
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    # Updates.
+    # ------------------------------------------------------------------
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """O(c): insert into the current block of every level."""
+        t = self._t
+        for level in self._levels:
+            if t % level.block_size == 0:
+                level.slot(t).reset()  # recycle the expired slot
+            level.slot(t).add(item_id, val)
+        self._t = t + 1
+
+    # ------------------------------------------------------------------
+    # Queries: greedy disjoint cover, coarsest-first.
+    # ------------------------------------------------------------------
+
+    def _cover(
+        self, p: Optional[int] = None, t_true: Optional[int] = None
+    ) -> List[Tuple[int, QMaxBase]]:
+        """Choose disjoint complete blocks covering a valid slack window.
+
+        Returns ``(start, block)`` pairs whose ranges tile a contiguous
+        suffix ``[o, p)`` of the *completed* stream positions; callers
+        prepend whatever covers ``[p, t_true)`` (the partial finest
+        block here, the front buffer in the Theorem-7 variant).  The
+        combined suffix length lies in ``[W(1-τ), W]`` up to block-size
+        rounding.
+        """
+        t = self._t if t_true is None else t_true
+        finest_size = self._finest.block_size
+        if p is None:
+            p = t - (t % finest_size)  # partial finest block covers [p, t)
+        oldest_allowed = max(0, t - self.window)
+        target = max(0, t - self.window + math.ceil(self.window * self.tau))
+        chosen: List[Tuple[int, QMaxBase]] = []
+        while p > target:
+            picked = None
+            for level in reversed(self._levels):  # coarsest first
+                size = level.block_size
+                start = p - size
+                if p % size != 0 or start < oldest_allowed:
+                    continue
+                # The block [start, p) must be complete (p <= position
+                # where its slot was last reset + size) — guaranteed by
+                # alignment: its slot was reset at `start` and has since
+                # received exactly the items [start, min(t, p)) = all.
+                picked = (start, level.slot(start))
+                break
+            if picked is None:
+                break  # cannot extend without violating the W bound
+            chosen.append(picked)
+            p = picked[0]
+        return chosen
+
+    def query(self) -> TopItems:
+        """Top q over a slack window (Theorem 6)."""
+        result = self._result_factory(self.q)
+        t = self._t
+        finest = self._finest
+        if t % finest.block_size != 0 or t == 0:
+            # Current partial finest block (may be empty right at start).
+            for item_id, val in finest.slot(t).query():
+                result.add(item_id, val)
+        for _, block in self._cover():
+            for item_id, val in block.query():
+                result.add(item_id, val)
+        return result.query()
+
+    def items(self) -> Iterator[Item]:
+        # Finest level alone already holds every live item.
+        t = self._t
+        finest = self._finest
+        if t % finest.block_size != 0 or t == 0:
+            yield from finest.slot(t).items()
+        for _, block in self._cover():
+            yield from block.items()
+
+    def reset(self) -> None:
+        for level in self._levels:
+            for block in level.blocks:
+                block.reset()
+        self._t = 0
+
+    @property
+    def name(self) -> str:
+        return f"hier-sliding-qmax(tau={self.tau:g},c={self.c})"
+
+
+class BufferedSlidingQMax(QMaxBase):
+    """Theorem 7: constant-time updates with fast queries.
+
+    A single front q-MAX absorbs the stream; every ``W·τ`` items (one
+    finest block) its top q are forwarded into a
+    :class:`HierarchicalSlidingQMax` whose "items" are those per-block
+    representatives.  Updates cost O(1) amortized plus O(q·c) once per
+    block — o(1) amortized per item when ``W = Ω(q·τ⁻¹·log τ⁻¹)``.
+    """
+
+    __slots__ = ("q", "window", "tau", "_front", "_hier", "_in_block",
+                 "_block_items")
+
+    def __init__(
+        self,
+        q: int,
+        window: int,
+        tau: float,
+        levels: int = 2,
+        block_factory: Callable[[int], QMaxBase] = default_block_factory,
+    ) -> None:
+        self.q = q
+        self.window = window
+        self.tau = tau
+        self._hier = HierarchicalSlidingQMax(
+            q, window, tau, levels=levels, block_factory=block_factory
+        )
+        self._block_items = self._hier._finest.block_size
+        self._front = block_factory(q)
+        self._in_block = 0
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """O(1) amortized: update the front buffer only."""
+        self._front.add(item_id, val)
+        self._in_block += 1
+        if self._in_block == self._block_items:
+            self._forward_block()
+
+    def _forward_block(self) -> None:
+        """Flush the finished block's top q into every level."""
+        top = self._front.query()
+        hier = self._hier
+        # Advance the hierarchy's clock by one finest block, feeding the
+        # representatives; pad the clock so block boundaries line up.
+        base = hier._t
+        for offset in range(self._block_items):
+            t = base + offset
+            for level in hier._levels:
+                if t % level.block_size == 0:
+                    level.slot(t).reset()
+            if offset < len(top):
+                item_id, val = top[offset]
+                for level in hier._levels:
+                    level.slot(t).add(item_id, val)
+        hier._t = base + self._block_items
+        self._front.reset()
+        self._in_block = 0
+
+    def query(self) -> TopItems:
+        """Top q over a slack window (Theorem 7)."""
+        result = self._hier._result_factory(self.q)
+        for item_id, val in self._front.query():
+            result.add(item_id, val)
+        for _, block in self._hier._cover(
+            p=self._hier._t, t_true=self._hier._t + self._in_block
+        ):
+            for item_id, val in block.query():
+                result.add(item_id, val)
+        return result.query()
+
+    def items(self) -> Iterator[Item]:
+        yield from self._front.items()
+        for _, block in self._hier._cover(
+            p=self._hier._t, t_true=self._hier._t + self._in_block
+        ):
+            yield from block.items()
+
+    def reset(self) -> None:
+        self._front.reset()
+        self._hier.reset()
+        self._in_block = 0
+
+    @property
+    def name(self) -> str:
+        return (
+            f"buffered-sliding-qmax(tau={self.tau:g},c={self._hier.c})"
+        )

@@ -1,0 +1,98 @@
+"""The q-MAX interface (§4.1 of the paper).
+
+A q-MAX structure processes a stream of ``(id, value)`` items and, upon
+query, lists the ``q`` items with the largest values.  The interface is
+deliberately *weaker* than a priority queue — that weakness is exactly
+what lets Algorithm 1 beat the logarithmic lower bound of
+comparison-based structures:
+
+* ``add`` need not tell the caller immediately which item was displaced
+  (evictions may be batched; drain them with :meth:`take_evicted`),
+* ``query`` may be slow relative to ``add`` (it is called rarely).
+
+All structures in :mod:`repro.core` and :mod:`repro.baselines` implement
+this ABC so that applications and benchmarks can swap backends freely,
+mirroring how the paper replaces Heap/SkipList with q-MAX inside each
+application without touching the application logic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from operator import itemgetter
+from typing import Iterable, Iterator, List
+
+from repro.types import Item, ItemId, TopItems, Value
+
+#: Sort key extracting the value from an ``(id, value)`` item.
+_BY_VALUE = itemgetter(1)
+
+
+class QMaxBase(ABC):
+    """Abstract base class for structures maintaining the q largest items."""
+
+    #: Number of maximal items the structure maintains.
+    q: int
+
+    @abstractmethod
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """Process one stream item.
+
+        This is the hot path; implementations keep it allocation-light.
+        """
+
+    @abstractmethod
+    def items(self) -> Iterator[Item]:
+        """Iterate over all *live* items currently retained.
+
+        The live set is a superset of the top-q (of size at most the
+        structure's space bound).  Order is unspecified.
+        """
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Forget all state, as if freshly constructed.
+
+        Used by the sliding-window block buffer (Algorithm 3), which
+        recycles q-MAX instances instead of reallocating them.
+        """
+
+    def query(self) -> TopItems:
+        """Return the q items with the largest values, sorted descending.
+
+        Ties at the q-th value are broken arbitrarily.  If fewer than q
+        items were added, all of them are returned.
+        """
+        return heapq.nlargest(self.q, self.items(), key=_BY_VALUE)
+
+    def extend(self, stream: Iterable[Item]) -> None:
+        """Feed every ``(id, value)`` pair of ``stream`` through ``add``."""
+        add = self.add
+        for item_id, val in stream:
+            add(item_id, val)
+
+    def take_evicted(self) -> List[Item]:
+        """Drain and return items evicted since the last drain.
+
+        Only meaningful when the structure was built with eviction
+        tracking enabled; the default implementation returns an empty
+        list.  An item appears here at most once, after the structure
+        has determined it can never be among the top q.
+        """
+        return []
+
+    def check_invariants(self) -> None:
+        """Verify internal invariants; raise ``InvariantError`` on failure.
+
+        No-op by default.  The test suite calls this after randomized
+        operation sequences on implementations that override it.
+        """
+
+    @property
+    def name(self) -> str:
+        """Short human-readable backend name used in benchmark tables."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(q={self.q})"

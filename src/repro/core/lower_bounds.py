@@ -1,0 +1,81 @@
+"""Executable lower-bound constructions (§4.2.2, §4.3.2).
+
+The paper's lower bounds are proofs, but their adversarial inputs are
+concrete and make excellent stress tests:
+
+* **Theorem 4** (``slack_window_adversary``): the sequence forcing any
+  ``(W, τ, q)``-max algorithm to store ``Ω(min{W, q·τ⁻¹})`` items —
+  ``τ⁻¹/2`` phases, each ``2Wτ − q`` fillers followed by the next ``q``
+  distinct values of a strictly decreasing chain.  Every chain value
+  may become a top-q answer in some future admissible window, so a
+  correct algorithm cannot drop any of them.  We *run* the construction
+  against our sliding structures and verify (a) they answer correctly
+  and (b) they really do hold the required items — i.e. the space the
+  paper proves necessary is the space we spend.
+
+* **Theorem 3's** constructive direction is
+  :func:`repro.core.reduction.sort_via_qmax`; see that module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import Item
+
+
+def slack_window_adversary(
+    q: int, window: int, tau: float
+) -> Tuple[List[Item], List[float]]:
+    """Build Theorem 4's adversarial stream.
+
+    Returns ``(stream, chain)`` where ``stream`` is the item sequence
+    (ids are sequential ints) and ``chain`` lists the distinct
+    decreasing values ``x_1 > x_2 > ... > x_z`` that the proof shows
+    must all be retained (the filler value ``x_z`` is ``0.0``).
+
+    Requires ``2·W·τ >= q`` (otherwise a phase cannot host q chain
+    values) and ``q·τ⁻¹ <= 2·W`` (the regime where the bound binds).
+    """
+    if q < 1:
+        raise ConfigurationError(f"q must be >= 1, got {q}")
+    if not 0.0 < tau <= 1.0:
+        raise ConfigurationError(f"tau must be in (0, 1], got {tau}")
+    phase_len = int(2 * window * tau)
+    if phase_len < q:
+        raise ConfigurationError(
+            f"need 2*W*tau >= q (got {phase_len} < {q})"
+        )
+    n_phases = max(1, int(1.0 / (2 * tau)))
+    z = n_phases * q
+    # Chain values strictly decreasing, all above the filler 0.0.
+    chain = [float(z - i) for i in range(z)]
+
+    stream: List[Item] = []
+    next_id = 0
+    for phase in range(n_phases):
+        for _ in range(phase_len - q):
+            stream.append((next_id, 0.0))
+            next_id += 1
+        for j in range(q):
+            stream.append((next_id, chain[phase * q + j]))
+            next_id += 1
+    return stream, chain
+
+
+def required_live_values(
+    chain: List[float], q: int, exposed_phases: int
+) -> List[float]:
+    """The chain values a correct algorithm must still retain after
+    ``exposed_phases`` additional filler phases (the proof's "follow
+    with ⌊i/q⌋·2Wτ occurrences of x_{z+1}" step): the chain values that
+    can still appear in some future window's top q.
+
+    After ``k`` filler phases, the newest ``k·q`` chain values have
+    been pushed out of every admissible window; the rest must remain
+    available.
+    """
+    z = len(chain)
+    cutoff = max(0, z - exposed_phases * q)
+    return chain[:cutoff]

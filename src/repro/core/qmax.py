@@ -1,0 +1,332 @@
+"""Algorithm 1: the deamortized interval q-MAX.
+
+The structure keeps an array ``A`` of ``N = q + 2g`` slots where
+``g = ⌊qγ/2⌋`` (so ``N ≈ ⌈q(1+γ)⌉``), split into two regions:
+
+* **S1** — ``q + g`` slots that are guaranteed to contain the current
+  top-q items, and
+* **S2** — ``g`` slots that receive newly admitted items.
+
+An admission threshold ``Ψ`` (a lower bound on the q-th largest retained
+value) filters the stream: items with ``val <= Ψ`` are discarded in O(1).
+Each admitted item is written into the next S2 slot and pays one
+*deamortized maintenance step*: the first ``⌈g/2⌉`` steps of an
+iteration advance a resumable Select that computes the q-th largest
+value of S1 (which then becomes the new ``Ψ``); the remaining steps
+advance a resumable pivot that moves S1's top-q to the side of its
+region adjacent to S2.  After ``g`` admitted items the iteration ends:
+the ``g`` S1 slots *not* holding top-q items are exactly the slots
+farthest from S2 — they become the new S2 (their occupants are evicted),
+and the old S2 together with the old top-q becomes the new S1.  The
+array orientation therefore alternates left/right each iteration, as in
+Figure 1 of the paper.
+
+Deviations from the paper (documented in DESIGN.md §5):
+
+* The paper's SelectStep presumes a deterministic linear-time Select;
+  we use a resumable quickselect (expected linear).  If the Select or
+  pivot has not finished when its step budget runs out, the remainder
+  runs synchronously at the iteration boundary, preserving amortized
+  O(γ⁻¹) cost per admitted item.
+* CPython pays ~0.5µs per generator dispatch, so maintenance advances
+  in *micro-batches*: the resumable computation is driven once every
+  ``step_batch`` admitted items (default 8) with a proportionally
+  larger operation budget.  The worst-case per-update work remains a
+  constant — ``O(step_batch/γ)`` — and ``step_batch=1`` recovers the
+  paper's exact schedule.  The ``instrument=True`` mode records
+  realized per-update maintenance costs for the tests that verify the
+  constant bound.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterator, List, Optional
+
+from repro.core.interface import QMaxBase
+from repro.core.select import (
+    partition_top,
+    stepwise_partition_top,
+    stepwise_select,
+    stepwise_select_deterministic,
+)
+from repro.errors import ConfigurationError, InvariantError
+from repro.types import Item, ItemId, Value
+
+#: Sentinel stored in empty slots; never equal to a user id.
+_EMPTY = object()
+
+#: Budget factor over the expected quickselect cost (~3n ops on random
+#: input) when sizing the per-drive operation budget.
+_SELECT_BUDGET_FACTOR = 3
+
+#: BFPRT does a deterministic ~22n counted operations (and our counter
+#: undercounts the group sorts slightly); budget with headroom so the
+#: Select reliably finishes within its half of the iteration.
+_BFPRT_BUDGET_FACTOR = 36
+
+#: The pivot is a single Dutch-national-flag pass (exactly n ops).
+_PIVOT_BUDGET_FACTOR = 2
+
+
+class QMax(QMaxBase):
+    """Deamortized q-MAX over an interval (Algorithm 1).
+
+    Parameters
+    ----------
+    q:
+        Number of maximal items to maintain (``q >= 1``).
+    gamma:
+        Space/time trade-off: the structure uses ``q + 2·⌊qγ/2⌋`` slots
+        and performs ``O(1/γ)`` work per admitted item.  Must be
+        positive.  When ``⌊qγ/2⌋ < 2`` the deamortized schedule is
+        degenerate and the structure behaves like the amortized variant
+        (maintenance runs in full at each iteration boundary).
+    track_evictions:
+        When true, every discarded item (admission-filtered or displaced
+        at an iteration boundary) is recorded and can be drained with
+        :meth:`take_evicted`.  Off by default to keep the hot path lean.
+    step_batch:
+        Admitted items per maintenance drive (see module docstring).
+    instrument:
+        Record ``maintenance_ops`` / ``max_step_ops`` statistics.
+    deterministic_select:
+        Use the BFPRT median-of-medians Select (the paper's reference
+        [21]) instead of quickselect.  Gives a *deterministic*
+        worst-case O(1/γ) update bound at ~5-8× the expected operation
+        count — pick it when the value stream may be adversarial.
+    """
+
+    __slots__ = (
+        "q",
+        "gamma",
+        "_g",
+        "_n",
+        "_vals",
+        "_ids",
+        "_psi",
+        "_steps",
+        "_sel_steps",
+        "_orient_left",
+        "_insert_base",
+        "_maint",
+        "_batch",
+        "_select",
+        "_select_factor",
+        "_track_evictions",
+        "_instrument",
+        "_evicted",
+        "maintenance_ops",
+        "max_step_ops",
+        "admitted",
+        "rejected",
+    )
+
+    def __init__(
+        self,
+        q: int,
+        gamma: float = 0.25,
+        track_evictions: bool = False,
+        step_batch: int = 8,
+        instrument: bool = False,
+        deterministic_select: bool = False,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if gamma <= 0:
+            raise ConfigurationError(f"gamma must be > 0, got {gamma}")
+        if step_batch < 1:
+            raise ConfigurationError(
+                f"step_batch must be >= 1, got {step_batch}"
+            )
+        self.q = q
+        self.gamma = gamma
+        if deterministic_select:
+            self._select = stepwise_select_deterministic
+            self._select_factor = _BFPRT_BUDGET_FACTOR
+        else:
+            self._select = stepwise_select
+            self._select_factor = _SELECT_BUDGET_FACTOR
+        self._g = max(1, int(q * gamma / 2))
+        self._n = q + 2 * self._g
+        self._batch = min(step_batch, self._g)
+        self._track_evictions = track_evictions
+        self._instrument = instrument
+        self._evicted: List[Item] = []
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Region geometry.
+    #
+    # Orientation "left": S1 = [0, q+g), S2 = [q+g, N); pivot moves the
+    # top-q of S1 to the *right* of S1's region, so the slots [0, g)
+    # are discarded at the boundary and become the next S2.
+    # Orientation "right": S1 = [g, N), S2 = [0, g); pivot side "left".
+    # ------------------------------------------------------------------
+
+    def _s1_bounds(self) -> tuple:
+        if self._orient_left:
+            return 0, self.q + self._g
+        return self._g, self._n
+
+    def _pivot_side(self) -> str:
+        return "right" if self._orient_left else "left"
+
+    def _discard_bounds(self) -> tuple:
+        """Slots evicted at the end of the current iteration."""
+        if self._orient_left:
+            return 0, self._g
+        return self.q + self._g, self._n
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all state (see :meth:`QMaxBase.reset`)."""
+        neg_inf = float("-inf")
+        self._vals: List[Value] = [neg_inf] * self._n
+        self._ids: List[ItemId] = [_EMPTY] * self._n
+        self._psi: Value = neg_inf
+        self._steps = 0
+        self._sel_steps = max(1, self._g // 2)
+        self._orient_left = True
+        self._insert_base = self.q + self._g
+        self._evicted = []
+        self.maintenance_ops = 0
+        self.max_step_ops = 0
+        self.admitted = 0
+        self.rejected = 0
+        self._maint: Optional[Generator[int, None, None]] = (
+            self._maintenance_gen()
+        )
+
+    def _maintenance_gen(self) -> Generator[int, None, None]:
+        """One iteration's maintenance: Select then pivot, step-wise.
+
+        Sets ``self._psi`` as soon as the Select completes (the paper's
+        line 10: the admission filter tightens mid-iteration).
+        """
+        lo, hi = self._s1_bounds()
+        size = hi - lo
+        batch = self._batch
+        sel_drives = max(1, self._sel_steps // batch)
+        piv_drives = max(1, (self._g - self._sel_steps) // batch)
+        sel_ops = -(-self._select_factor * size // sel_drives)
+        piv_ops = -(-_PIVOT_BUDGET_FACTOR * size // piv_drives)
+        rank = size - self.q
+        psi = yield from self._select(
+            self._vals, self._ids, lo, hi, rank, sel_ops
+        )
+        self._psi = psi
+        yield from stepwise_partition_top(
+            self._vals, self._ids, lo, hi, psi, self._pivot_side(), piv_ops
+        )
+
+    # ------------------------------------------------------------------
+    # Hot path.
+    # ------------------------------------------------------------------
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """Process one stream item in O(1/γ) (expected, deamortized)."""
+        if val <= self._psi:
+            self.rejected += 1
+            if self._track_evictions and item_id is not _EMPTY:
+                self._evicted.append((item_id, val))
+            return
+        steps = self._steps
+        pos = self._insert_base + steps
+        self._vals[pos] = val
+        self._ids[pos] = item_id
+        steps += 1
+        self._steps = steps
+        self.admitted += 1
+        if steps % self._batch == 0 or steps >= self._g:
+            self._drive(steps)
+
+    def _drive(self, steps: int) -> None:
+        """Advance maintenance by one micro-batch; flip at the boundary."""
+        step_ops = 0
+        maint = self._maint
+        if maint is not None:
+            try:
+                step_ops = next(maint)
+            except StopIteration:
+                self._maint = None
+        if steps >= self._g:
+            step_ops += self._finish_iteration()
+        if self._instrument:
+            self.maintenance_ops += step_ops
+            if step_ops > self.max_step_ops:
+                self.max_step_ops = step_ops
+
+    def _finish_iteration(self) -> int:
+        """Force-finish maintenance, evict, and flip orientation."""
+        ops = 0
+        maint = self._maint
+        if maint is not None:
+            try:
+                while True:
+                    ops += next(maint)
+            except StopIteration:
+                pass
+            self._maint = None
+        d_lo, d_hi = self._discard_bounds()
+        if self._track_evictions:
+            vals, ids = self._vals, self._ids
+            for i in range(d_lo, d_hi):
+                if ids[i] is not _EMPTY:
+                    self._evicted.append((ids[i], vals[i]))
+        # The discarded slots keep stale contents; they are overwritten
+        # one per admitted item as the next iteration's S2.
+        self._orient_left = not self._orient_left
+        self._insert_base = d_lo
+        self._steps = 0
+        self._maint = self._maintenance_gen()
+        return ops
+
+    # ------------------------------------------------------------------
+    # Queries and introspection.
+    # ------------------------------------------------------------------
+
+    def items(self) -> Iterator[Item]:
+        """Live items: all of S1 plus the filled prefix of S2."""
+        vals, ids = self._vals, self._ids
+        lo, hi = self._s1_bounds()
+        for i in range(lo, hi):
+            if ids[i] is not _EMPTY:
+                yield ids[i], vals[i]
+        base = self._insert_base
+        for i in range(base, base + self._steps):
+            yield ids[i], vals[i]
+
+    def take_evicted(self) -> List[Item]:
+        """Drain items discarded since the last call (needs tracking)."""
+        evicted, self._evicted = self._evicted, []
+        return evicted
+
+    @property
+    def space_slots(self) -> int:
+        """Total array slots used, ``q + 2⌊qγ/2⌋`` (Theorem 1's bound)."""
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return f"qmax(gamma={self.gamma:g})"
+
+    def check_invariants(self) -> None:
+        """Verify Ψ is a valid lower bound and regions are consistent."""
+        live = list(self.items())
+        if len(live) > self._n:
+            raise InvariantError("live set exceeds the space bound")
+        if self._psi != float("-inf"):
+            at_least_psi = sum(1 for _, v in live if v >= self._psi)
+            if at_least_psi < min(self.q, len(live)):
+                raise InvariantError(
+                    f"admission threshold too high: only {at_least_psi} live "
+                    f"items >= psi with q={self.q}"
+                )
+        if not 0 <= self._steps <= self._g:
+            raise InvariantError(f"steps counter out of range: {self._steps}")
+        s2_base = self.q + self._g if self._orient_left else 0
+        if self._insert_base != s2_base:
+            raise InvariantError("insert base out of sync with orientation")

@@ -1,0 +1,71 @@
+"""q-MIN: maintain the q *smallest* values, via value negation.
+
+Several applications need minima rather than maxima: KMV distinct
+counting and bottom-k sketches keep the q smallest hash values, and the
+network-wide heavy hitters NMPs keep the q packets with minimal hash.
+Rather than duplicating every algorithm, :class:`QMin` adapts any
+:class:`~repro.core.interface.QMaxBase` by negating values on the way in
+and out.
+"""
+
+from __future__ import annotations
+
+import heapq
+from operator import itemgetter
+from typing import Callable, Iterator, List
+
+from repro.core.interface import QMaxBase
+from repro.core.qmax import QMax
+from repro.types import Item, ItemId, TopItems, Value
+
+
+class QMin(QMaxBase):
+    """Maintains the q items with the *smallest* values.
+
+    Parameters
+    ----------
+    q:
+        Number of minimal items to maintain.
+    backend:
+        Factory producing the underlying q-MAX structure; defaults to
+        :class:`~repro.core.qmax.QMax` with its default ``gamma``.
+    """
+
+    __slots__ = ("q", "_inner")
+
+    def __init__(
+        self,
+        q: int,
+        backend: Callable[[int], QMaxBase] = QMax,
+    ) -> None:
+        self.q = q
+        self._inner = backend(q)
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        self._inner.add(item_id, -val)
+
+    def items(self) -> Iterator[Item]:
+        for item_id, neg_val in self._inner.items():
+            yield item_id, -neg_val
+
+    def query(self) -> TopItems:
+        """The q smallest items, sorted ascending by value."""
+        return heapq.nsmallest(self.q, self.items(), key=itemgetter(1))
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+    def take_evicted(self) -> List[Item]:
+        return [(i, -v) for i, v in self._inner.take_evicted()]
+
+    def check_invariants(self) -> None:
+        self._inner.check_invariants()
+
+    @property
+    def name(self) -> str:
+        return f"qmin[{self._inner.name}]"
+
+    @property
+    def inner(self) -> QMaxBase:
+        """The wrapped q-MAX structure (for instrumentation)."""
+        return self._inner

@@ -1,0 +1,132 @@
+"""Algorithm 3: ``Basic-(q, W, τ)-max`` — q-MAX over slack windows.
+
+An *exact* sliding-window q-MAX needs Ω(W) space even for q = 1
+(§4.3.1), so the paper relaxes the window: a ``(W, τ)``-slack window is
+a suffix of the stream whose length varies between ``W(1-τ)`` and ``W``.
+
+The basic algorithm partitions the stream into consecutive blocks of
+``s = W·τ`` items and keeps one q-MAX instance per block in a cyclic
+buffer of ``n = ⌈1/τ⌉`` slots.  Each arrival updates only its block's
+instance (O(1) update); when a block boundary is crossed, the oldest
+instance is reset and becomes the new current block.  A query merges the
+top-q of every retained block (O(q·τ⁻¹) time, Theorem 5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List
+
+from repro.core.amortized import AmortizedQMax
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError
+from repro.types import Item, ItemId, TopItems, Value
+
+
+def default_block_factory(q: int) -> QMaxBase:
+    """Default per-block structure: an amortized q-MAX with γ = 0.25."""
+    return AmortizedQMax(q, gamma=0.25)
+
+
+class SlidingQMax(QMaxBase):
+    """q-MAX over a count-based ``(W, τ)``-slack window (Algorithm 3).
+
+    Parameters
+    ----------
+    q:
+        Number of maximal items to report.
+    window:
+        The paper's ``W``: the maximal window size in items.
+    tau:
+        Slack parameter in ``(0, 1]``; the reported top-q refers to the
+        last ``W'`` items for some ``W(1-τ) <= W' <= W``.
+    block_factory:
+        Builds one q-MAX per block (receives ``q``).
+    """
+
+    __slots__ = ("q", "window", "tau", "_n_blocks", "_block_size",
+                 "_blocks", "_i", "_result_factory")
+
+    def __init__(
+        self,
+        q: int,
+        window: int,
+        tau: float,
+        block_factory: Callable[[int], QMaxBase] = default_block_factory,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < tau <= 1.0:
+            raise ConfigurationError(f"tau must be in (0, 1], got {tau}")
+        self.q = q
+        self.window = window
+        self.tau = tau
+        self._n_blocks = max(1, math.ceil(1.0 / tau))
+        self._block_size = max(1, math.ceil(window / self._n_blocks))
+        self._blocks: List[QMaxBase] = [
+            block_factory(q) for _ in range(self._n_blocks)
+        ]
+        self._result_factory = block_factory
+        self._i = 0
+
+    # ------------------------------------------------------------------
+    # Updates (Algorithm 3, ADD).
+    # ------------------------------------------------------------------
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """O(1): update the current block's q-MAX, rotating on boundary."""
+        i = self._i
+        self._blocks[i // self._block_size].add(item_id, val)
+        i += 1
+        if i >= self._n_blocks * self._block_size:
+            i = 0
+        if i % self._block_size == 0:
+            # The block about to receive items is the oldest: reset it.
+            self._blocks[i // self._block_size].reset()
+        self._i = i
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithm 3, QUERY / PARTIAL / MERGE).
+    # ------------------------------------------------------------------
+
+    def partial(self, first: int, last: int) -> QMaxBase:
+        """Merge blocks ``first..last`` (cyclic, inclusive) into a fresh
+        result q-MAX and return it (the paper's PARTIAL procedure)."""
+        result = self._result_factory(self.q)
+        j = first % self._n_blocks
+        while True:
+            for item_id, val in self._blocks[j].query():
+                result.add(item_id, val)
+            if j == last % self._n_blocks:
+                break
+            j = (j + 1) % self._n_blocks
+        return result
+
+    def query(self) -> TopItems:
+        """Top q over the slack window: merge all blocks (Theorem 5)."""
+        return self.partial(0, self._n_blocks - 1).query()
+
+    def items(self) -> Iterator[Item]:
+        for block in self._blocks:
+            yield from block.items()
+
+    def reset(self) -> None:
+        for block in self._blocks:
+            block.reset()
+        self._i = 0
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of block instances (the paper's ``n = τ⁻¹``)."""
+        return self._n_blocks
+
+    @property
+    def block_size(self) -> int:
+        """Items per block (the paper's ``s = W/n``)."""
+        return self._block_size
+
+    @property
+    def name(self) -> str:
+        return f"sliding-qmax(tau={self.tau:g})"

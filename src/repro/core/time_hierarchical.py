@@ -1,0 +1,210 @@
+"""Hierarchical time-based slack windows (Algorithm 4 in the time domain).
+
+Theorem 8 composes the network-wide estimator with "our slack solutions
+(Algorithm 3 or Algorithm 4)"; :mod:`repro.core.time_sliding` is the
+Algorithm-3 instantiation, this module the Algorithm-4 one: ``c``
+levels of time blocks spanning ``W·τ·r^(ℓ)`` seconds (``r =
+⌈τ^(-1/c)⌉``), all epoch-aligned, with the greedy coarsest-first cover
+of :mod:`repro.core.hierarchical` transplanted to timestamps.  Queries
+merge ``O(c·τ^(-1/c))`` blocks instead of ``τ⁻¹``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List, Tuple
+
+from repro.core.interface import QMaxBase
+from repro.core.sliding import default_block_factory
+from repro.errors import ConfigurationError
+from repro.types import Item, ItemId, TopItems, Value
+
+
+class _TimeLevel:
+    """One level: a cyclic buffer of per-epoch q-MAX instances."""
+
+    __slots__ = ("span", "n_slots", "blocks", "epoch_of")
+
+    #: Sentinel epoch that no real timestamp maps to.
+    NEVER = -(1 << 62)
+
+    def __init__(
+        self,
+        span: float,
+        n_slots: int,
+        factory: Callable[[int], QMaxBase],
+        q: int,
+    ) -> None:
+        self.span = span
+        self.n_slots = n_slots
+        self.blocks: List[QMaxBase] = [factory(q) for _ in range(n_slots)]
+        self.epoch_of: List[int] = [self.NEVER] * n_slots
+
+    def epoch(self, timestamp: float) -> int:
+        # floor (not int()): int() truncates toward zero, which would
+        # alias slightly-negative probe timestamps onto epoch 0.
+        return math.floor(timestamp / self.span)
+
+    def slot_for(self, epoch: int) -> int:
+        return epoch % self.n_slots
+
+    def block(self, epoch: int) -> QMaxBase:
+        """The live block for ``epoch``, recycling the slot if stale."""
+        slot = self.slot_for(epoch)
+        if self.epoch_of[slot] != epoch:
+            self.blocks[slot].reset()
+            self.epoch_of[slot] = epoch
+        return self.blocks[slot]
+
+    def complete_block(self, epoch: int):
+        """The block for ``epoch`` if its slot still holds it."""
+        slot = self.slot_for(epoch)
+        if self.epoch_of[slot] == epoch:
+            return self.blocks[slot]
+        return None
+
+
+class TimeHierarchicalSlidingQMax(QMaxBase):
+    """Multi-level time-based slack-window q-MAX.
+
+    Parameters as in :class:`~repro.core.time_sliding.TimeSlidingQMax`
+    plus ``levels`` (the paper's ``c``).
+    """
+
+    __slots__ = ("q", "window_seconds", "tau", "c", "_levels",
+                 "_last_ts", "_result_factory")
+
+    def __init__(
+        self,
+        q: int,
+        window_seconds: float,
+        tau: float,
+        levels: int = 2,
+        block_factory: Callable[[int], QMaxBase] = default_block_factory,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        if not 0.0 < tau <= 1.0:
+            raise ConfigurationError(f"tau must be in (0, 1], got {tau}")
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        self.q = q
+        self.window_seconds = window_seconds
+        self.tau = tau
+        self.c = levels
+        self._result_factory = block_factory
+
+        finest = window_seconds * tau
+        ratio = max(2, math.ceil((1.0 / tau) ** (1.0 / levels)))
+        self._levels: List[_TimeLevel] = []
+        span = finest
+        for _ in range(levels):
+            if span >= window_seconds:
+                break
+            n_slots = math.ceil(window_seconds / span) + 1
+            self._levels.append(
+                _TimeLevel(span, n_slots, block_factory, q)
+            )
+            span *= ratio
+        if not self._levels:
+            self._levels.append(_TimeLevel(finest, 2, block_factory, q))
+        self._last_ts = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Updates.
+    # ------------------------------------------------------------------
+
+    def add_at(self, timestamp: float, item_id: ItemId,
+               val: Value) -> None:
+        """Insert into the current block of every level — O(c)."""
+        if timestamp < self._last_ts - self._levels[0].span:
+            raise ConfigurationError(
+                f"timestamp {timestamp} is more than one finest block "
+                f"older than the stream head {self._last_ts}"
+            )
+        self._last_ts = max(self._last_ts, timestamp)
+        for level in self._levels:
+            level.block(level.epoch(timestamp)).add(item_id, val)
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        self.add_at(max(self._last_ts, 0.0), item_id, val)
+
+    # ------------------------------------------------------------------
+    # Queries: greedy epoch-aligned disjoint cover, coarsest-first.
+    # ------------------------------------------------------------------
+
+    def _cover(self, now: float) -> List[Tuple[float, QMaxBase]]:
+        """Disjoint complete blocks tiling ``[boundary, p)`` where the
+        finest partial block covers ``[p, now]`` and the combined span
+        stays within [W(1-τ), W]."""
+        finest = self._levels[0]
+        p = finest.epoch(now) * finest.span
+        oldest_allowed = now - self.window_seconds
+        target = oldest_allowed + self.window_seconds * self.tau
+        chosen: List[Tuple[float, QMaxBase]] = []
+        eps = finest.span * 1e-9
+        while p > max(target, 0.0) + eps:  # no blocks before time 0
+            picked = None
+            for level in reversed(self._levels):  # coarsest first
+                span = level.span
+                # The block ending at p must be epoch-aligned at this
+                # level, entirely inside the window, and still held.
+                if abs(p / span - round(p / span)) > 1e-9:
+                    continue
+                start = p - span
+                if start < oldest_allowed - eps:
+                    continue
+                block = level.complete_block(level.epoch(start + eps))
+                if block is None:
+                    continue
+                picked = (start, block)
+                break
+            if picked is None:
+                break
+            chosen.append(picked)
+            p = picked[0]
+        return chosen
+
+    def query_at(self, now: float) -> TopItems:
+        """Top q over the slack window ending at ``now``."""
+        result = self._result_factory(self.q)
+        finest = self._levels[0]
+        partial = finest.complete_block(finest.epoch(now))
+        if partial is not None:
+            for item_id, val in partial.query():
+                result.add(item_id, val)
+        for _start, block in self._cover(now):
+            for item_id, val in block.query():
+                result.add(item_id, val)
+        return result.query()
+
+    def query(self) -> TopItems:
+        if self._last_ts == float("-inf"):
+            return []
+        return self.query_at(self._last_ts)
+
+    def items(self) -> Iterator[Item]:
+        if self._last_ts == float("-inf"):
+            return
+        now = self._last_ts
+        finest = self._levels[0]
+        partial = finest.complete_block(finest.epoch(now))
+        if partial is not None:
+            yield from partial.items()
+        for _start, block in self._cover(now):
+            yield from block.items()
+
+    def reset(self) -> None:
+        for level in self._levels:
+            for block in level.blocks:
+                block.reset()
+            level.epoch_of = [_TimeLevel.NEVER] * level.n_slots
+        self._last_ts = float("-inf")
+
+    @property
+    def name(self) -> str:
+        return (
+            f"time-hier-sliding-qmax(tau={self.tau:g},c={self.c})"
+        )

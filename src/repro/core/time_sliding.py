@@ -1,0 +1,126 @@
+"""Time-based slack-window q-MAX.
+
+§4.3.4 notes that in distributed settings "defining the window size in
+time makes more sense than defining it in packets".  This module is the
+time-domain twin of :class:`repro.core.sliding.SlidingQMax`: blocks
+span ``W·τ`` *seconds* instead of items, rotate on timestamp
+boundaries, and a query covers a time window whose span lies between
+``W(1−τ)`` and ``W`` seconds before the query time.
+
+Timestamps must be non-decreasing (stream order); out-of-order packets
+within one block are harmless, across blocks they would be accounted to
+the wrong block and are rejected.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterator, List
+
+from repro.core.interface import QMaxBase
+from repro.core.sliding import default_block_factory
+from repro.errors import ConfigurationError
+from repro.types import Item, ItemId, TopItems, Value
+
+
+class TimeSlidingQMax(QMaxBase):
+    """q-MAX over a time-based ``(W, τ)``-slack window.
+
+    Parameters
+    ----------
+    q:
+        Number of maximal items to report.
+    window_seconds:
+        The window span ``W`` in seconds.
+    tau:
+        Slack fraction in ``(0, 1]``.
+    block_factory:
+        Builds one q-MAX per block (receives ``q``).
+    """
+
+    __slots__ = ("q", "window_seconds", "tau", "_n_blocks",
+                 "_block_seconds", "_blocks", "_epoch_of", "_last_ts",
+                 "_result_factory")
+
+    def __init__(
+        self,
+        q: int,
+        window_seconds: float,
+        tau: float,
+        block_factory: Callable[[int], QMaxBase] = default_block_factory,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        if window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+        if not 0.0 < tau <= 1.0:
+            raise ConfigurationError(f"tau must be in (0, 1], got {tau}")
+        self.q = q
+        self.window_seconds = window_seconds
+        self.tau = tau
+        # ⌈1/τ⌉ slots: the current partial block plus ⌈1/τ⌉-1 complete
+        # ones cover a span in [W(1-τ), W) — never more than W.
+        self._n_blocks = max(1, math.ceil(1.0 / tau))
+        self._block_seconds = window_seconds * tau
+        self._blocks: List[QMaxBase] = [
+            block_factory(q) for _ in range(self._n_blocks)
+        ]
+        self._epoch_of: List[int] = [-1] * self._n_blocks
+        self._last_ts = float("-inf")
+        self._result_factory = block_factory
+
+    def add_at(self, timestamp: float, item_id: ItemId,
+               val: Value) -> None:
+        """Process one timestamped item (timestamps non-decreasing)."""
+        if timestamp < self._last_ts - self._block_seconds:
+            raise ConfigurationError(
+                f"timestamp {timestamp} is more than one block older "
+                f"than the stream head {self._last_ts}"
+            )
+        self._last_ts = max(self._last_ts, timestamp)
+        epoch = int(timestamp / self._block_seconds)
+        slot = epoch % self._n_blocks
+        if self._epoch_of[slot] != epoch:
+            self._blocks[slot].reset()
+            self._epoch_of[slot] = epoch
+        self._blocks[slot].add(item_id, val)
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        """QMaxBase-compatible add using the last seen timestamp."""
+        self.add_at(max(self._last_ts, 0.0), item_id, val)
+
+    def _live_slots(self, now: float) -> Iterator[int]:
+        current_epoch = int(now / self._block_seconds)
+        oldest = current_epoch - (self._n_blocks - 1)
+        for slot in range(self._n_blocks):
+            epoch = self._epoch_of[slot]
+            if oldest <= epoch <= current_epoch:
+                yield slot
+
+    def query_at(self, now: float) -> TopItems:
+        """Top q over the slack window ending at time ``now``."""
+        result = self._result_factory(self.q)
+        for slot in self._live_slots(now):
+            for item_id, val in self._blocks[slot].query():
+                result.add(item_id, val)
+        return result.query()
+
+    def query(self) -> TopItems:
+        """Top q over the window ending at the newest timestamp."""
+        return self.query_at(self._last_ts if self._last_ts > float(
+            "-inf") else 0.0)
+
+    def items(self) -> Iterator[Item]:
+        now = self._last_ts if self._last_ts > float("-inf") else 0.0
+        for slot in self._live_slots(now):
+            yield from self._blocks[slot].items()
+
+    def reset(self) -> None:
+        for block in self._blocks:
+            block.reset()
+        self._epoch_of = [-1] * self._n_blocks
+        self._last_ts = float("-inf")
+
+    @property
+    def name(self) -> str:
+        return f"time-sliding-qmax(tau={self.tau:g})"

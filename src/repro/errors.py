@@ -1,0 +1,33 @@
+"""Exception types used across the :mod:`repro` package.
+
+Keeping a small, explicit exception hierarchy lets callers distinguish
+configuration mistakes (``ConfigurationError``) from violations of runtime
+preconditions (``InvariantError``) without catching broad built-ins.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a structure is constructed with invalid parameters.
+
+    Examples: a non-positive ``q``, a slack parameter outside ``(0, 1]``,
+    or a decay constant outside the valid range.
+    """
+
+
+class InvariantError(ReproError, RuntimeError):
+    """Raised when an internal invariant check fails.
+
+    These indicate a bug in the library (or misuse of a private API) and
+    are exercised directly by the test suite via the ``check_invariants``
+    hooks on the data structures.
+    """
+
+
+class EmptyStructureError(ReproError, LookupError):
+    """Raised when querying an element from an empty structure."""

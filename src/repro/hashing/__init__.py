@@ -1,0 +1,30 @@
+"""Hash-function substrate.
+
+All applications in the paper derive item *values* from hashes (KMV and
+network-wide heavy hitters hash packet identifiers; priority sampling
+draws a per-key uniform).  Python's built-in ``hash`` is salted per
+process and unsuitable for reproducible experiments, so this package
+implements seedable hash families from scratch:
+
+* :func:`repro.hashing.mix.splitmix64` — a strong 64-bit mixer, the
+  workhorse primitive.
+* :class:`repro.hashing.multiply_shift.MultiplyShiftHash` — classic
+  2-universal multiply-shift hashing.
+* :class:`repro.hashing.tabulation.TabulationHash` — 3-independent simple
+  tabulation hashing.
+* :class:`repro.hashing.uniform.UniformHasher` — hash → uniform ``[0,1)``
+  values, the per-key "random" used by priority sampling and KMV.
+"""
+
+from repro.hashing.mix import splitmix64, mix64
+from repro.hashing.multiply_shift import MultiplyShiftHash
+from repro.hashing.tabulation import TabulationHash
+from repro.hashing.uniform import UniformHasher
+
+__all__ = [
+    "splitmix64",
+    "mix64",
+    "MultiplyShiftHash",
+    "TabulationHash",
+    "UniformHasher",
+]

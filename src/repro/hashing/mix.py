@@ -1,0 +1,66 @@
+"""64-bit mixing primitives (splitmix64 family).
+
+These are the building blocks for every other hash in the package: a
+fast, statistically strong bijective mixer on 64-bit words.  The
+constants are the standard splitmix64 ones (Steele, Lea & Flood,
+"Fast Splittable Pseudorandom Number Generators", OOPSLA 2014).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+_MASK64 = (1 << 64) - 1
+
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+
+
+def mix64(z: int) -> int:
+    """Finalize-mix a 64-bit integer (the splitmix64 output function).
+
+    The function is a bijection on ``[0, 2**64)``; it has full avalanche
+    (each input bit flips each output bit with probability ~1/2).
+    """
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def splitmix64(seed: int, index: int) -> int:
+    """Return the ``index``-th output of a splitmix64 stream seeded by ``seed``.
+
+    Unlike the sequential generator, this addressed form lets callers
+    draw independent values for arbitrary integer keys in O(1) without
+    materializing the stream.
+    """
+    return mix64((seed + (index + 1) * _GOLDEN_GAMMA) & _MASK64)
+
+
+def key_to_u64(key: Hashable, seed: int = 0) -> int:
+    """Map an arbitrary hashable key to a 64-bit integer deterministically.
+
+    Integers map via their value; strings and bytes via a simple FNV-1a
+    pass; everything else falls back to ``hash`` (stable only within a
+    process — documented limitation, benchmarks use int/str keys).
+    The result is finalize-mixed with ``seed`` so distinct seeds give
+    independent-looking streams for the same key.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; separate it
+        base = 0xB001 + int(key)
+    elif isinstance(key, int):
+        base = key & _MASK64
+    elif isinstance(key, (str, bytes)):
+        data = key.encode("utf-8") if isinstance(key, str) else key
+        base = 0xCBF29CE484222325
+        for byte in data:
+            base = ((base ^ byte) * 0x100000001B3) & _MASK64
+    elif isinstance(key, tuple):
+        base = 0x345678
+        for part in key:
+            base = (base * 0x100000001B3 + key_to_u64(part, seed)) & _MASK64
+    else:
+        base = hash(key) & _MASK64
+    return mix64(base ^ mix64(seed))

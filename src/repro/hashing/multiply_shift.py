@@ -1,0 +1,53 @@
+"""2-universal multiply-shift hashing (Dietzfelbinger et al.).
+
+``h(x) = ((a * x + b) mod 2**64) >> (64 - out_bits)`` with odd ``a`` is
+2-universal on 64-bit keys.  This is the cheapest family with provable
+guarantees and is what sketches (Count Sketch / Count-Min rows) use.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import ConfigurationError
+from repro.hashing.mix import key_to_u64, splitmix64
+
+_MASK64 = (1 << 64) - 1
+
+
+class MultiplyShiftHash:
+    """A seeded multiply-shift hash mapping keys to ``[0, 2**out_bits)``.
+
+    Parameters
+    ----------
+    out_bits:
+        Number of output bits (1..64).
+    seed:
+        Seed from which the random odd multiplier and offset are drawn.
+    """
+
+    __slots__ = ("out_bits", "_a", "_b", "_shift", "_seed")
+
+    def __init__(self, out_bits: int = 32, seed: int = 0) -> None:
+        if not 1 <= out_bits <= 64:
+            raise ConfigurationError(
+                f"out_bits must be in [1, 64], got {out_bits}"
+            )
+        self.out_bits = out_bits
+        self._seed = seed
+        self._a = splitmix64(seed, 0) | 1  # multiplier must be odd
+        self._b = splitmix64(seed, 1)
+        self._shift = 64 - out_bits
+
+    def hash_u64(self, x: int) -> int:
+        """Hash a 64-bit integer key."""
+        return ((self._a * x + self._b) & _MASK64) >> self._shift
+
+    def __call__(self, key: Hashable) -> int:
+        """Hash an arbitrary hashable key (via :func:`key_to_u64`)."""
+        return self.hash_u64(key_to_u64(key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MultiplyShiftHash(out_bits={self.out_bits}, seed={self._seed})"
+        )

@@ -1,0 +1,56 @@
+"""Simple tabulation hashing (Zobrist / Patrascu-Thorup).
+
+Splits a 64-bit key into 8 bytes and XORs together 8 random tables of
+256 entries each.  Simple tabulation is 3-independent and behaves far
+better than its independence suggests for many algorithms (Patrascu &
+Thorup, "The Power of Simple Tabulation Hashing", J.ACM 2012) — it is
+the recommended family for the min-hash sampling in the network-wide
+heavy hitters application, where value collisions directly cost sample
+quality.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.hashing.mix import key_to_u64, splitmix64
+
+_MASK64 = (1 << 64) - 1
+
+
+class TabulationHash:
+    """Seeded simple tabulation hash from 64-bit keys to 64-bit values."""
+
+    __slots__ = ("_tables", "_seed")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        tables: List[List[int]] = []
+        for byte_index in range(8):
+            offset = byte_index * 256
+            tables.append(
+                [splitmix64(seed, offset + v) for v in range(256)]
+            )
+        self._tables = tables
+
+    def hash_u64(self, x: int) -> int:
+        """Hash a 64-bit integer key to a 64-bit value."""
+        x &= _MASK64
+        t = self._tables
+        return (
+            t[0][x & 0xFF]
+            ^ t[1][(x >> 8) & 0xFF]
+            ^ t[2][(x >> 16) & 0xFF]
+            ^ t[3][(x >> 24) & 0xFF]
+            ^ t[4][(x >> 32) & 0xFF]
+            ^ t[5][(x >> 40) & 0xFF]
+            ^ t[6][(x >> 48) & 0xFF]
+            ^ t[7][(x >> 56) & 0xFF]
+        )
+
+    def __call__(self, key: Hashable) -> int:
+        """Hash an arbitrary hashable key (via :func:`key_to_u64`)."""
+        return self.hash_u64(key_to_u64(key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TabulationHash(seed={self._seed})"

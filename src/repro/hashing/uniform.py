@@ -1,0 +1,42 @@
+"""Deterministic per-key uniform values in ``[0, 1)``.
+
+Priority sampling assigns each key ``x`` a priority ``w_x / u_x`` where
+``u_x`` is uniform in ``(0, 1]``; KMV / bottom-k map keys to uniform
+hashes.  Both need the *same* key to always receive the same value, so
+we derive the uniform from a seeded hash rather than an RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.hashing.mix import key_to_u64, mix64
+
+#: 2**-64, for converting a 64-bit integer to [0, 1).
+_U64_TO_UNIT = 2.0 ** -64
+
+
+class UniformHasher:
+    """Maps hashable keys to deterministic uniforms.
+
+    ``unit(key)`` returns a value in ``[0, 1)``; ``unit_open(key)``
+    returns a value in ``(0, 1]`` (never zero), which is what priority
+    sampling needs to avoid division by zero.
+    """
+
+    __slots__ = ("_seed_mix",)
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed_mix = mix64(seed ^ 0xA5A5A5A5A5A5A5A5)
+
+    def raw(self, key: Hashable) -> int:
+        """64-bit hash of ``key`` under this hasher's seed."""
+        return key_to_u64(key, self._seed_mix)
+
+    def unit(self, key: Hashable) -> float:
+        """Uniform value in ``[0, 1)`` for ``key``."""
+        return self.raw(key) * _U64_TO_UNIT
+
+    def unit_open(self, key: Hashable) -> float:
+        """Uniform value in ``(0, 1]`` for ``key`` (never exactly zero)."""
+        return (self.raw(key) + 1) * _U64_TO_UNIT

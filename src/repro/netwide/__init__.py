@@ -1,0 +1,31 @@
+"""Network-wide, routing-oblivious heavy hitters (§2.6, §4.3.4).
+
+Reimplementation of the scheme of Ben Basat, Einziger, Moraney & Raz
+(ANCS 2018): every packet carries a hashed identifier; each Network
+Measurement Point (NMP) keeps the ``q`` packets with the *minimal* hash
+values it has seen; a central controller merges the NMP reports into
+the globally minimal ``q`` packets — a uniform packet sample with no
+double counting even when packets traverse several NMPs — and derives
+the heavy hitter flows from it.
+
+The package also provides the Theorem-8 sliding-window variant (built
+on the slack-window q-MAX) and a topology simulation (networkx) that
+routes packets across NMPs to exercise the de-duplication property.
+"""
+
+from repro.netwide.nmp import MeasurementPoint
+from repro.netwide.controller import Controller
+from repro.netwide.topology import NetworkTopology
+from repro.netwide.simulation import NetworkSimulation
+from repro.netwide.sliding import SlidingMeasurementPoint, SlidingController
+from repro.netwide.sliding_simulation import SlidingNetworkSimulation
+
+__all__ = [
+    "MeasurementPoint",
+    "Controller",
+    "NetworkTopology",
+    "NetworkSimulation",
+    "SlidingMeasurementPoint",
+    "SlidingController",
+    "SlidingNetworkSimulation",
+]

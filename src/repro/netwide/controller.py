@@ -1,0 +1,87 @@
+"""The central controller for network-wide heavy hitters.
+
+Merges per-NMP reports into the globally minimal ``q`` packet samples.
+Duplicate observations of one packet (it traversed several NMPs) carry
+identical (record, hash) pairs and collapse during the merge, so the
+result is a uniform ``q``-sample of the *distinct* packets that crossed
+the network.  Flow frequencies are then estimated from the sample:
+
+    N̂ = (q − 1) / h_q                 (total distinct packets, KMV)
+    f̂(flow) = (#sample packets of flow / q) · N̂
+
+Heavy hitters are flows with ``f̂ ≥ (θ − ε)·N̂`` — the ε margin makes
+false negatives unlikely, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netwide.nmp import MeasurementPoint
+
+
+class Controller:
+    """Aggregates NMP reports and answers heavy-hitter queries."""
+
+    def __init__(self, q: int) -> None:
+        if q < 2:
+            raise ConfigurationError(f"q must be >= 2, got {q}")
+        self.q = q
+
+    def merge_reports(
+        self, nmps: Iterable[MeasurementPoint]
+    ) -> List[Tuple[Tuple[int, int], float]]:
+        """Globally minimal q samples across all NMPs (deduplicated)."""
+        best: Dict[Tuple[int, int], float] = {}
+        for nmp in nmps:
+            for record, value in nmp.report():
+                best[record] = value  # identical duplicates overwrite
+        merged = sorted(best.items(), key=lambda p: p[1])
+        return merged[: self.q]
+
+    def estimate_total(
+        self, sample: List[Tuple[Tuple[int, int], float]]
+    ) -> float:
+        """KMV estimate of the number of distinct packets network-wide."""
+        if len(sample) < self.q:
+            return float(len(sample))
+        return (self.q - 1) / sample[-1][1]
+
+    def flow_estimates(
+        self, nmps: Iterable[MeasurementPoint]
+    ) -> Dict[int, float]:
+        """Per-flow packet-count estimates from the merged sample."""
+        sample = self.merge_reports(nmps)
+        if not sample:
+            return {}
+        total = self.estimate_total(sample)
+        counts = Counter(flow for (flow, _pkt), _v in sample)
+        scale = total / len(sample)
+        return {flow: count * scale for flow, count in counts.items()}
+
+    def heavy_hitters(
+        self,
+        nmps: Iterable[MeasurementPoint],
+        theta: float,
+        epsilon: float = 0.0,
+    ) -> List[Tuple[int, float]]:
+        """Flows estimated to exceed ``(θ − ε)`` of the total traffic.
+
+        Returns (flow, estimated packet count), heaviest first.
+        """
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        nmps = list(nmps)
+        sample = self.merge_reports(nmps)
+        if not sample:
+            return []
+        total = self.estimate_total(sample)
+        estimates = self.flow_estimates(nmps)
+        cutoff = (theta - epsilon) * total
+        heavy = [
+            (flow, est) for flow, est in estimates.items() if est >= cutoff
+        ]
+        heavy.sort(key=lambda p: p[1], reverse=True)
+        return heavy

@@ -1,0 +1,77 @@
+"""The Network Measurement Point (NMP).
+
+An NMP observes a substream of the network's packets.  For every packet
+it computes a hash of the *packet identifier* (not the flow!) and feeds
+``(packet record, hash)`` into a q-MIN reservoir.  Because the hash is
+a deterministic function of the packet id, two NMPs observing the same
+packet store the same value — dedup happens for free when reports are
+merged, making the scheme oblivious to routing and topology.
+
+The reservoir is the application's entire per-packet state, so its
+update time *is* the NMP's packet-processing cost; the paper swaps the
+original heap for q-MAX here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.apps.reservoirs import make_reservoir
+from repro.core.qmin import QMin
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+from repro.traffic.packet import Packet
+
+
+class MeasurementPoint:
+    """One NMP: a q-MIN of packet-id hashes.
+
+    Parameters
+    ----------
+    q:
+        Sample size kept locally (the paper's ``k``).
+    backend / gamma:
+        Reservoir backend selection.
+    seed:
+        Hash seed — all NMPs and the controller must share it.
+    name:
+        Label for reports/debugging.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+        name: str = "nmp",
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.name = name
+        self._uniform = UniformHasher(seed)
+        self._reservoir = QMin(
+            q, backend=lambda n: make_reservoir(backend, n, gamma)
+        )
+        self.observed = 0
+
+    def observe(self, pkt: Packet) -> None:
+        """Process one packet (the hot path)."""
+        value = self._uniform.unit_open(pkt.packet_id)
+        # The record stored is (flow key, packet id): the controller
+        # needs the flow for HH counting and the id for deduplication.
+        self._reservoir.add((pkt.src_ip, pkt.packet_id), value)
+        self.observed += 1
+
+    def report(self) -> List[Tuple[Tuple[int, int], float]]:
+        """The q minimal (record, hash) pairs, ascending by hash."""
+        return self._reservoir.query()
+
+    def reset(self) -> None:
+        self._reservoir.reset()
+        self.observed = 0
+
+    @property
+    def backend_name(self) -> str:
+        return self._reservoir.inner.name

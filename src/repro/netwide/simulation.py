@@ -1,0 +1,101 @@
+"""End-to-end network-wide measurement simulation.
+
+Drives a packet trace across a topology: each packet follows the
+shortest path between the hosts its src/dst addresses are pinned to,
+and every switch on the path runs an NMP that observes it.  This is the
+substitute for the paper's multi-NMP deployments — it produces exactly
+the duplicate-observation pattern (one packet, many NMPs) that the
+hash-based sampling must neutralise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netwide.controller import Controller
+from repro.netwide.nmp import MeasurementPoint
+from repro.netwide.topology import NetworkTopology
+from repro.traffic.packet import Packet
+
+
+class NetworkSimulation:
+    """A topology with one NMP per switch and a central controller."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        q: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+        ecmp: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.ecmp = ecmp
+        self.controller = Controller(q)
+        self.nmps: Dict[str, MeasurementPoint] = {
+            switch: MeasurementPoint(
+                q, backend=backend, gamma=gamma, seed=seed, name=switch
+            )
+            for switch in topology.switches
+        }
+        if not self.nmps:
+            raise ConfigurationError("topology has no switches")
+        self.packets_routed = 0
+        self.observations = 0
+
+    def inject(self, pkt: Packet) -> int:
+        """Route one packet; returns the number of NMPs that saw it."""
+        src_host = self.topology.host_of_ip(pkt.src_ip)
+        dst_host = self.topology.host_of_ip(pkt.dst_ip)
+        if self.ecmp:
+            # Flow-sticky ECMP: hash the five-tuple across the
+            # equal-cost shortest paths.
+            route = self.topology.ecmp_route(
+                src_host, dst_host, hash(pkt.five_tuple)
+            )
+        else:
+            route = self.topology.route(src_host, dst_host)
+        for switch in route:
+            self.nmps[switch].observe(pkt)
+        self.packets_routed += 1
+        self.observations += len(route)
+        return len(route)
+
+    def run(self, packets: Iterable[Packet]) -> None:
+        """Inject an entire trace."""
+        for pkt in packets:
+            self.inject(pkt)
+
+    def heavy_hitters(
+        self, theta: float, epsilon: float = 0.0
+    ) -> List[Tuple[int, float]]:
+        """Network-wide heavy hitter flows (no double counting)."""
+        return self.controller.heavy_hitters(
+            self.nmps.values(), theta, epsilon
+        )
+
+    def true_heavy_hitters(
+        self, packets: Sequence[Packet], theta: float
+    ) -> List[Tuple[int, int]]:
+        """Ground truth on the injected trace (by distinct packets)."""
+        counts = Counter(pkt.src_ip for pkt in packets)
+        total = len(packets)
+        return sorted(
+            (
+                (flow, count)
+                for flow, count in counts.items()
+                if count >= theta * total
+            ),
+            key=lambda p: p[1],
+            reverse=True,
+        )
+
+    @property
+    def mean_path_length(self) -> float:
+        """Average NMPs per packet — the duplication factor."""
+        if self.packets_routed == 0:
+            return 0.0
+        return self.observations / self.packets_routed

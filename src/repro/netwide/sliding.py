@@ -1,0 +1,136 @@
+"""Theorem 8: sliding-window network-wide heavy hitters.
+
+Exact-window q-MAX needs Ω(W) space, but heavy hitters tolerate an
+additive error, part of which can be spent on window slack: monitor a
+``(W, τ = ε/2)``-slack window per NMP with the slack q-MIN (Algorithm 3
+layout over *time-based* blocks, since a distributed window is defined
+in time units), estimate with margin ``ε/2``, and report every flow
+whose estimate clears ``θ − ε`` — no false negatives with high
+probability, as in §4.3.4.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Tuple
+
+from repro.apps.reservoirs import make_reservoir
+from repro.core.time_hierarchical import TimeHierarchicalSlidingQMax
+from repro.core.time_sliding import TimeSlidingQMax
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+from repro.traffic.packet import Packet
+
+
+class SlidingMeasurementPoint:
+    """An NMP whose sample covers a time-based slack window.
+
+    Parameters
+    ----------
+    q:
+        Local sample size.
+    window_seconds:
+        The window length ``W`` in seconds.
+    tau:
+        Slack fraction; blocks span ``W·τ`` seconds each.
+    levels:
+        ``1`` uses the Algorithm-3 layout (O(q·τ⁻¹) report time);
+        ``>= 2`` the Algorithm-4 hierarchy — the fast-query composition
+        Theorem 8 allows.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        window_seconds: float,
+        tau: float,
+        backend: str = "qmax-amortized",
+        gamma: float = 0.25,
+        seed: int = 0,
+        name: str = "nmp",
+        levels: int = 1,
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        self.q = q
+        self.window_seconds = window_seconds
+        self.tau = tau
+        self.name = name
+        # Negated-value trick: the q *minimal* hashes are the q maximal
+        # negated hashes, so the core time-window structures apply.
+        block_factory = lambda n: make_reservoir(backend, n, gamma)
+        if levels <= 1:
+            self._window = TimeSlidingQMax(
+                q, window_seconds, tau, block_factory=block_factory
+            )
+        else:
+            self._window = TimeHierarchicalSlidingQMax(
+                q, window_seconds, tau, levels=levels,
+                block_factory=block_factory,
+            )
+        self._uniform = UniformHasher(seed)
+        self.observed = 0
+
+    def observe(self, pkt: Packet) -> None:
+        """Process one timestamped packet (the hot path)."""
+        value = self._uniform.unit_open(pkt.packet_id)
+        self._window.add_at(
+            pkt.timestamp, (pkt.src_ip, pkt.packet_id), -value
+        )
+        self.observed += 1
+
+    def report(self, now: float) -> List[Tuple[Tuple[int, int], float]]:
+        """Minimal-hash sample over the slack window ending at ``now``."""
+        best: Dict[Tuple[int, int], float] = {}
+        for record, neg_value in self._window.query_at(now):
+            best[record] = -neg_value
+        merged = sorted(best.items(), key=lambda p: p[1])
+        return merged[: self.q]
+
+
+class SlidingController:
+    """Merges sliding NMP reports into windowed heavy hitters."""
+
+    def __init__(self, q: int, epsilon: float = 0.05) -> None:
+        if q < 2:
+            raise ConfigurationError(f"q must be >= 2, got {q}")
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be in (0, 1)")
+        self.q = q
+        self.epsilon = epsilon
+
+    def merged_sample(
+        self, nmps: Iterable[SlidingMeasurementPoint], now: float
+    ) -> List[Tuple[Tuple[int, int], float]]:
+        best: Dict[Tuple[int, int], float] = {}
+        for nmp in nmps:
+            for record, value in nmp.report(now):
+                best[record] = value
+        return sorted(best.items(), key=lambda p: p[1])[: self.q]
+
+    def heavy_hitters(
+        self,
+        nmps: Iterable[SlidingMeasurementPoint],
+        now: float,
+        theta: float,
+    ) -> List[Tuple[int, float]]:
+        """Flows whose windowed estimate clears ``θ − ε``."""
+        if not 0.0 < theta <= 1.0:
+            raise ConfigurationError(f"theta must be in (0, 1], got {theta}")
+        sample = self.merged_sample(nmps, now)
+        if not sample:
+            return []
+        if len(sample) < self.q:
+            total = float(len(sample))
+        else:
+            total = (self.q - 1) / sample[-1][1]
+        counts = Counter(flow for (flow, _pkt), _v in sample)
+        scale = total / len(sample)
+        cutoff = (theta - self.epsilon) * total
+        heavy = [
+            (flow, count * scale)
+            for flow, count in counts.items()
+            if count * scale >= cutoff
+        ]
+        heavy.sort(key=lambda p: p[1], reverse=True)
+        return heavy

@@ -1,0 +1,101 @@
+"""End-to-end sliding-window network-wide measurement (Theorem 8).
+
+Completes the Theorem-8 pipeline over a simulated topology: packets are
+routed across switches (as in
+:class:`~repro.netwide.simulation.NetworkSimulation`) but every switch
+runs a *time-windowed* NMP, and the controller answers heavy-hitter
+queries about the recent window only.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.netwide.sliding import SlidingController, SlidingMeasurementPoint
+from repro.netwide.topology import NetworkTopology
+from repro.traffic.packet import Packet
+
+
+class SlidingNetworkSimulation:
+    """A topology whose switches run windowed NMPs."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology,
+        q: int,
+        window_seconds: float,
+        tau: float = 0.1,
+        epsilon: float = 0.05,
+        backend: str = "qmax-amortized",
+        levels: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.window_seconds = window_seconds
+        self.controller = SlidingController(q, epsilon=epsilon)
+        self.nmps: Dict[str, SlidingMeasurementPoint] = {
+            switch: SlidingMeasurementPoint(
+                q,
+                window_seconds,
+                tau,
+                backend=backend,
+                seed=seed,
+                name=switch,
+                levels=levels,
+            )
+            for switch in topology.switches
+        }
+        if not self.nmps:
+            raise ConfigurationError("topology has no switches")
+        self.packets_routed = 0
+        self._last_ts = 0.0
+
+    def inject(self, pkt: Packet) -> int:
+        """Route one packet through its NMPs; returns hops observed."""
+        src_host = self.topology.host_of_ip(pkt.src_ip)
+        dst_host = self.topology.host_of_ip(pkt.dst_ip)
+        route = self.topology.route(src_host, dst_host)
+        for switch in route:
+            self.nmps[switch].observe(pkt)
+        self.packets_routed += 1
+        self._last_ts = max(self._last_ts, pkt.timestamp)
+        return len(route)
+
+    def run(self, packets: Iterable[Packet]) -> None:
+        for pkt in packets:
+            self.inject(pkt)
+
+    def heavy_hitters(
+        self, theta: float, now: float = None
+    ) -> List[Tuple[int, float]]:
+        """Windowed network-wide heavy hitters as of ``now``."""
+        when = self._last_ts if now is None else now
+        return self.controller.heavy_hitters(
+            self.nmps.values(), when, theta
+        )
+
+    def true_windowed_heavy_hitters(
+        self,
+        packets: Sequence[Packet],
+        theta: float,
+        now: float = None,
+    ) -> List[Tuple[int, int]]:
+        """Ground truth over the exact window [now − W, now]."""
+        when = self._last_ts if now is None else now
+        start = when - self.window_seconds
+        in_window = [
+            p for p in packets if start <= p.timestamp <= when
+        ]
+        counts = Counter(p.src_ip for p in in_window)
+        total = len(in_window)
+        return sorted(
+            (
+                (flow, count)
+                for flow, count in counts.items()
+                if count >= theta * total
+            ),
+            key=lambda p: p[1],
+            reverse=True,
+        )

@@ -1,0 +1,167 @@
+"""Network topologies with routing for the network-wide experiments.
+
+The routing-oblivious property of the heavy-hitter scheme is only
+interesting when packets actually traverse *multiple* measurement
+points; this module builds topologies (fat-tree-ish data-center pods or
+random Waxman-style WANs via networkx), computes shortest-path routes,
+and places NMPs on switches so the simulation can replay a trace along
+realistic multi-hop paths.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+
+
+class NetworkTopology:
+    """A switch-level topology with hosts attached at the edge.
+
+    Attributes
+    ----------
+    graph:
+        The networkx graph; switch nodes are strings ``"s<i>"`` and host
+        nodes ``"h<i>"``.
+    """
+
+    def __init__(self, graph: nx.Graph, hosts: Sequence[str]) -> None:
+        if not hosts:
+            raise ConfigurationError("topology needs at least one host")
+        self.graph = graph
+        self.hosts = list(hosts)
+        self._route_cache: Dict[Tuple[str, str], List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def linear(cls, n_switches: int, hosts_per_switch: int = 1) -> "NetworkTopology":
+        """A chain of switches — every cross-chain packet crosses many
+        NMPs, maximally stressing deduplication."""
+        if n_switches < 1:
+            raise ConfigurationError("need at least one switch")
+        graph = nx.Graph()
+        hosts: List[str] = []
+        for i in range(n_switches):
+            graph.add_node(f"s{i}", kind="switch")
+            if i > 0:
+                graph.add_edge(f"s{i - 1}", f"s{i}")
+            for j in range(hosts_per_switch):
+                host = f"h{i}_{j}"
+                graph.add_node(host, kind="host")
+                graph.add_edge(host, f"s{i}")
+                hosts.append(host)
+        return cls(graph, hosts)
+
+    @classmethod
+    def fat_tree_pod(cls, edge_switches: int = 4, hosts_per_edge: int = 4
+                     ) -> "NetworkTopology":
+        """One data-center pod: edge switches under two aggregators."""
+        graph = nx.Graph()
+        aggs = ["s_agg0", "s_agg1"]
+        for agg in aggs:
+            graph.add_node(agg, kind="switch")
+        graph.add_edge(*aggs)
+        hosts: List[str] = []
+        for e in range(edge_switches):
+            edge = f"s_edge{e}"
+            graph.add_node(edge, kind="switch")
+            for agg in aggs:
+                graph.add_edge(edge, agg)
+            for j in range(hosts_per_edge):
+                host = f"h{e}_{j}"
+                graph.add_node(host, kind="host")
+                graph.add_edge(host, edge)
+                hosts.append(host)
+        return cls(graph, hosts)
+
+    @classmethod
+    def random_wan(
+        cls, n_switches: int = 12, degree: int = 3, seed: int = 0
+    ) -> "NetworkTopology":
+        """A random regular-ish WAN with one host per switch."""
+        if n_switches < 4:
+            raise ConfigurationError("need at least 4 switches")
+        rng = random.Random(seed)
+        graph = nx.connected_watts_strogatz_graph(
+            n_switches, k=max(2, degree), p=0.3, seed=rng.randint(0, 2**31)
+        )
+        graph = nx.relabel_nodes(graph, {i: f"s{i}" for i in range(n_switches)})
+        hosts = []
+        for i in range(n_switches):
+            nx.set_node_attributes(graph, {f"s{i}": "switch"}, "kind")
+            host = f"h{i}"
+            graph.add_node(host, kind="host")
+            graph.add_edge(host, f"s{i}")
+            hosts.append(host)
+        return cls(graph, hosts)
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+
+    @property
+    def switches(self) -> List[str]:
+        return [
+            n
+            for n, data in self.graph.nodes(data=True)
+            if data.get("kind") == "switch"
+        ]
+
+    def route(self, src_host: str, dst_host: str) -> List[str]:
+        """Switches on the shortest path between two hosts (cached)."""
+        key = (src_host, dst_host)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            if src_host == dst_host:
+                # Intra-host traffic still hairpins through the access
+                # switch, so every packet is observed at least once.
+                cached = [
+                    n
+                    for n in self.graph.neighbors(src_host)
+                    if n.startswith("s")
+                ][:1]
+            else:
+                path = nx.shortest_path(self.graph, src_host, dst_host)
+                cached = [n for n in path if n.startswith("s")]
+            self._route_cache[key] = cached
+        return cached
+
+    def ecmp_routes(self, src_host: str, dst_host: str) -> List[List[str]]:
+        """All equal-cost shortest paths between two hosts (cached).
+
+        Real networks hash flows across equal-cost paths; different
+        flows between the same endpoints may then cross *different*
+        NMPs — exactly the routing variability the paper's scheme is
+        oblivious to.
+        """
+        key = ("ecmp", src_host, dst_host)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            if src_host == dst_host:
+                cached = [self.route(src_host, dst_host)]
+            else:
+                cached = [
+                    [n for n in path if n.startswith("s")]
+                    for path in nx.all_shortest_paths(
+                        self.graph, src_host, dst_host
+                    )
+                ]
+            self._route_cache[key] = cached
+        return cached
+
+    def ecmp_route(
+        self, src_host: str, dst_host: str, flow_hash: int
+    ) -> List[str]:
+        """The ECMP path a flow with ``flow_hash`` takes (flow-sticky)."""
+        routes = self.ecmp_routes(src_host, dst_host)
+        return routes[flow_hash % len(routes)]
+
+    def host_of_ip(self, ip: int) -> str:
+        """Deterministically pin an IP address to a host."""
+        return self.hosts[ip % len(self.hosts)]

@@ -1,0 +1,185 @@
+"""Wire formats for NMP → controller reports.
+
+In the paper's deployment, NMPs run on switches and periodically ship
+their q-MIN samples to a central controller.  This module provides two
+interchangeable encodings of a report:
+
+* **JSON** — debuggable, schema-documented, for control channels where
+  readability matters.
+* **Binary** — a compact fixed-record format (`struct`-packed) for the
+  data channel: magic + version + NMP name + record count, then one
+  ``(flow: u32, packet_id: u64, hash: f64)`` record per sample.
+
+Both round-trip exactly (hash values are IEEE doubles end to end, so
+merged results are bit-identical to in-process merging) and validate
+their input defensively — a controller must survive malformed reports
+from a misbehaving switch.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Sample record: ((flow, packet_id), hash_value) — matches
+#: MeasurementPoint.report() entries.
+ReportEntry = Tuple[Tuple[int, int], float]
+
+_MAGIC = b"QMRP"
+_VERSION = 1
+_HEADER = struct.Struct("!4sBH")  # magic, version, name length
+_COUNT = struct.Struct("!I")
+_RECORD = struct.Struct("!IQd")
+
+
+@dataclass(frozen=True)
+class Report:
+    """One NMP report: who sent it, how many packets it saw, and the
+    minimal-hash sample."""
+
+    nmp_name: str
+    observed: int
+    entries: Tuple[ReportEntry, ...]
+
+    def __post_init__(self) -> None:
+        if self.observed < 0:
+            raise ConfigurationError("observed must be >= 0")
+        values = [value for _record, value in self.entries]
+        if values != sorted(values):
+            raise ConfigurationError(
+                "report entries must be sorted by ascending hash"
+            )
+
+
+def from_measurement_point(nmp) -> Report:
+    """Snapshot a :class:`~repro.netwide.nmp.MeasurementPoint`."""
+    return Report(
+        nmp_name=nmp.name,
+        observed=nmp.observed,
+        entries=tuple(nmp.report()),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON encoding.
+# ----------------------------------------------------------------------
+
+def to_json(report: Report) -> str:
+    """Encode a report as a JSON document."""
+    return json.dumps(
+        {
+            "format": "qmax-report",
+            "version": _VERSION,
+            "nmp": report.nmp_name,
+            "observed": report.observed,
+            "samples": [
+                {"flow": flow, "packet_id": pid, "hash": value}
+                for (flow, pid), value in report.entries
+            ],
+        }
+    )
+
+
+def from_json(text: str) -> Report:
+    """Decode and validate a JSON report."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed JSON report: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != "qmax-report":
+        raise ConfigurationError("not a qmax-report document")
+    if doc.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"unsupported report version {doc.get('version')!r}"
+        )
+    try:
+        entries = tuple(
+            ((int(s["flow"]), int(s["packet_id"])), float(s["hash"]))
+            for s in doc["samples"]
+        )
+        return Report(
+            nmp_name=str(doc["nmp"]),
+            observed=int(doc["observed"]),
+            entries=entries,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed report fields: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Binary encoding.
+# ----------------------------------------------------------------------
+
+def to_bytes(report: Report) -> bytes:
+    """Encode a report in the compact binary format."""
+    name = report.nmp_name.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise ConfigurationError("NMP name too long")
+    parts = [
+        _HEADER.pack(_MAGIC, _VERSION, len(name)),
+        name,
+        struct.pack("!Q", report.observed),
+        _COUNT.pack(len(report.entries)),
+    ]
+    for (flow, pid), value in report.entries:
+        if not 0 <= flow < 2**32 or not 0 <= pid < 2**64:
+            raise ConfigurationError(
+                f"record out of range: flow={flow}, packet_id={pid}"
+            )
+        parts.append(_RECORD.pack(flow, pid, value))
+    return b"".join(parts)
+
+
+def from_bytes(data: bytes) -> Report:
+    """Decode and validate a binary report."""
+    if len(data) < _HEADER.size:
+        raise ConfigurationError("truncated report header")
+    magic, version, name_len = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ConfigurationError(f"bad report magic {magic!r}")
+    if version != _VERSION:
+        raise ConfigurationError(f"unsupported report version {version}")
+    offset = _HEADER.size
+    if offset + name_len + 8 + _COUNT.size > len(data):
+        raise ConfigurationError("truncated report body")
+    name = data[offset:offset + name_len].decode("utf-8")
+    offset += name_len
+    (observed,) = struct.unpack_from("!Q", data, offset)
+    offset += 8
+    (count,) = _COUNT.unpack_from(data, offset)
+    offset += _COUNT.size
+    if offset + count * _RECORD.size > len(data):
+        raise ConfigurationError("truncated report records")
+    entries: List[ReportEntry] = []
+    for _ in range(count):
+        flow, pid, value = _RECORD.unpack_from(data, offset)
+        offset += _RECORD.size
+        entries.append(((flow, pid), value))
+    return Report(nmp_name=name, observed=observed,
+                  entries=tuple(entries))
+
+
+# ----------------------------------------------------------------------
+# Controller-side merging of decoded reports.
+# ----------------------------------------------------------------------
+
+def merge_reports(reports: List[Report], q: int) -> List[ReportEntry]:
+    """Merge decoded reports into the globally minimal q samples.
+
+    Functionally identical to
+    :meth:`repro.netwide.controller.Controller.merge_reports`, but
+    operating on wire-decoded reports — the distributed deployment's
+    code path.
+    """
+    if q < 1:
+        raise ConfigurationError(f"q must be >= 1, got {q}")
+    best = {}
+    for report in reports:
+        for record, value in report.entries:
+            best[record] = value
+    merged = sorted(best.items(), key=lambda p: p[1])
+    return merged[:q]

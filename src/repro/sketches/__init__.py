@@ -1,0 +1,12 @@
+"""Frequency-sketch substrate.
+
+UnivMon (§2.4) composes Count Sketch instances; the network-wide heavy
+hitter controller and several tests use Count-Min for frequency
+estimation.  Both are implemented from scratch on the
+:mod:`repro.hashing` families.
+"""
+
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.count_min import CountMinSketch
+
+__all__ = ["CountSketch", "CountMinSketch"]

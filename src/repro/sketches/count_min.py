@@ -1,0 +1,85 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, 2004).
+
+``depth`` rows of ``width`` non-negative counters; point queries take
+the minimum across rows, overestimating by at most ``ε·N`` with
+probability ``1 − δ`` for ``width = ⌈e/ε⌉`` and ``depth = ⌈ln 1/δ⌉``.
+Used by the network-wide heavy hitter controller for per-flow frequency
+estimation over the sampled packets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.mix import key_to_u64
+from repro.hashing.multiply_shift import MultiplyShiftHash
+
+
+class CountMinSketch:
+    """A seeded Count-Min sketch with conservative sizing helpers."""
+
+    __slots__ = ("width", "depth", "_rows", "_hashes", "total")
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0) -> None:
+        if width < 1 or depth < 1:
+            raise ConfigurationError(
+                f"width and depth must be >= 1, got {width}x{depth}"
+            )
+        self.width = width
+        self.depth = depth
+        self._rows = np.zeros((depth, width), dtype=np.int64)
+        self._hashes = [
+            MultiplyShiftHash(out_bits=64, seed=seed * 917 + r)
+            for r in range(depth)
+        ]
+        self.total = 0
+
+    @classmethod
+    def from_error(
+        cls, epsilon: float, delta: float, seed: int = 0
+    ) -> "CountMinSketch":
+        """Size the sketch for additive error ``ε·N`` w.p. ``1 − δ``."""
+        if not 0 < epsilon < 1 or not 0 < delta < 1:
+            raise ConfigurationError("epsilon and delta must be in (0, 1)")
+        width = math.ceil(math.e / epsilon)
+        depth = max(1, math.ceil(math.log(1.0 / delta)))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def update(self, key: Hashable, count: int = 1) -> None:
+        """Add ``count`` occurrences of ``key``."""
+        k = key_to_u64(key)
+        rows = self._rows
+        for row in range(self.depth):
+            rows[row, self._hashes[row].hash_u64(k) % self.width] += count
+        self.total += count
+
+    def estimate(self, key: Hashable) -> int:
+        """Point estimate (never underestimates)."""
+        k = key_to_u64(key)
+        rows = self._rows
+        return int(
+            min(
+                rows[row, self._hashes[row].hash_u64(k) % self.width]
+                for row in range(self.depth)
+            )
+        )
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Merge another sketch built with identical parameters/seed."""
+        if (self.width, self.depth) != (other.width, other.depth):
+            raise ConfigurationError("cannot merge differently-sized sketches")
+        self._rows += other._rows
+        self.total += other.total
+
+    def reset(self) -> None:
+        self._rows.fill(0)
+        self.total = 0
+
+    @property
+    def counters(self) -> int:
+        """Total number of counters (space usage)."""
+        return self.width * self.depth

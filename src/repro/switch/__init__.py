@@ -1,0 +1,41 @@
+"""Simulated Open-vSwitch-style datapath (the OVS integration substitute).
+
+The paper's §6.6 measures how much a monitoring structure's per-packet
+update cost degrades a virtual switch's forwarding throughput on 10G
+and 40G links.  We reproduce the *structure* of that experiment: a
+datapath with an exact-match megaflow cache in front of a wildcard flow
+table, a PMD-style batch loop, and a pluggable monitoring hook that
+records (source IP, packet id, packet size) per packet — mirroring the
+paper's shared-memory design.  Throughput is measured in packets/sec of
+the simulated pipeline and converted to Gbps via the link model.
+"""
+
+from repro.switch.flow_table import FlowRule, FlowTable, make_default_rules
+from repro.switch.datapath import Datapath
+from repro.switch.pmd import MultiPMDDatapath
+from repro.switch.monitor import (
+    MonitorHook,
+    NullMonitor,
+    QMaxMonitor,
+    PrioritySamplingMonitor,
+    NetworkWideMonitor,
+    make_monitor,
+)
+from repro.switch.linerate import LinkModel, TEN_GBPS, FORTY_GBPS
+
+__all__ = [
+    "FlowRule",
+    "FlowTable",
+    "make_default_rules",
+    "Datapath",
+    "MultiPMDDatapath",
+    "MonitorHook",
+    "NullMonitor",
+    "QMaxMonitor",
+    "PrioritySamplingMonitor",
+    "NetworkWideMonitor",
+    "make_monitor",
+    "LinkModel",
+    "TEN_GBPS",
+    "FORTY_GBPS",
+]

@@ -1,0 +1,114 @@
+"""Wildcard flow table — the datapath's slow path.
+
+OVS's datapath consults an exact-match cache first; on a miss it falls
+back to a priority-ordered wildcard rule table (the "megaflow"
+classifier) and installs the result in the cache.  We model rules as
+masked five-tuple matches with priorities and simple actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Packet
+
+#: A five-tuple of match values; None entries are wildcards.
+MatchSpec = Tuple[
+    Optional[int], Optional[int], Optional[int], Optional[int], Optional[int]
+]
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """One wildcard rule.
+
+    Attributes
+    ----------
+    match:
+        (src_ip_prefix, prefix_len, dst_port, proto, _reserved) style
+        matching is overkill here; we match on (src_ip masked, dst_ip
+        masked, dst_port, proto) with explicit masks.
+    priority:
+        Higher wins.
+    action:
+        Opaque action label (e.g. output port) returned on match.
+    """
+
+    src_ip: Optional[int] = None
+    src_mask: int = 0xFFFFFFFF
+    dst_ip: Optional[int] = None
+    dst_mask: int = 0xFFFFFFFF
+    dst_port: Optional[int] = None
+    proto: Optional[int] = None
+    priority: int = 0
+    action: str = "output:1"
+
+    def matches(self, pkt: Packet) -> bool:
+        if self.src_ip is not None and (pkt.src_ip & self.src_mask) != (
+            self.src_ip & self.src_mask
+        ):
+            return False
+        if self.dst_ip is not None and (pkt.dst_ip & self.dst_mask) != (
+            self.dst_ip & self.dst_mask
+        ):
+            return False
+        if self.dst_port is not None and pkt.dst_port != self.dst_port:
+            return False
+        if self.proto is not None and pkt.proto != self.proto:
+            return False
+        return True
+
+
+class FlowTable:
+    """Priority-ordered wildcard rule list with linear matching.
+
+    Linear scan is authentic to datapath slow paths at small rule
+    counts and keeps the per-miss cost realistic relative to the
+    exact-match fast path.
+    """
+
+    def __init__(self, rules: Optional[List[FlowRule]] = None) -> None:
+        self._rules: List[FlowRule] = []
+        for rule in rules or []:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: FlowRule) -> None:
+        """Insert keeping descending-priority order."""
+        index = 0
+        while (
+            index < len(self._rules)
+            and self._rules[index].priority >= rule.priority
+        ):
+            index += 1
+        self._rules.insert(index, rule)
+
+    def lookup(self, pkt: Packet) -> str:
+        """Action of the highest-priority matching rule."""
+        for rule in self._rules:
+            if rule.matches(pkt):
+                return rule.action
+        return "drop"
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def make_default_rules(n_output_ports: int = 4) -> List[FlowRule]:
+    """A plausible rule set: per-/8 forwarding plus service rules."""
+    if n_output_ports < 1:
+        raise ConfigurationError("need at least one output port")
+    rules = [
+        FlowRule(
+            src_ip=(10 << 24),
+            src_mask=0xFF000000,
+            priority=10,
+            action=f"output:{1 + i % n_output_ports}",
+        )
+        for i in range(n_output_ports)
+    ]
+    rules.append(FlowRule(dst_port=22, priority=100, action="controller"))
+    rules.append(FlowRule(dst_port=53, priority=50, action="output:1"))
+    rules.append(FlowRule(priority=0, action="output:1"))  # default
+    return rules

@@ -1,0 +1,49 @@
+"""Link-rate accounting for the switch experiments.
+
+Converts measured packets/second into Gbps for a given packet size and
+computes the line-rate packet rate of a link — including Ethernet
+framing overhead (preamble 8B + inter-frame gap 12B; the 4-byte FCS is
+counted inside the frame size, per convention), which is why a 10G link
+carries at most ~14.88 Mpps of 64-byte frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Per-frame wire overhead in bytes: preamble + inter-frame gap.
+FRAMING_OVERHEAD = 8 + 12
+
+#: Minimum Ethernet frame (FCS included, per convention).
+MIN_FRAME = 64
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """A link with a nominal rate in bits/second."""
+
+    bits_per_second: float
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.bits_per_second <= 0:
+            raise ConfigurationError("link rate must be positive")
+
+    def line_rate_pps(self, frame_bytes: int) -> float:
+        """Maximal packets/second for a given frame size."""
+        frame = max(frame_bytes, MIN_FRAME) + FRAMING_OVERHEAD
+        return self.bits_per_second / (frame * 8)
+
+    def gbps_at(self, pps: float, frame_bytes: int) -> float:
+        """Goodput (payload bits, excluding framing) at a packet rate."""
+        return pps * max(frame_bytes, MIN_FRAME) * 8 / 1e9
+
+    def utilisation(self, pps: float, frame_bytes: int) -> float:
+        """Fraction of line rate achieved at ``pps`` (capped at 1)."""
+        return min(1.0, pps / self.line_rate_pps(frame_bytes))
+
+
+TEN_GBPS = LinkModel(10e9, name="10G")
+FORTY_GBPS = LinkModel(40e9, name="40G")

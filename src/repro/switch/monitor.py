@@ -1,0 +1,160 @@
+"""Monitoring hooks attachable to the simulated datapath.
+
+Mirrors the paper's OVS integration: the datapath records the source
+IP, packet id and packet size of each forwarded packet and hands the
+record to a measurement structure.  The hook's per-packet cost is what
+differentiates q-MAX from Heap/SkipList in Figures 12–17.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.priority_sampling import PrioritySampler
+from repro.apps.reservoirs import make_reservoir
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError
+from repro.hashing.uniform import UniformHasher
+from repro.netwide.nmp import MeasurementPoint
+from repro.traffic.packet import Packet
+
+
+class MonitorHook:
+    """Base class: a per-packet measurement callback."""
+
+    name = "monitor"
+
+    def on_packet(self, pkt: Packet) -> None:
+        raise NotImplementedError
+
+
+class NullMonitor(MonitorHook):
+    """Vanilla OVS: no measurement (the baseline curve)."""
+
+    name = "vanilla"
+
+    def on_packet(self, pkt: Packet) -> None:
+        return None
+
+
+class QMaxMonitor(MonitorHook):
+    """Raw reservoir monitoring: keep the q packets with the largest
+    hash-derived values (the Figures 12/13/15/16 microworkload).
+
+    The value is a per-packet uniform hash — the same access pattern as
+    the paper's random-number streams.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self._reservoir: QMaxBase = make_reservoir(backend, q, gamma)
+        self._uniform = UniformHasher(seed)
+        self.name = f"reservoir[{self._reservoir.name}]"
+
+    def on_packet(self, pkt: Packet) -> None:
+        value = self._uniform.unit(pkt.packet_id)
+        self._reservoir.add((pkt.src_ip, pkt.packet_id, pkt.size), value)
+
+    @property
+    def reservoir(self) -> QMaxBase:
+        return self._reservoir
+
+
+class PrioritySamplingMonitor(MonitorHook):
+    """Priority Sampling in the datapath (Figure 14a/b, 17a/b)."""
+
+    def __init__(
+        self,
+        q: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self._sampler = PrioritySampler(q, backend=backend, gamma=gamma,
+                                        seed=seed)
+        self.name = f"priority-sampling[{backend}]"
+
+    def on_packet(self, pkt: Packet) -> None:
+        # Key by packet id (priority sampling assumes distinct keys),
+        # weight by packet size — the byte-volume sample.
+        self._sampler.update(pkt.packet_id, pkt.size)
+
+    @property
+    def sampler(self) -> PrioritySampler:
+        return self._sampler
+
+
+class NetworkWideMonitor(MonitorHook):
+    """Network-wide heavy hitters NMP in the datapath (Fig 14c/d, 17c/d)."""
+
+    def __init__(
+        self,
+        q: int,
+        backend: str = "qmax",
+        gamma: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self._nmp = MeasurementPoint(q, backend=backend, gamma=gamma,
+                                     seed=seed)
+        self.name = f"network-wide-hh[{backend}]"
+
+    def on_packet(self, pkt: Packet) -> None:
+        self._nmp.observe(pkt)
+
+    @property
+    def nmp(self) -> MeasurementPoint:
+        return self._nmp
+
+
+class SlidingReservoirMonitor(MonitorHook):
+    """Windowed reservoir monitoring: the top-q hash values over the
+    recent ``window_seconds`` of traffic — the in-switch counterpart of
+    the sliding experiments (Figures 10–11), keyed by packet timestamp.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        window_seconds: float,
+        tau: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        from repro.core.time_sliding import TimeSlidingQMax
+
+        self._window = TimeSlidingQMax(q, window_seconds, tau)
+        self._uniform = UniformHasher(seed)
+        self.name = f"sliding-reservoir(W={window_seconds:g}s)"
+
+    def on_packet(self, pkt: Packet) -> None:
+        value = self._uniform.unit(pkt.packet_id)
+        self._window.add_at(
+            pkt.timestamp, (pkt.src_ip, pkt.packet_id, pkt.size), value
+        )
+
+    @property
+    def window(self):
+        return self._window
+
+
+def make_monitor(
+    kind: str,
+    q: int,
+    backend: str = "qmax",
+    gamma: float = 0.25,
+    seed: int = 0,
+) -> MonitorHook:
+    """Factory for benchmark harnesses."""
+    if kind == "none":
+        return NullMonitor()
+    if kind == "reservoir":
+        return QMaxMonitor(q, backend, gamma, seed)
+    if kind == "priority-sampling":
+        return PrioritySamplingMonitor(q, backend, gamma, seed)
+    if kind == "network-wide-hh":
+        return NetworkWideMonitor(q, backend, gamma, seed)
+    raise ConfigurationError(f"unknown monitor kind {kind!r}")

@@ -1,0 +1,98 @@
+"""Multi-PMD datapath: RSS sharding across poll-mode drivers.
+
+The paper's OVS integration "build[s] one shared memory block for each
+PMD thread" — monitoring state is per-PMD, and a user-space program
+merges the per-PMD records.  This module models that deployment: an
+RSS-style hash on the five-tuple shards packets across ``n_pmds``
+single-threaded :class:`~repro.switch.datapath.Datapath` instances,
+each with its own monitor, plus merged views over the per-PMD state.
+
+(The simulation runs the PMDs sequentially in one Python thread; the
+point is the *state sharding* — which flows land on which monitor and
+how per-PMD samples merge — not parallel speedup.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hashing.multiply_shift import MultiplyShiftHash
+from repro.switch.datapath import Datapath
+from repro.switch.monitor import MonitorHook, NetworkWideMonitor
+from repro.traffic.packet import Packet
+
+
+class MultiPMDDatapath:
+    """An RSS-sharded bank of datapaths with per-PMD monitors.
+
+    Parameters
+    ----------
+    n_pmds:
+        Number of PMD instances (OVS: one per polled core).
+    monitor_factory:
+        Builds one monitor per PMD (receives the PMD index).
+    rss_seed:
+        Seed of the RSS hash (flow → PMD assignment).
+    """
+
+    def __init__(
+        self,
+        n_pmds: int,
+        monitor_factory: Callable[[int], MonitorHook],
+        rss_seed: int = 0,
+    ) -> None:
+        if n_pmds < 1:
+            raise ConfigurationError(f"n_pmds must be >= 1, got {n_pmds}")
+        self.n_pmds = n_pmds
+        self.monitors: List[MonitorHook] = [
+            monitor_factory(i) for i in range(n_pmds)
+        ]
+        self.pmds: List[Datapath] = [
+            Datapath(monitor=monitor) for monitor in self.monitors
+        ]
+        self._rss = MultiplyShiftHash(out_bits=32, seed=rss_seed)
+
+    def pmd_of(self, pkt: Packet) -> int:
+        """RSS: which PMD handles this packet (flow-sticky)."""
+        return self._rss(pkt.five_tuple) % self.n_pmds
+
+    def process(self, pkt: Packet) -> str:
+        """Dispatch one packet to its PMD."""
+        return self.pmds[self.pmd_of(pkt)].process(pkt)
+
+    def run(self, packets: Sequence[Packet]) -> int:
+        """Process a trace; returns total packets forwarded."""
+        for pkt in packets:
+            self.process(pkt)
+        return self.packets_forwarded
+
+    # ------------------------------------------------------------------
+    # Merged views over the per-PMD state.
+    # ------------------------------------------------------------------
+
+    @property
+    def packets_forwarded(self) -> int:
+        return sum(dp.packets_forwarded for dp in self.pmds)
+
+    @property
+    def bytes_forwarded(self) -> int:
+        return sum(dp.bytes_forwarded for dp in self.pmds)
+
+    def load_by_pmd(self) -> List[int]:
+        """Packets forwarded per PMD (RSS balance check)."""
+        return [dp.packets_forwarded for dp in self.pmds]
+
+    def merged_network_wide_sample(self, q: int):
+        """Merge per-PMD NMP samples (requires NetworkWideMonitor)."""
+        from repro.netwide.controller import Controller
+
+        nmps = []
+        for monitor in self.monitors:
+            if not isinstance(monitor, NetworkWideMonitor):
+                raise ConfigurationError(
+                    "merged_network_wide_sample needs NetworkWideMonitor "
+                    f"per PMD, found {type(monitor).__name__}"
+                )
+            nmps.append(monitor.nmp)
+        return Controller(q).merge_reports(nmps)

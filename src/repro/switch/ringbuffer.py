@@ -1,0 +1,163 @@
+"""The datapath → measurement-process record channel.
+
+The paper's OVS integration does not run measurement inline: the
+datapath "record[s] the source IP address, packet ID, and packet size
+of selected packets" into one shared-memory block per PMD thread, and a
+user-space program reads the records and feeds the algorithms.  This
+module models that channel: a bounded single-producer/single-consumer
+ring buffer of fixed-size packet records with drop accounting (a full
+ring drops records rather than stalling the datapath — exactly the
+back-pressure-free design line-rate forwarding needs).
+
+:class:`RecordingMonitor` is a :class:`~repro.switch.monitor.MonitorHook`
+that only writes records into a ring; :class:`MeasurementProcess`
+drains rings and feeds any per-packet consumer — decoupling forwarding
+cost from measurement cost like the real deployment.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.switch.monitor import MonitorHook
+from repro.traffic.packet import Packet
+
+#: One record: (src_ip: u32, packet_id: u64, size: u32) — the paper's
+#: recorded fields.
+RECORD = struct.Struct("!IQI")
+
+#: A decoded record.
+PacketRecord = Tuple[int, int, int]
+
+
+class RingBuffer:
+    """Bounded SPSC ring of packet records with drop counting."""
+
+    __slots__ = ("capacity", "_slots", "_head", "_tail", "pushed",
+                 "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._slots: List[Optional[bytes]] = [None] * (capacity + 1)
+        self._head = 0  # next slot to write
+        self._tail = 0  # next slot to read
+        self.pushed = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return (self._head - self._tail) % len(self._slots)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) == self.capacity
+
+    def push(self, record: bytes) -> bool:
+        """Producer side: write one record; False (and count) if full."""
+        next_head = (self._head + 1) % len(self._slots)
+        if next_head == self._tail:
+            self.dropped += 1
+            return False
+        self._slots[self._head] = record
+        self._head = next_head
+        self.pushed += 1
+        return True
+
+    def pop(self) -> Optional[bytes]:
+        """Consumer side: read one record, or None when empty."""
+        if self._tail == self._head:
+            return None
+        record = self._slots[self._tail]
+        self._slots[self._tail] = None
+        self._tail = (self._tail + 1) % len(self._slots)
+        return record
+
+    def drain(self, limit: Optional[int] = None) -> List[bytes]:
+        """Pop up to ``limit`` records (all, when None)."""
+        out: List[bytes] = []
+        while limit is None or len(out) < limit:
+            record = self.pop()
+            if record is None:
+                break
+            out.append(record)
+        return out
+
+
+def encode_record(pkt: Packet) -> bytes:
+    """Serialise the paper's three recorded fields."""
+    return RECORD.pack(
+        pkt.src_ip & 0xFFFFFFFF,
+        pkt.packet_id & 0xFFFFFFFFFFFFFFFF,
+        pkt.size & 0xFFFFFFFF,
+    )
+
+
+def decode_record(data: bytes) -> PacketRecord:
+    """Parse one record; raises ConfigurationError on bad length."""
+    if len(data) != RECORD.size:
+        raise ConfigurationError(
+            f"record must be {RECORD.size} bytes, got {len(data)}"
+        )
+    return RECORD.unpack(data)
+
+
+class RecordingMonitor(MonitorHook):
+    """Datapath-side hook: serialise records into a ring, nothing else.
+
+    This is the forwarding-path cost of the paper's design: one struct
+    pack and one ring write per packet, independent of q and of the
+    measurement algorithm.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.ring = RingBuffer(capacity)
+        self.name = f"recording(ring={capacity})"
+
+    def on_packet(self, pkt: Packet) -> None:
+        self.ring.push(encode_record(pkt))
+
+
+class MeasurementProcess:
+    """User-space side: drains rings and feeds a per-record consumer.
+
+    ``consumer(src_ip, packet_id, size)`` is called once per record —
+    wire it to any application update (q-MAX reservoir, priority
+    sampler, NMP...).
+    """
+
+    def __init__(
+        self,
+        rings: Sequence[RingBuffer],
+        consumer: Callable[[int, int, int], None],
+    ) -> None:
+        if not rings:
+            raise ConfigurationError("need at least one ring")
+        self.rings = list(rings)
+        self.consumer = consumer
+        self.consumed = 0
+
+    def poll(self, budget_per_ring: int = 256) -> int:
+        """One polling round across all rings; returns records consumed."""
+        consumed = 0
+        for ring in self.rings:
+            for raw in ring.drain(budget_per_ring):
+                src_ip, packet_id, size = decode_record(raw)
+                self.consumer(src_ip, packet_id, size)
+                consumed += 1
+        self.consumed += consumed
+        return consumed
+
+    def run_until_empty(self, max_rounds: int = 1_000_000) -> int:
+        """Poll until every ring is empty; returns total consumed."""
+        total = 0
+        for _ in range(max_rounds):
+            consumed = self.poll()
+            if consumed == 0:
+                return total
+            total += consumed
+        raise ConfigurationError("rings never drained (producer racing?)")

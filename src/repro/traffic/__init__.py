@@ -1,0 +1,42 @@
+"""Traffic substrate: packet model, trace generators, and pcap IO.
+
+The paper evaluates on CAIDA'16, CAIDA'18, UNIV1 and the P1-ARC cache
+trace — none of which can ship with this repository.  This package
+provides synthetic generators whose *relevant statistics* (flow-size
+skew, flow counts, packet-size mixture, access locality) are calibrated
+to published characterisations of those traces, as documented in
+DESIGN.md §2.  It also includes from-scratch IPv4/TCP/UDP header
+encoding and pcap file IO so generated traces can be exported to and
+re-imported from standard tooling.
+"""
+
+from repro.traffic.packet import Packet, flow_key, src_dst_key
+from repro.traffic.synthetic import (
+    TraceProfile,
+    CAIDA16,
+    CAIDA18,
+    UNIV1,
+    PROFILES,
+    generate_packets,
+    generate_value_stream,
+    zipf_weights,
+)
+from repro.traffic.cache_trace import generate_cache_trace
+from repro.traffic.pcap import read_pcap, write_pcap
+
+__all__ = [
+    "Packet",
+    "flow_key",
+    "src_dst_key",
+    "TraceProfile",
+    "CAIDA16",
+    "CAIDA18",
+    "UNIV1",
+    "PROFILES",
+    "generate_packets",
+    "generate_value_stream",
+    "zipf_weights",
+    "generate_cache_trace",
+    "read_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,233 @@
+"""Raw IPv4/TCP/UDP/Ethernet header encoding and decoding.
+
+Implemented from scratch with :mod:`struct` so that generated traces
+can be serialised into real pcap files (see :mod:`repro.traffic.pcap`)
+and so the switch simulation can parse "wire" bytes where needed.
+Checksums follow RFC 1071 (ones'-complement sum of 16-bit words).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import PROTO_TCP, PROTO_UDP, Packet
+
+ETH_HEADER_LEN = 14
+IPV4_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+
+#: EtherType for IPv4.
+ETHERTYPE_IPV4 = 0x0800
+
+_ETH = struct.Struct("!6s6sH")
+_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_TCP = struct.Struct("!HHIIBBHHH")
+_UDP = struct.Struct("!HHHH")
+
+
+def rfc1071_checksum(data: bytes) -> int:
+    """Internet checksum (RFC 1071) of ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """A 14-byte Ethernet II header."""
+
+    dst_mac: bytes
+    src_mac: bytes
+    ethertype: int = ETHERTYPE_IPV4
+
+    def encode(self) -> bytes:
+        if len(self.dst_mac) != 6 or len(self.src_mac) != 6:
+            raise ConfigurationError("MAC addresses must be 6 bytes")
+        return _ETH.pack(self.dst_mac, self.src_mac, self.ethertype)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < ETH_HEADER_LEN:
+            raise ConfigurationError("truncated Ethernet header")
+        dst, src, ethertype = _ETH.unpack_from(data)
+        return cls(dst, src, ethertype)
+
+
+@dataclass(frozen=True)
+class IPv4Header:
+    """A 20-byte (optionless) IPv4 header."""
+
+    src_ip: int
+    dst_ip: int
+    total_length: int
+    proto: int
+    ttl: int = 64
+    identification: int = 0
+
+    def encode(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        header = _IPV4.pack(
+            version_ihl,
+            0,  # DSCP/ECN
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src_ip.to_bytes(4, "big"),
+            self.dst_ip.to_bytes(4, "big"),
+        )
+        checksum = rfc1071_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv4Header":
+        if len(data) < IPV4_HEADER_LEN:
+            raise ConfigurationError("truncated IPv4 header")
+        (
+            version_ihl,
+            _dscp,
+            total_length,
+            identification,
+            _frag,
+            ttl,
+            proto,
+            checksum,
+            src,
+            dst,
+        ) = _IPV4.unpack_from(data)
+        if version_ihl >> 4 != 4:
+            raise ConfigurationError("not an IPv4 header")
+        if rfc1071_checksum(data[:IPV4_HEADER_LEN]) != 0:
+            raise ConfigurationError("IPv4 checksum mismatch")
+        return cls(
+            src_ip=int.from_bytes(src, "big"),
+            dst_ip=int.from_bytes(dst, "big"),
+            total_length=total_length,
+            proto=proto,
+            ttl=ttl,
+            identification=identification,
+        )
+
+
+@dataclass(frozen=True)
+class TCPHeader:
+    """A 20-byte (optionless) TCP header."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0x10  # ACK
+    window: int = 65535
+
+    def encode(self) -> bytes:
+        data_offset = (5 << 4)
+        return _TCP.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            data_offset,
+            self.flags,
+            self.window,
+            0,  # checksum: left zero (pcap consumers tolerate this)
+            0,  # urgent pointer
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TCPHeader":
+        if len(data) < TCP_HEADER_LEN:
+            raise ConfigurationError("truncated TCP header")
+        sport, dport, seq, ack, _off, flags, window, _ck, _urg = (
+            _TCP.unpack_from(data)
+        )
+        return cls(sport, dport, seq, ack, flags, window)
+
+
+@dataclass(frozen=True)
+class UDPHeader:
+    """An 8-byte UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+
+    def encode(self) -> bytes:
+        return _UDP.pack(self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "UDPHeader":
+        if len(data) < UDP_HEADER_LEN:
+            raise ConfigurationError("truncated UDP header")
+        sport, dport, length, _ck = _UDP.unpack_from(data)
+        return cls(sport, dport, length)
+
+
+_DEFAULT_DST_MAC = bytes.fromhex("02005e000001")
+_DEFAULT_SRC_MAC = bytes.fromhex("02005e000002")
+
+
+def packet_to_bytes(pkt: Packet) -> bytes:
+    """Serialise a :class:`Packet` into Ethernet/IPv4/TCP|UDP wire bytes.
+
+    The payload is zero-filled so that the IP total length equals
+    ``pkt.size`` (clamped up to the minimum header sizes).
+    """
+    eth = EthernetHeader(_DEFAULT_DST_MAC, _DEFAULT_SRC_MAC).encode()
+    if pkt.proto == PROTO_UDP:
+        l4_len = UDP_HEADER_LEN
+        l4 = UDPHeader(
+            pkt.src_port,
+            pkt.dst_port,
+            length=max(UDP_HEADER_LEN, pkt.size - IPV4_HEADER_LEN),
+        ).encode()
+    else:
+        l4_len = TCP_HEADER_LEN
+        l4 = TCPHeader(pkt.src_port, pkt.dst_port).encode()
+    total_length = max(pkt.size, IPV4_HEADER_LEN + l4_len)
+    ip = IPv4Header(
+        src_ip=pkt.src_ip,
+        dst_ip=pkt.dst_ip,
+        total_length=total_length,
+        proto=pkt.proto,
+        identification=pkt.packet_id & 0xFFFF,
+    ).encode()
+    payload = b"\x00" * (total_length - IPV4_HEADER_LEN - l4_len)
+    return eth + ip + l4 + payload
+
+
+def packet_from_bytes(data: bytes, timestamp: float = 0.0) -> Packet:
+    """Parse wire bytes (Ethernet/IPv4/TCP|UDP) back into a Packet."""
+    eth = EthernetHeader.decode(data)
+    if eth.ethertype != ETHERTYPE_IPV4:
+        raise ConfigurationError(
+            f"unsupported ethertype 0x{eth.ethertype:04x}"
+        )
+    ip = IPv4Header.decode(data[ETH_HEADER_LEN:])
+    l4_offset = ETH_HEADER_LEN + IPV4_HEADER_LEN
+    if ip.proto == PROTO_TCP:
+        l4 = TCPHeader.decode(data[l4_offset:])
+        sport, dport = l4.src_port, l4.dst_port
+    elif ip.proto == PROTO_UDP:
+        udp = UDPHeader.decode(data[l4_offset:])
+        sport, dport = udp.src_port, udp.dst_port
+    else:
+        sport = dport = 0
+    return Packet(
+        src_ip=ip.src_ip,
+        dst_ip=ip.dst_ip,
+        src_port=sport,
+        dst_port=dport,
+        proto=ip.proto,
+        size=ip.total_length,
+        timestamp=timestamp,
+        packet_id=ip.identification,
+    )

@@ -1,0 +1,88 @@
+"""The packet model used throughout the measurement applications.
+
+The paper's OVS integration records "the source IP address, packet ID,
+and packet size of selected packets"; our :class:`Packet` carries the
+full five-tuple plus size and timestamp so every application (per-flow,
+per-source, per-pair) can derive its key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Protocol numbers (IANA).
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet observation.
+
+    Attributes
+    ----------
+    src_ip, dst_ip:
+        IPv4 addresses as 32-bit integers (decimal representation of
+        the source address is the paper's evaluation key).
+    src_port, dst_port:
+        Transport ports.
+    proto:
+        IP protocol number (6 = TCP, 17 = UDP).
+    size:
+        Total IP length in bytes (the paper's value/weight field).
+    timestamp:
+        Seconds since trace start.
+    packet_id:
+        A unique per-packet identifier (the network-wide heavy hitters
+        algorithm hashes it to sample packets without double counting).
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+    size: int
+    timestamp: float = 0.0
+    packet_id: int = 0
+
+    @property
+    def five_tuple(self) -> Tuple[int, int, int, int, int]:
+        """(src_ip, dst_ip, src_port, dst_port, proto)."""
+        return (
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.proto,
+        )
+
+
+def flow_key(pkt: Packet) -> Tuple[int, int, int, int, int]:
+    """Per-flow key: the five-tuple."""
+    return pkt.five_tuple
+
+
+def src_dst_key(pkt: Packet) -> Tuple[int, int]:
+    """(src, dst) address pair key (subnet-style aggregation)."""
+    return (pkt.src_ip, pkt.dst_ip)
+
+
+def ip_to_str(addr: int) -> str:
+    """Dotted-quad representation of a 32-bit address."""
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def str_to_ip(dotted: str) -> int:
+    """Parse a dotted-quad string into a 32-bit integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {dotted!r}")
+    addr = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        addr = (addr << 8) | octet
+    return addr

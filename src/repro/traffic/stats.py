@@ -1,0 +1,144 @@
+"""Trace statistics: validating the synthetic-trace substitution.
+
+DESIGN.md §2 argues the synthetic traces preserve the statistics that
+drive the paper's results — flow-size skew, flow counts, packet-size
+mixture, burstiness.  This module computes those statistics from any
+packet sequence (synthetic or read from a pcap) so the claim is
+checkable, and so users can calibrate profiles against their own
+traces.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import Packet
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a packet trace."""
+
+    n_packets: int
+    n_flows: int
+    n_sources: int
+    total_bytes: int
+    mean_packet_size: float
+    top10_flow_share: float
+    zipf_alpha: float
+    burst_run_fraction: float
+    duration_seconds: float
+
+    def as_rows(self) -> List[Tuple[str, str]]:
+        """(label, value) rows for table printing."""
+        return [
+            ("packets", f"{self.n_packets:,}"),
+            ("flows", f"{self.n_flows:,}"),
+            ("sources", f"{self.n_sources:,}"),
+            ("bytes", f"{self.total_bytes:,}"),
+            ("mean packet size", f"{self.mean_packet_size:.1f} B"),
+            ("top-10 flow share", f"{self.top10_flow_share:.1%}"),
+            ("zipf alpha (fit)", f"{self.zipf_alpha:.2f}"),
+            ("burst run fraction", f"{self.burst_run_fraction:.1%}"),
+            ("duration", f"{self.duration_seconds:.3f} s"),
+        ]
+
+
+def fit_zipf_alpha(counts: Sequence[int]) -> float:
+    """Least-squares slope of log(frequency) vs log(rank).
+
+    A standard quick estimator of the Zipf exponent: fit
+    ``log f_r = c − α·log r`` over the ranked flow sizes (restricted to
+    the head, where the power law lives).
+    """
+    ranked = sorted((c for c in counts if c > 0), reverse=True)
+    if len(ranked) < 3:
+        raise ConfigurationError(
+            "need at least 3 distinct flows to fit a Zipf exponent"
+        )
+    head = ranked[: max(10, len(ranked) // 10)]
+    log_rank = np.log(np.arange(1, len(head) + 1, dtype=np.float64))
+    log_freq = np.log(np.asarray(head, dtype=np.float64))
+    slope, _intercept = np.polyfit(log_rank, log_freq, 1)
+    return float(-slope)
+
+
+def burst_run_fraction(packets: Sequence[Packet]) -> float:
+    """Fraction of adjacent packet pairs belonging to the same flow."""
+    if len(packets) < 2:
+        return 0.0
+    same = sum(
+        1
+        for a, b in zip(packets, packets[1:])
+        if a.five_tuple == b.five_tuple
+    )
+    return same / (len(packets) - 1)
+
+
+def compute_stats(packets: Sequence[Packet]) -> TraceStats:
+    """All trace statistics in one pass-ish."""
+    if not packets:
+        raise ConfigurationError("empty trace")
+    flow_counts = collections.Counter(p.five_tuple for p in packets)
+    sources = {p.src_ip for p in packets}
+    sizes = [p.size for p in packets]
+    ranked = [c for _f, c in flow_counts.most_common()]
+    top10 = sum(ranked[:10]) / len(packets)
+    return TraceStats(
+        n_packets=len(packets),
+        n_flows=len(flow_counts),
+        n_sources=len(sources),
+        total_bytes=sum(sizes),
+        mean_packet_size=sum(sizes) / len(packets),
+        top10_flow_share=top10,
+        zipf_alpha=fit_zipf_alpha(ranked),
+        burst_run_fraction=burst_run_fraction(packets),
+        duration_seconds=(
+            packets[-1].timestamp - packets[0].timestamp
+        ),
+    )
+
+
+def size_histogram(
+    packets: Sequence[Packet], bins: Sequence[int] = (64, 128, 256, 512,
+                                                      1024, 1500)
+) -> Dict[str, float]:
+    """Packet-size mass per bucket (fractions summing to 1)."""
+    if not packets:
+        raise ConfigurationError("empty trace")
+    edges = sorted(bins)
+    labels = [f"<={edge}" for edge in edges] + [f">{edges[-1]}"]
+    counts = [0] * (len(edges) + 1)
+    for pkt in packets:
+        for i, edge in enumerate(edges):
+            if pkt.size <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    total = len(packets)
+    return {label: count / total for label, count in zip(labels, counts)}
+
+
+def flow_size_ccdf(
+    packets: Sequence[Packet], points: int = 20
+) -> List[Tuple[int, float]]:
+    """CCDF of flow sizes: (size s, fraction of flows with >= s pkts)."""
+    flow_counts = collections.Counter(p.five_tuple for p in packets)
+    sizes = np.asarray(sorted(flow_counts.values()))
+    if sizes.size == 0:
+        raise ConfigurationError("empty trace")
+    thresholds = np.unique(
+        np.geomspace(1, sizes.max(), num=min(points, sizes.max()))
+        .astype(int)
+    )
+    n = sizes.size
+    return [
+        (int(t), float((sizes >= t).sum()) / n) for t in thresholds
+    ]

@@ -1,0 +1,200 @@
+"""Synthetic trace generation calibrated to the paper's traces.
+
+Three trace profiles mirror the evaluation workloads (DESIGN.md §2):
+
+* ``CAIDA16`` / ``CAIDA18`` — backbone traffic: hundreds of thousands
+  of mostly small flows with a heavy Zipf tail (skew ≈ 1.1/1.0) and a
+  trimodal packet-size mixture.
+* ``UNIV1`` — data-center traffic: far fewer flows, fatter elephants,
+  bursty per-flow arrivals (ON/OFF batching) and larger packets.
+
+The generators are deterministic given a seed and produce
+:class:`~repro.traffic.packet.Packet` objects; benchmark harnesses
+usually consume the derived ``(key, value)`` streams instead.
+
+``generate_value_stream`` produces the paper's "randomly generated
+stream of numbers" used by Figures 4–7 and 10–16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import PROTO_TCP, PROTO_UDP, Packet
+
+
+def zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf(α) probabilities over ranks ``1..n``."""
+    if n < 1:
+        raise ConfigurationError(f"need at least one rank, got {n}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** -alpha
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Statistical profile of a packet trace.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in benchmark tables.
+    n_flows:
+        Number of distinct five-tuple flows.
+    alpha:
+        Zipf skew of the flow-size distribution (packets per flow).
+    size_points / size_probs:
+        Packet-size mixture (bytes and probabilities).
+    burst:
+        Mean per-flow burst length: consecutive packets of one flow
+        emitted back-to-back (1 = fully interleaved backbone traffic;
+        larger = bursty data-center flows).
+    mean_rate_pps:
+        Mean packet arrival rate, for timestamp synthesis.
+    """
+
+    name: str
+    n_flows: int
+    alpha: float
+    size_points: Tuple[int, ...]
+    size_probs: Tuple[float, ...]
+    burst: int = 1
+    mean_rate_pps: float = 1e6
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.size_probs) - 1.0) > 1e-9:
+            raise ConfigurationError("size_probs must sum to 1")
+        if len(self.size_points) != len(self.size_probs):
+            raise ConfigurationError("size mixture lengths differ")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+
+#: Equinix-Chicago 2016 style backbone trace.
+CAIDA16 = TraceProfile(
+    name="caida16",
+    n_flows=100_000,
+    alpha=1.1,
+    size_points=(64, 576, 1500),
+    size_probs=(0.45, 0.25, 0.30),
+)
+
+#: Equinix-NewYork 2018 style backbone trace (slightly less skewed,
+#: larger packets on average).
+CAIDA18 = TraceProfile(
+    name="caida18",
+    n_flows=120_000,
+    alpha=1.0,
+    size_points=(64, 576, 1500),
+    size_probs=(0.35, 0.25, 0.40),
+)
+
+#: UNIV1 data-center trace: fewer flows, heavy elephants, bursty.
+UNIV1 = TraceProfile(
+    name="univ1",
+    n_flows=10_000,
+    alpha=0.9,
+    size_points=(64, 1500),
+    size_probs=(0.30, 0.70),
+    burst=8,
+)
+
+PROFILES = {p.name: p for p in (CAIDA16, CAIDA18, UNIV1)}
+
+
+def _flow_endpoints(
+    n_flows: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, ...]:
+    """Random but deterministic five-tuple components per flow."""
+    src = rng.integers(0x0A000000, 0x0AFFFFFF, size=n_flows, dtype=np.int64)
+    dst = rng.integers(0xC0A80000, 0xC0A8FFFF, size=n_flows, dtype=np.int64)
+    sport = rng.integers(1024, 65535, size=n_flows, dtype=np.int64)
+    dport = rng.choice(
+        np.array([80, 443, 53, 22, 8080, 3306], dtype=np.int64),
+        size=n_flows,
+    )
+    proto = rng.choice(
+        np.array([PROTO_TCP, PROTO_UDP], dtype=np.int64),
+        size=n_flows,
+        p=[0.8, 0.2],
+    )
+    return src, dst, sport, dport, proto
+
+
+def generate_packets(
+    profile: TraceProfile,
+    n_packets: int,
+    seed: int = 0,
+    n_flows: int | None = None,
+) -> List[Packet]:
+    """Generate ``n_packets`` packets following ``profile``.
+
+    ``n_flows`` overrides the profile's flow count (benchmarks scale it
+    with the stream length to keep the new-flow rate realistic).
+    """
+    if n_packets < 0:
+        raise ConfigurationError("n_packets must be >= 0")
+    rng = np.random.default_rng(seed)
+    flows = min(n_flows or profile.n_flows, max(1, n_packets))
+    probs = zipf_weights(flows, profile.alpha)
+
+    if profile.burst > 1:
+        # Draw bursts: fewer draws, each repeated Geometric(1/burst).
+        n_draws = max(1, n_packets // profile.burst + flows)
+        draw = rng.choice(flows, size=n_draws, p=probs)
+        lengths = rng.geometric(1.0 / profile.burst, size=n_draws)
+        flow_of = np.repeat(draw, lengths)[:n_packets]
+        if flow_of.size < n_packets:  # top up if bursts fell short
+            extra = rng.choice(flows, size=n_packets - flow_of.size, p=probs)
+            flow_of = np.concatenate([flow_of, extra])
+    else:
+        flow_of = rng.choice(flows, size=n_packets, p=probs)
+
+    src, dst, sport, dport, proto = _flow_endpoints(flows, rng)
+    sizes = rng.choice(
+        np.array(profile.size_points, dtype=np.int64),
+        size=n_packets,
+        p=profile.size_probs,
+    )
+    gaps = rng.exponential(1.0 / profile.mean_rate_pps, size=n_packets)
+    times = np.cumsum(gaps)
+
+    packets = [
+        Packet(
+            src_ip=int(src[f]),
+            dst_ip=int(dst[f]),
+            src_port=int(sport[f]),
+            dst_port=int(dport[f]),
+            proto=int(proto[f]),
+            size=int(sizes[i]),
+            timestamp=float(times[i]),
+            packet_id=i,
+        )
+        for i, f in enumerate(flow_of)
+    ]
+    return packets
+
+
+def generate_value_stream(
+    n: int, seed: int = 0
+) -> List[Tuple[int, float]]:
+    """The paper's synthetic workload: uniform random values with
+    sequential ids (Figures 4–7, 10–13, 15–16)."""
+    rng = np.random.default_rng(seed)
+    values = rng.random(n)
+    return list(enumerate(values.tolist()))
+
+
+def packets_to_weighted_stream(
+    packets: Sequence[Packet],
+) -> Iterator[Tuple[int, int]]:
+    """(source address, packet size) pairs — the evaluation's key/weight
+    convention ("decimal representation of the IP source address ... and
+    total length field in the IP header")."""
+    for pkt in packets:
+        yield pkt.src_ip, pkt.size

@@ -1,0 +1,28 @@
+"""Shared type aliases and the stream-item model.
+
+The paper's streaming model (§4.1) treats a stream as a sequence of
+``(id, value)`` pairs where ``id`` comes from an arbitrary universe and
+``value`` from a fully ordered domain.  We represent items as plain
+tuples ``(id, value)`` throughout the hot paths (tuples are the cheapest
+composite object in CPython), and expose the aliases here so signatures
+stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Tuple, Union
+
+#: Identifier of a stream item (flow key, packet id, cache key, ...).
+ItemId = Hashable
+
+#: Value of a stream item; any totally ordered numeric works.
+Value = Union[int, float]
+
+#: A stream item as stored by every q-MAX implementation.
+Item = Tuple[ItemId, Value]
+
+#: An iterable of stream items (what ``extend`` style APIs consume).
+ItemStream = Iterable[Item]
+
+#: What ``query`` returns: items sorted by descending value.
+TopItems = List[Item]

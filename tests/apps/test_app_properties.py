@@ -1,0 +1,112 @@
+"""Cross-cutting property tests at the application level."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lrfu import ClassicLRFU, SkipListLRFU, StdHeapLRFU
+from repro.apps.pba import PriorityBasedAggregation
+from repro.apps.priority_sampling import PrioritySampler
+
+_WEIGHTS = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(_WEIGHTS, min_size=1, max_size=150),
+    k=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_priority_sample_is_deterministic_function_of_stream(
+    weights, k, seed
+):
+    """Property: the priority sample depends only on (keys, weights,
+    seed) — never on backend or insertion batching."""
+    samples = []
+    for backend in ("qmax", "heap"):
+        ps = PrioritySampler(k, backend=backend, seed=seed)
+        for i, w in enumerate(weights):
+            ps.update(i, w)
+        entries, tau = ps.sample()
+        samples.append((sorted(key for key, _w, _e in entries), tau))
+    assert samples[0][0] == samples[1][0]
+    assert samples[0][1] == pytest.approx(samples[1][1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(_WEIGHTS, min_size=1, max_size=100),
+    k=st.integers(min_value=1, max_value=15),
+)
+def test_priority_estimates_dominate_weights(weights, k):
+    """Property: every sampled key's estimate is >= its true weight
+    (max(w, tau) never shrinks), and the total estimate is finite."""
+    ps = PrioritySampler(k, seed=3)
+    for i, w in enumerate(weights):
+        ps.update(i, w)
+    entries, _tau = ps.sample()
+    for _key, weight, estimate in entries:
+        assert estimate >= weight
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    arrivals=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=8), _WEIGHTS),
+        min_size=1,
+        max_size=200,
+    ),
+    k=st.integers(min_value=9, max_value=16),
+)
+def test_pba_exact_when_sample_fits(arrivals, k):
+    """Property: with at most 9 distinct keys and k >= 9, PBA never
+    evicts, so aggregates are exact for every backend."""
+    expected = {}
+    for key, w in arrivals:
+        expected[key] = expected.get(key, 0.0) + w
+    for backend in ("qmax", "heap", "skiplist"):
+        pba = PriorityBasedAggregation(k, backend=backend, seed=1)
+        for key, w in arrivals:
+            pba.update(key, w)
+        got = {key: w for key, w, _e in pba.sample()}
+        assert set(got) == set(expected)
+        for key, total in expected.items():
+            assert got[key] == pytest.approx(total)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                   max_size=300),
+    capacity=st.integers(min_value=1, max_value=12),
+    decay=st.sampled_from([0.3, 0.75, 0.95]),
+)
+def test_lrfu_exact_implementations_equivalent(trace, capacity, decay):
+    """Property: the three exact LRFU implementations produce identical
+    hit/miss sequences on any trace."""
+    caches = [
+        ClassicLRFU(capacity, decay),
+        StdHeapLRFU(capacity, decay),
+        SkipListLRFU(capacity, decay),
+    ]
+    for key in trace:
+        results = {cache.access(key) for cache in caches}
+        assert len(results) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=50), min_size=1,
+                   max_size=300),
+    capacity=st.integers(min_value=2, max_value=10),
+)
+def test_lrfu_hits_only_for_present_keys(trace, capacity):
+    """Property: access() returns True iff the key was cached, and the
+    population never exceeds capacity."""
+    cache = ClassicLRFU(capacity, 0.75)
+    for key in trace:
+        was_present = key in cache
+        assert cache.access(key) == was_present
+        assert len(cache) <= capacity

@@ -1,0 +1,186 @@
+"""Tests for the KMV distinct counter and bottom-k sketches."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.apps.bottom_k import BottomKSketch
+from repro.apps.count_distinct import CountDistinct, SlidingCountDistinct
+from repro.apps.reservoirs import BACKENDS
+from repro.errors import ConfigurationError
+
+
+class TestCountDistinct:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            CountDistinct(1)
+
+    def test_exact_while_underfull(self):
+        cd = CountDistinct(100, seed=1)
+        for key in ["a", "b", "c", "a", "b"]:
+            cd.update(key)
+        assert cd.estimate() == 3.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_estimate_within_kmv_error(self, backend):
+        q, distinct = 256, 10_000
+        cd = CountDistinct(q, backend=backend, seed=2)
+        for i in range(3 * distinct):  # heavy repetition
+            cd.update(i % distinct)
+        # KMV standard error ~ 1/sqrt(q-2) ≈ 6.3%; allow 4 sigma.
+        assert cd.estimate() == pytest.approx(distinct, rel=0.25)
+
+    def test_duplicates_do_not_inflate(self):
+        """A million repeats of one key must still estimate ~1."""
+        cd = CountDistinct(16, seed=3)
+        for _ in range(10000):
+            cd.update("same")
+        assert cd.estimate() == 1.0
+
+    def test_unbiased_over_seeds(self):
+        distinct = 2000
+        estimates = []
+        for seed in range(15):
+            cd = CountDistinct(128, seed=seed)
+            for i in range(distinct):
+                cd.update(i)
+            estimates.append(cd.estimate())
+        assert statistics.mean(estimates) == pytest.approx(
+            distinct, rel=0.1
+        )
+
+    def test_candidate_set_stays_bounded(self):
+        cd = CountDistinct(64, seed=4)
+        for i in range(50_000):
+            cd.update(i)
+        assert len(cd._candidates) < 4 * 64 + 1
+
+    def test_processed_counts_all_updates(self):
+        cd = CountDistinct(8, seed=5)
+        for _ in range(100):
+            cd.update("x")
+        assert cd.processed == 100
+
+
+class TestSlidingCountDistinct:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlidingCountDistinct(1, 100, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingCountDistinct(8, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingCountDistinct(8, 100, 2.0)
+
+    def test_tracks_window_not_stream(self):
+        """All-distinct stream: the estimate must track W, not n."""
+        q, window = 128, 4000
+        scd = SlidingCountDistinct(q, window, tau=0.25, seed=1)
+        for i in range(5 * window):
+            scd.update(i)
+        est = scd.estimate()
+        assert window * 0.6 < est < window * 1.35, est
+
+    def test_constant_key_set(self):
+        scd = SlidingCountDistinct(64, 1000, tau=0.5, seed=2)
+        for i in range(10_000):
+            scd.update(i % 40)
+        assert scd.estimate() == pytest.approx(40, abs=1)
+
+    def test_empty(self):
+        scd = SlidingCountDistinct(8, 100, tau=0.5)
+        assert scd.estimate() == 0.0
+
+    def test_recent_distinct_burst_detected(self):
+        scd = SlidingCountDistinct(64, 2000, tau=0.25, seed=3)
+        for i in range(5000):
+            scd.update("background")
+        low = scd.estimate()
+        for i in range(1500):
+            scd.update(f"burst-{i}")
+        assert scd.estimate() > 20 * max(low, 1.0)
+
+
+class TestBottomK:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            BottomKSketch(0)
+        bk = BottomKSketch(4)
+        with pytest.raises(ConfigurationError):
+            bk.update("k", -1.0)
+
+    def test_underfull_sketch_exact(self):
+        bk = BottomKSketch(10, seed=1)
+        bk.update("a", 5.0)
+        bk.update("b", 3.0)
+        entries, tau = bk.sketch()
+        assert math.isinf(tau)
+        assert {k for k, _, _ in entries} == {"a", "b"}
+        assert bk.estimate_subset_sum(lambda k: True) == pytest.approx(8.0)
+
+    def test_ranks_ascending(self, rng):
+        bk = BottomKSketch(32, seed=2)
+        for i in range(1000):
+            bk.update(i, rng.uniform(1, 10))
+        entries, tau = bk.sketch()
+        ranks = [r for _, _, r in entries]
+        assert ranks == sorted(ranks)
+        assert all(r < tau for r in ranks)
+
+    def test_subset_sum_accuracy(self, rng):
+        bk = BottomKSketch(400, seed=3)
+        truth = 0.0
+        for i in range(5000):
+            w = rng.uniform(1, 30)
+            if i % 4 == 0:
+                truth += w
+            bk.update(i, w)
+        est = bk.estimate_subset_sum(lambda k: k % 4 == 0)
+        assert est == pytest.approx(truth, rel=0.25)
+
+    def test_heavy_key_always_included(self, rng):
+        bk = BottomKSketch(20, seed=4)
+        bk.update("whale", 1e7)
+        for i in range(2000):
+            bk.update(i, 1.0)
+        entries, _ = bk.sketch()
+        assert "whale" in {k for k, _, _ in entries}
+
+    def test_subset_count_estimate(self, rng):
+        bk = BottomKSketch(300, seed=5)
+        for i in range(3000):
+            bk.update(i, 1.0)  # uniform weights -> plain sampling
+        est = bk.estimate_subset_count(lambda k: k < 1500)
+        assert est == pytest.approx(1500, rel=0.3)
+
+    def test_merge_collapses_duplicates(self, rng):
+        a = BottomKSketch(100, seed=6)
+        b = BottomKSketch(100, seed=6)
+        total = 0.0
+        for i in range(1500):
+            w = rng.uniform(1, 10)
+            total += w
+            a.update(i, w)
+            b.update(i, w)  # both NMPs see every key
+        merged = a.merge(b)
+        est = merged.estimate_subset_sum(lambda k: True)
+        assert est == pytest.approx(total, rel=0.3)
+
+    def test_merge_disjoint_parts(self, rng):
+        a = BottomKSketch(150, seed=7)
+        b = BottomKSketch(150, seed=7)
+        total = 0.0
+        for i in range(2000):
+            w = rng.uniform(1, 10)
+            total += w
+            (a if i % 2 else b).update(i, w)
+        est = a.merge(b).estimate_subset_sum(lambda k: True)
+        assert est == pytest.approx(total, rel=0.3)
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            BottomKSketch(4, seed=1).merge(BottomKSketch(4, seed=2))
+        with pytest.raises(ConfigurationError):
+            BottomKSketch(4, seed=1).merge(BottomKSketch(5, seed=1))

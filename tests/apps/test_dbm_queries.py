@@ -1,0 +1,84 @@
+"""Tests for DBM's query-time-granularity queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.dbm import DynamicBucketMerge
+from repro.errors import ConfigurationError
+
+
+class TestBusiestInterval:
+    def test_finds_the_burst(self):
+        """A 10x traffic burst between t=30 and t=32 must be found."""
+        dbm = DynamicBucketMerge(200, bucket_seconds=1.0)
+        for sec in range(60):
+            rate = 1000.0 if 30 <= sec < 32 else 100.0
+            dbm.add(float(sec), rate)
+        start, end, volume = dbm.busiest_interval(span=2.0)
+        assert 28.0 <= start <= 31.0
+        assert volume >= 1100.0  # covers at least one burst second + more
+
+    def test_after_merging(self):
+        """Bucket merging coarsens, but the burst region still wins."""
+        dbm = DynamicBucketMerge(8, bucket_seconds=1.0)
+        for sec in range(100):
+            rate = 5000.0 if 70 <= sec < 75 else 50.0
+            dbm.add(float(sec), rate)
+        start, _end, volume = dbm.busiest_interval(span=5.0)
+        assert 60.0 <= start <= 76.0
+        assert volume > 5 * 50.0
+
+    def test_empty(self):
+        dbm = DynamicBucketMerge(4)
+        assert dbm.busiest_interval(1.0) == (0.0, 1.0, 0.0)
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ConfigurationError):
+            DynamicBucketMerge(4).busiest_interval(0.0)
+
+
+class TestRateTimeseries:
+    def test_conserves_volume(self, rng):
+        dbm = DynamicBucketMerge(16, bucket_seconds=1.0)
+        total = 0.0
+        t = 0.0
+        for _ in range(2000):
+            t += rng.expovariate(20.0)
+            b = rng.uniform(100, 1000)
+            total += b
+            dbm.add(t, b)
+        series = dbm.rate_timeseries(resolution=2.0)
+        assert sum(v for _t, v in series) == pytest.approx(total,
+                                                           rel=1e-6)
+
+    def test_resolution_controls_length(self):
+        dbm = DynamicBucketMerge(100, bucket_seconds=1.0)
+        for sec in range(20):
+            dbm.add(float(sec), 10.0)
+        coarse = dbm.rate_timeseries(resolution=5.0)
+        fine = dbm.rate_timeseries(resolution=1.0)
+        assert len(fine) > len(coarse)
+
+    def test_empty(self):
+        assert DynamicBucketMerge(4).rate_timeseries(1.0) == []
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(ConfigurationError):
+            DynamicBucketMerge(4).rate_timeseries(-1.0)
+
+
+class TestCsvExport:
+    def test_simple(self):
+        from repro.bench.reporting import to_csv
+
+        csv = to_csv(["a", "b"], [[1, 2.5], ["x,y", 'he said "hi"']])
+        lines = csv.strip().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+        assert lines[2] == '"x,y","he said ""hi"""'
+
+    def test_float_formatting(self):
+        from repro.bench.reporting import to_csv
+
+        assert "0.333333" in to_csv(["v"], [[1 / 3]])

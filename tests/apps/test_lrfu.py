@@ -1,0 +1,143 @@
+"""Tests for the LRFU cache implementations (§2.7, §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lrfu import (
+    ClassicLRFU,
+    QMaxLRFU,
+    SkipListLRFU,
+    StdHeapLRFU,
+    make_lrfu,
+)
+from repro.errors import ConfigurationError
+from repro.traffic.cache_trace import generate_cache_trace
+
+EXACT_IMPLS = [
+    pytest.param(ClassicLRFU, id="indexedheap"),
+    pytest.param(StdHeapLRFU, id="stdheap"),
+    pytest.param(SkipListLRFU, id="skiplist"),
+]
+ALL_IMPLS = EXACT_IMPLS + [
+    pytest.param(lambda cap, decay: QMaxLRFU(cap, decay, gamma=0.25),
+                 id="qmax"),
+]
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+class TestLRFUBehaviour:
+    def test_miss_then_hit(self, impl):
+        cache = impl(4, 0.75)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_bound(self, impl, rng):
+        cache = impl(8, 0.75)
+        for _ in range(500):
+            cache.access(rng.randint(0, 100))
+        # q-MAX LRFU floats up to q(1+γ); exact ones are capped at q.
+        assert len(cache) <= int(8 * 1.25) + 1
+
+    def test_frequent_item_survives(self, impl, rng):
+        """A very frequently accessed item must not be evicted by a
+        stream of one-hit wonders (the F in LRFU)."""
+        cache = impl(16, 0.9)
+        for i in range(2000):
+            cache.access("popular")
+            cache.access(("scan", i))
+        assert "popular" in cache
+
+    def test_hit_ratio_properties(self, impl):
+        cache = impl(4, 0.75)
+        assert cache.hit_ratio == 0.0
+        cache.access("a")
+        cache.access("a")
+        assert cache.hit_ratio == 0.5
+        assert cache.requests == 2
+
+
+class TestLRFUConfig:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            ClassicLRFU(0)
+        with pytest.raises(ConfigurationError):
+            ClassicLRFU(4, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            ClassicLRFU(4, decay=0.0)
+
+    def test_factory(self):
+        for backend in ("qmax", "indexedheap", "heap", "skiplist"):
+            cache = make_lrfu(backend, 8)
+            assert cache.capacity == 8
+        with pytest.raises(ConfigurationError):
+            make_lrfu("lru", 8)
+
+
+class TestLRFUEquivalence:
+    """The three exact implementations realize the same policy."""
+
+    def test_identical_hit_sequences(self, rng):
+        trace = [rng.randint(0, 120) for _ in range(4000)]
+        caches = [ClassicLRFU(32, 0.8), StdHeapLRFU(32, 0.8),
+                  SkipListLRFU(32, 0.8)]
+        for key in trace:
+            results = [c.access(key) for c in caches]
+            assert results[0] == results[1] == results[2]
+
+    def test_qmax_close_to_exact_on_real_trace(self):
+        trace = generate_cache_trace(15000, n_keys=4000, seed=11)
+        exact = ClassicLRFU(300, 0.75)
+        qmax = QMaxLRFU(300, 0.75, gamma=0.1)
+        for key in trace:
+            exact.access(key)
+            qmax.access(key)
+        # Table 2's property: the q-MAX cache (holding >= q items) is at
+        # least as good as the q-sized cache, and not wildly better
+        # than a q(1+γ)-sized one.
+        bigger = ClassicLRFU(330, 0.75)
+        for key in trace:
+            bigger.access(key)
+        assert qmax.hit_ratio >= exact.hit_ratio - 0.01
+        assert qmax.hit_ratio <= bigger.hit_ratio + 0.02
+
+    def test_table2_ordering(self):
+        """Table 2: q-LRFU <= qmax-LRFU <= q(1+γ)-LRFU (hit ratio),
+        for growing γ."""
+        trace = generate_cache_trace(12000, n_keys=4000, seed=13)
+
+        def ratio_of(cache):
+            for key in trace:
+                cache.access(key)
+            return cache.hit_ratio
+
+        base = ratio_of(ClassicLRFU(200, 0.75))
+        for gamma in (0.1, 0.5, 1.0):
+            qm = ratio_of(QMaxLRFU(200, 0.75, gamma=gamma))
+            big = ratio_of(ClassicLRFU(int(200 * (1 + gamma)), 0.75))
+            assert qm >= base - 0.015, (gamma, qm, base)
+            assert qm <= big + 0.015, (gamma, qm, big)
+
+
+class TestLRFUDecaySemantics:
+    def test_small_decay_behaves_like_lru(self, rng):
+        """c→0 weights recency almost exclusively: after filling the
+        cache, the least recently used key is the next eviction."""
+        cache = ClassicLRFU(3, 0.01)
+        for key in ("a", "b", "c"):
+            cache.access(key)
+        cache.access("a")  # refresh a; b is now least recent
+        cache.access("d")  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+
+    def test_high_decay_keeps_frequent(self):
+        """c→1 approximates LFU: frequency dominates recency."""
+        cache = ClassicLRFU(2, 0.999)
+        for _ in range(50):
+            cache.access("freq")
+        cache.access("once1")
+        cache.access("once2")  # evicts once1, never freq
+        assert "freq" in cache
+        assert "once1" not in cache

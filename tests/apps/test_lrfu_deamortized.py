@@ -1,0 +1,82 @@
+"""Tests for the worst-case constant-time LRFU (§5.1 / Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lrfu import ClassicLRFU, make_lrfu
+from repro.apps.lrfu_deamortized import DeamortizedLRFU
+from repro.errors import ConfigurationError
+from repro.traffic.cache_trace import generate_cache_trace
+
+
+class TestDeamortizedLRFU:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            DeamortizedLRFU(0)
+        with pytest.raises(ConfigurationError):
+            DeamortizedLRFU(4, decay=1.0)
+        with pytest.raises(ConfigurationError):
+            DeamortizedLRFU(4, gamma=0.0)
+
+    def test_miss_then_hit(self):
+        cache = DeamortizedLRFU(8, 0.75)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_factory_registration(self):
+        cache = make_lrfu("qmax-deamortized", 16)
+        assert isinstance(cache, DeamortizedLRFU)
+
+    def test_distinct_keys_bounded_by_array(self, rng):
+        cache = DeamortizedLRFU(32, 0.75, gamma=0.5)
+        for _ in range(5000):
+            cache.access(rng.randint(0, 10_000))
+        assert len(cache) <= cache._n
+
+    def test_frequent_item_survives_scans(self, rng):
+        cache = DeamortizedLRFU(16, 0.9, gamma=0.5)
+        for i in range(3000):
+            cache.access("popular")
+            cache.access(("scan", i))
+        assert "popular" in cache
+
+    def test_invariants_random_workload(self, rng):
+        cache = DeamortizedLRFU(24, 0.8, gamma=0.4)
+        for step in range(5000):
+            cache.access(rng.randint(0, 200))
+            if step % 503 == 0:
+                cache.check_invariants()
+        cache.check_invariants()
+
+    def test_invariants_adversarial_small_gamma(self, rng):
+        cache = DeamortizedLRFU(5, 0.5, gamma=0.1)
+        for _ in range(2000):
+            cache.access(rng.randint(0, 30))
+        cache.check_invariants()
+
+    def test_hit_ratio_close_to_classic(self):
+        trace = generate_cache_trace(30_000, n_keys=8_000, seed=21)
+        classic = ClassicLRFU(500, 0.75)
+        deam = DeamortizedLRFU(500, 0.75, gamma=0.25)
+        for key in trace:
+            classic.access(key)
+            deam.access(key)
+        assert deam.hit_ratio == pytest.approx(
+            classic.hit_ratio, abs=0.03
+        )
+
+    def test_eviction_counter(self, rng):
+        cache = DeamortizedLRFU(8, 0.75, gamma=0.5)
+        for i in range(1000):
+            cache.access(i)  # all distinct: constant churn
+        assert cache.evictions > 800
+
+    def test_repeated_key_only_one_logical_entry(self):
+        """Heavy re-referencing must not inflate len(cache)."""
+        cache = DeamortizedLRFU(8, 0.75, gamma=0.5)
+        for _ in range(500):
+            cache.access("only")
+        assert len(cache) == 1
+        cache.check_invariants()

@@ -1,0 +1,81 @@
+"""Tests for Priority-Based Aggregation (§2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.pba import PriorityBasedAggregation
+from repro.apps.reservoirs import UPDATABLE_BACKENDS
+from repro.errors import ConfigurationError
+
+
+class TestPBA:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            PriorityBasedAggregation(0)
+        pba = PriorityBasedAggregation(4)
+        with pytest.raises(ConfigurationError):
+            pba.update("k", 0.0)
+
+    @pytest.mark.parametrize("backend", UPDATABLE_BACKENDS)
+    def test_aggregates_repeated_keys(self, backend):
+        pba = PriorityBasedAggregation(10, backend=backend)
+        for _ in range(7):
+            pba.update("flow", 3.0)
+        ((key, weight, _est),) = pba.sample()
+        assert key == "flow"
+        assert weight == pytest.approx(21.0)
+
+    @pytest.mark.parametrize("backend", UPDATABLE_BACKENDS)
+    def test_sample_bounded_by_k(self, backend, rng):
+        pba = PriorityBasedAggregation(16, backend=backend, seed=1)
+        for i in range(3000):
+            pba.update(rng.randint(0, 500), rng.uniform(1, 5))
+        assert len(pba.sample()) <= 16
+
+    @pytest.mark.parametrize("backend", UPDATABLE_BACKENDS)
+    def test_heavy_aggregates_dominate_sample(self, backend, rng):
+        """Keys with 100x the byte volume must essentially always be
+        sampled — the aggregation property PBA exists for."""
+        pba = PriorityBasedAggregation(40, backend=backend, seed=2)
+        for round_i in range(400):
+            for heavy in range(10):
+                pba.update(("heavy", heavy), 100.0)
+            pba.update(("light", rng.randint(0, 4000)), 1.0)
+        sampled = {k for k, _, _ in pba.sample()}
+        heavy_in = sum(1 for h in range(10) if ("heavy", h) in sampled)
+        assert heavy_in >= 9, heavy_in
+
+    def test_threshold_grows_monotonically(self, rng):
+        pba = PriorityBasedAggregation(8, backend="qmax", seed=3)
+        last = 0.0
+        for i in range(2000):
+            pba.update(rng.randint(0, 300), rng.uniform(1, 10))
+            assert pba.threshold >= last
+            last = pba.threshold
+
+    def test_estimates_at_least_weight(self, rng):
+        pba = PriorityBasedAggregation(16, backend="heap", seed=4)
+        for i in range(1000):
+            pba.update(rng.randint(0, 100), rng.uniform(1, 5))
+        for _k, weight, est in pba.sample():
+            assert est >= weight
+
+    def test_subset_sum_reasonable(self, rng):
+        """With few enough keys that nothing is evicted, the estimate is
+        exact (every key sampled, estimate == weight)."""
+        pba = PriorityBasedAggregation(64, backend="qmax", seed=5)
+        truth = {}
+        for i in range(2000):
+            key = rng.randint(0, 30)
+            w = rng.uniform(1, 4)
+            truth[key] = truth.get(key, 0.0) + w
+            pba.update(key, w)
+        est = pba.estimate_subset_sum(lambda k: k < 10)
+        true_subset = sum(w for k, w in truth.items() if k < 10)
+        assert est == pytest.approx(true_subset, rel=1e-9)
+
+    def test_backend_names(self):
+        for backend in UPDATABLE_BACKENDS:
+            pba = PriorityBasedAggregation(4, backend=backend)
+            assert pba.backend_name == backend

@@ -1,0 +1,96 @@
+"""Tests for Priority Sampling (§2.1)."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.apps.priority_sampling import PrioritySampler
+from repro.apps.reservoirs import BACKENDS
+from repro.errors import ConfigurationError
+
+
+class TestPrioritySampler:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            PrioritySampler(0)
+        ps = PrioritySampler(4)
+        with pytest.raises(ConfigurationError):
+            ps.update("k", 0.0)
+        with pytest.raises(ConfigurationError):
+            ps.update("k", -1.0)
+
+    def test_underfull_sample_is_exact(self):
+        ps = PrioritySampler(10)
+        weights = {"a": 5.0, "b": 2.0, "c": 9.0}
+        for key, w in weights.items():
+            ps.update(key, w)
+        entries, tau = ps.sample()
+        assert tau == 0.0
+        assert {k: est for k, _w, est in entries} == weights
+        assert ps.estimate_total() == pytest.approx(16.0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_agree_exactly(self, backend, rng):
+        """The sample is a deterministic function of keys and weights,
+        so every backend must produce the identical sample."""
+        reference = PrioritySampler(50, backend="heap", seed=11)
+        other = PrioritySampler(50, backend=backend, seed=11)
+        for i in range(3000):
+            w = rng.uniform(1.0, 100.0)
+            reference.update(i, w)
+            other.update(i, w)
+        ref_entries, ref_tau = reference.sample()
+        got_entries, got_tau = other.sample()
+        assert got_tau == pytest.approx(ref_tau)
+        assert sorted(k for k, _, _ in got_entries) == sorted(
+            k for k, _, _ in ref_entries
+        )
+
+    def test_total_estimate_is_accurate(self, rng):
+        ps = PrioritySampler(400, seed=7)
+        total = 0.0
+        for i in range(10000):
+            w = rng.uniform(1.0, 50.0)
+            total += w
+            ps.update(i, w)
+        assert ps.estimate_total() == pytest.approx(total, rel=0.15)
+
+    def test_subset_estimate_unbiased_over_seeds(self, rng):
+        """Average the subset estimator over independent seeds; the mean
+        must approach the truth (unbiasedness)."""
+        weights = [rng.uniform(1.0, 20.0) for _ in range(800)]
+        truth = sum(w for i, w in enumerate(weights) if i % 3 == 0)
+        estimates = []
+        for seed in range(20):
+            ps = PrioritySampler(60, seed=seed)
+            for i, w in enumerate(weights):
+                ps.update(i, w)
+            estimates.append(
+                ps.estimate_subset_sum(lambda k: k % 3 == 0)
+            )
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_heavy_keys_almost_surely_sampled(self, rng):
+        """A key holding half the total weight must be in the sample."""
+        ps = PrioritySampler(30, seed=3)
+        ps.update("whale", 1e6)
+        for i in range(2000):
+            ps.update(i, rng.uniform(0.1, 2.0))
+        entries, _ = ps.sample()
+        assert "whale" in {k for k, _, _ in entries}
+
+    def test_deterministic_given_seed(self, rng):
+        stream = [(i, rng.uniform(1, 10)) for i in range(500)]
+        a, b = PrioritySampler(20, seed=5), PrioritySampler(20, seed=5)
+        for key, w in stream:
+            a.update(key, w)
+            b.update(key, w)
+        assert a.sample() == b.sample()
+
+    def test_processed_counter(self):
+        ps = PrioritySampler(5)
+        for i in range(17):
+            ps.update(i, 1.0)
+        assert ps.processed == 17

@@ -1,0 +1,83 @@
+"""Tests for slack-window priority sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.sliding_sampling import SlidingPrioritySampler
+from repro.errors import ConfigurationError
+
+
+class TestSlidingPrioritySampler:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlidingPrioritySampler(0, 100, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingPrioritySampler(4, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingPrioritySampler(4, 100, 0.0)
+        sampler = SlidingPrioritySampler(4, 100, 0.5)
+        with pytest.raises(ConfigurationError):
+            sampler.update("k", 0.0)
+
+    def test_underfull_window_exact(self):
+        sampler = SlidingPrioritySampler(10, window=1000, tau=0.5,
+                                         seed=1)
+        weights = {f"k{i}": float(i + 1) for i in range(5)}
+        for key, w in weights.items():
+            sampler.update(key, w)
+        entries, threshold = sampler.sample()
+        assert threshold == 0.0
+        assert {k: est for k, _w, est in entries} == weights
+
+    def test_estimates_window_total_not_stream_total(self, rng):
+        """After a heavy past, the estimate tracks only the window."""
+        window = 4000
+        sampler = SlidingPrioritySampler(400, window, tau=0.25, seed=2)
+        # Phase 1: huge weights (should be forgotten).
+        for i in range(10_000):
+            sampler.update(("old", i), 1000.0)
+        # Phase 2: exactly one window of weight-1 items.
+        for i in range(window):
+            sampler.update(("new", i), 1.0)
+        est = sampler.estimate_total()
+        assert est < 3 * window  # nowhere near the 1e7 of phase 1
+        assert est > window * 0.5
+
+    def test_subset_sum_in_window(self, rng):
+        window = 6000
+        sampler = SlidingPrioritySampler(600, window, tau=0.25, seed=3)
+        truth = 0.0
+        for i in range(window):  # single window, no expiry
+            w = rng.uniform(1, 10)
+            if i % 2 == 0:
+                truth += w
+            sampler.update(i, w)
+        est = sampler.estimate_subset_sum(
+            lambda key: isinstance(key, int) and key % 2 == 0
+        )
+        assert est == pytest.approx(truth, rel=0.35)
+
+    def test_recent_heavy_key_sampled(self, rng):
+        sampler = SlidingPrioritySampler(20, window=1000, tau=0.25,
+                                         seed=4)
+        for i in range(5000):
+            sampler.update(i, rng.uniform(0.5, 2.0))
+        sampler.update("whale", 1e8)
+        entries, _ = sampler.sample()
+        assert "whale" in {k for k, _w, _e in entries}
+
+    def test_sample_bounded_by_k(self, rng):
+        sampler = SlidingPrioritySampler(16, window=500, tau=0.5, seed=5)
+        for i in range(3000):
+            sampler.update(i, rng.uniform(1, 5))
+        entries, _ = sampler.sample()
+        assert len(entries) <= 16
+
+    def test_recurring_key_not_duplicated(self):
+        """A key recurring across blocks merges to one sample entry."""
+        sampler = SlidingPrioritySampler(8, window=100, tau=0.25, seed=6)
+        for _ in range(150):  # spans two blocks
+            sampler.update("same", 5.0)
+        entries, _ = sampler.sample()
+        assert [k for k, _w, _e in entries].count("same") == 1

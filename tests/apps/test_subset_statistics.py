@@ -1,0 +1,127 @@
+"""Tests for the extended subset statistics (§2.2) and mergeable KMV."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.apps.bottom_k import BottomKSketch
+from repro.apps.count_distinct import CountDistinct
+from repro.errors import ConfigurationError
+
+
+class TestSubsetStatistics:
+    @pytest.fixture
+    def populated(self, rng):
+        """A sketch over 3000 keys; evens have weights ~U(10,20), odds
+        ~U(100,110) — separable statistics per subset."""
+        bk = BottomKSketch(500, seed=9)
+        weights = {}
+        for i in range(3000):
+            w = (rng.uniform(10, 20) if i % 2 == 0
+                 else rng.uniform(100, 110))
+            weights[i] = w
+            bk.update(i, w)
+        return bk, weights
+
+    def test_subset_mean(self, populated):
+        bk, weights = populated
+        true_mean = statistics.mean(
+            w for k, w in weights.items() if k % 2 == 0
+        )
+        est = bk.estimate_subset_mean(lambda k: k % 2 == 0)
+        assert est == pytest.approx(true_mean, rel=0.15)
+
+    def test_subset_variance(self, populated):
+        bk, weights = populated
+        evens = [w for k, w in weights.items() if k % 2 == 0]
+        true_var = statistics.pvariance(evens)
+        est = bk.estimate_subset_variance(lambda k: k % 2 == 0)
+        # Variance estimates are noisy; require the right magnitude
+        # (U(10,20) has variance ~8.3, far from the odd subset's).
+        assert 0.2 * true_var < est < 5 * true_var
+
+    def test_subset_percentile_median(self, populated):
+        bk, weights = populated
+        odds = sorted(w for k, w in weights.items() if k % 2 == 1)
+        true_median = odds[len(odds) // 2]
+        est = bk.estimate_subset_percentile(lambda k: k % 2 == 1, 0.5)
+        assert est == pytest.approx(true_median, rel=0.05)
+
+    def test_percentile_extremes(self, populated):
+        bk, _ = populated
+        p01 = bk.estimate_subset_percentile(lambda k: True, 0.01)
+        p99 = bk.estimate_subset_percentile(lambda k: True, 0.99)
+        assert p01 < p99
+
+    def test_percentile_validates_fraction(self):
+        bk = BottomKSketch(4)
+        with pytest.raises(ConfigurationError):
+            bk.estimate_subset_percentile(lambda k: True, 1.5)
+
+    def test_empty_subset(self, populated):
+        bk, _ = populated
+        assert bk.estimate_subset_mean(lambda k: False) == 0.0
+        assert bk.estimate_subset_variance(lambda k: False) == 0.0
+        assert bk.estimate_subset_percentile(lambda k: False, 0.5) == 0.0
+
+    def test_underfull_exact(self):
+        bk = BottomKSketch(100, seed=1)
+        for i, w in enumerate([10.0, 20.0, 30.0]):
+            bk.update(i, w)
+        assert bk.estimate_subset_mean(lambda k: True) == pytest.approx(
+            20.0
+        )
+        assert bk.estimate_subset_variance(
+            lambda k: True
+        ) == pytest.approx(statistics.pvariance([10.0, 20.0, 30.0]))
+
+
+class TestMergeableKMV:
+    def test_union_estimate(self):
+        a = CountDistinct(256, seed=7)
+        b = CountDistinct(256, seed=7)
+        for i in range(4000):
+            a.update(f"a-{i}")
+        for i in range(2000):
+            b.update(f"b-{i}")
+        union = a.merge_estimate(b)
+        assert union == pytest.approx(6000, rel=0.25)
+
+    def test_union_with_overlap_not_double_counted(self):
+        a = CountDistinct(256, seed=8)
+        b = CountDistinct(256, seed=8)
+        for i in range(3000):
+            a.update(i)
+            b.update(i)  # identical streams
+        assert a.merge_estimate(b) == pytest.approx(3000, rel=0.25)
+
+    def test_intersection_estimate(self):
+        a = CountDistinct(512, seed=9)
+        b = CountDistinct(512, seed=9)
+        for i in range(4000):
+            a.update(i)
+        for i in range(2000, 6000):
+            b.update(i)
+        inter = a.intersection_estimate(b)
+        assert inter == pytest.approx(2000, rel=0.45)
+
+    def test_disjoint_intersection_near_zero(self):
+        a = CountDistinct(128, seed=10)
+        b = CountDistinct(128, seed=10)
+        for i in range(2000):
+            a.update(f"x{i}")
+            b.update(f"y{i}")
+        assert a.intersection_estimate(b) < 200
+
+    def test_merge_requires_equal_q(self):
+        with pytest.raises(ConfigurationError):
+            CountDistinct(64).merge_estimate(CountDistinct(32))
+        with pytest.raises(ConfigurationError):
+            CountDistinct(64).intersection_estimate(CountDistinct(32))
+
+    def test_empty_counters(self):
+        a, b = CountDistinct(16, seed=1), CountDistinct(16, seed=1)
+        assert a.merge_estimate(b) == 0.0
+        assert a.intersection_estimate(b) == 0.0

@@ -1,0 +1,101 @@
+"""Tests for the super-spreader / port-scan detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.superspreader import SuperSpreaderDetector, _MiniKMV
+from repro.errors import ConfigurationError
+
+
+class TestMiniKMV:
+    def test_exact_while_underfull(self):
+        kmv = _MiniKMV(8)
+        for v in (0.5, 0.2, 0.9):
+            kmv.add(v)
+        assert kmv.estimate() == 3.0
+
+    def test_duplicates_ignored(self):
+        kmv = _MiniKMV(4)
+        assert kmv.add(0.5) is True
+        assert kmv.add(0.5) is False
+        assert kmv.estimate() == 1.0
+
+    def test_keeps_minima(self):
+        kmv = _MiniKMV(2)
+        for v in (0.9, 0.5, 0.3, 0.7):
+            kmv.add(v)
+        assert kmv.values == [0.3, 0.5]
+
+    def test_estimate_formula(self):
+        kmv = _MiniKMV(3)
+        for v in (0.1, 0.2, 0.3):
+            kmv.add(v)
+        assert kmv.estimate() == pytest.approx((3 - 1) / 0.3)
+
+
+class TestSuperSpreaderDetector:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SuperSpreaderDetector(0)
+        with pytest.raises(ConfigurationError):
+            SuperSpreaderDetector(4, kmv_size=1)
+        det = SuperSpreaderDetector(4)
+        with pytest.raises(ConfigurationError):
+            det.scanners(0.0)
+
+    @pytest.mark.parametrize("backend", ["qmax", "heap", "skiplist"])
+    def test_detects_the_scanner(self, backend, rng):
+        """One source contacting 500 distinct ports among normal
+        traffic must top the spreader list."""
+        det = SuperSpreaderDetector(10, kmv_size=32, backend=backend,
+                                    seed=1)
+        for i in range(500):
+            det.update("scanner", ("victim", i))
+        for i in range(5000):
+            det.update(f"normal-{rng.randint(0, 500)}",
+                       ("web", rng.randint(0, 3)))
+        top = det.top_spreaders()
+        assert top[0][0] == "scanner"
+        assert top[0][1] == pytest.approx(500, rel=0.5)
+
+    def test_fanout_estimates_reasonable(self, rng):
+        det = SuperSpreaderDetector(20, kmv_size=64, seed=2)
+        for source, fanout in (("a", 300), ("b", 60), ("c", 5)):
+            for d in range(fanout):
+                det.update(source, (source, d))
+        assert det.fanout_of("a") == pytest.approx(300, rel=0.4)
+        assert det.fanout_of("b") == pytest.approx(60, rel=0.4)
+        assert det.fanout_of("c") == 5.0
+        # Ordering is what detection needs.
+        ranked = [s for s, _ in det.top_spreaders()]
+        assert ranked.index("a") < ranked.index("b") < ranked.index("c")
+
+    def test_repeat_contacts_do_not_inflate(self):
+        det = SuperSpreaderDetector(4, kmv_size=16, seed=3)
+        for _ in range(1000):
+            det.update("chatty", ("same-dest", 80))
+        assert det.fanout_of("chatty") == 1.0
+
+    def test_memory_bounded_by_reservoir(self, rng):
+        det = SuperSpreaderDetector(8, kmv_size=8, seed=4)
+        for i in range(5000):
+            det.update(f"src-{i}", ("d", i % 3))
+        # KMV state only for (about) the reservoir population.
+        assert det.tracked_sources <= 8 * 2 + 1
+
+    def test_scanners_threshold(self, rng):
+        det = SuperSpreaderDetector(10, kmv_size=32, seed=5)
+        for d in range(200):
+            det.update("loud", ("x", d))
+        for d in range(3):
+            det.update("quiet", ("x", d))
+        alarms = dict(det.scanners(threshold=50))
+        assert "loud" in alarms
+        assert "quiet" not in alarms
+
+    def test_processed_counter(self):
+        det = SuperSpreaderDetector(2)
+        for i in range(42):
+            det.update("s", i)
+        assert det.processed == 42

@@ -1,0 +1,162 @@
+"""Tests for UnivMon (§2.4) and Dynamic Bucket Merge (§2.5)."""
+
+from __future__ import annotations
+
+import collections
+import math
+
+import pytest
+
+from repro.apps.dbm import DynamicBucketMerge
+from repro.apps.univmon import UnivMon
+from repro.errors import ConfigurationError
+
+
+def _skewed_stream(rng, n):
+    stream = []
+    for _ in range(n):
+        if rng.random() < 0.8:
+            stream.append(rng.randint(0, 200))
+        else:
+            stream.append(rng.randint(0, 20000))
+    return stream
+
+
+class TestUnivMon:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            UnivMon(levels=0)
+        with pytest.raises(ConfigurationError):
+            UnivMon(q=0)
+
+    def test_level_assignment_halves(self):
+        um = UnivMon(levels=10, seed=1)
+        counts = collections.Counter(
+            um._level_of(i) for i in range(50000)
+        )
+        # Level ℓ should hold ~ 2^-(ℓ+1) of the keys.
+        assert counts[0] == pytest.approx(25000, rel=0.05)
+        assert counts[1] == pytest.approx(12500, rel=0.1)
+        assert counts[2] == pytest.approx(6250, rel=0.15)
+
+    @pytest.mark.parametrize("backend", ["qmax", "heap", "skiplist"])
+    def test_heavy_hitters_tracked(self, backend, rng):
+        um = UnivMon(levels=5, q=32, width=1024, depth=5,
+                     backend=backend, seed=2)
+        stream = ["hh"] * 3000 + [
+            rng.randint(0, 10000) for _ in range(3000)
+        ]
+        rng.shuffle(stream)
+        for key in stream:
+            um.update(key)
+        top = um.heavy_hitters(level=0)
+        assert top and top[0][0] == "hh"
+        assert top[0][1] == pytest.approx(3000, rel=0.1)
+
+    def test_f2_estimate(self, rng):
+        um = UnivMon(levels=7, q=64, width=2048, depth=5, seed=3)
+        stream = _skewed_stream(rng, 30000)
+        truth = collections.Counter(stream)
+        for key in stream:
+            um.update(key)
+        true_f2 = sum(c * c for c in truth.values())
+        assert 0.25 * true_f2 < um.estimate_f2() < 4 * true_f2
+
+    def test_entropy_estimate(self, rng):
+        um = UnivMon(levels=7, q=64, width=2048, depth=5, seed=4)
+        stream = _skewed_stream(rng, 30000)
+        truth = collections.Counter(stream)
+        for key in stream:
+            um.update(key)
+        n = len(stream)
+        true_entropy = -sum(
+            (c / n) * math.log2(c / n) for c in truth.values()
+        )
+        est = um.estimate_entropy()
+        assert est == pytest.approx(true_entropy, rel=0.4)
+
+    def test_empty(self):
+        um = UnivMon(levels=3)
+        assert um.estimate_entropy() == 0.0
+        assert um.estimate_f2() == 0.0
+
+    def test_total_counter(self):
+        um = UnivMon(levels=3, seed=5)
+        for i in range(50):
+            um.update(i)
+        assert um.total == 50
+
+
+@pytest.mark.parametrize("backend", ["heap", "qmax"])
+class TestDBM:
+    def test_bucket_budget_respected(self, backend, rng):
+        dbm = DynamicBucketMerge(16, bucket_seconds=0.5, backend=backend)
+        t = 0.0
+        for _ in range(2000):
+            t += rng.expovariate(20.0)
+            dbm.add(t, rng.uniform(64, 1500))
+            assert dbm.n_buckets <= 16
+        assert dbm.merges > 0
+
+    def test_total_bytes_conserved(self, backend, rng):
+        """Merging buckets must never lose or invent bytes."""
+        dbm = DynamicBucketMerge(8, bucket_seconds=1.0, backend=backend)
+        t, total = 0.0, 0.0
+        for _ in range(1500):
+            t += rng.expovariate(5.0)
+            b = rng.uniform(100, 1000)
+            total += b
+            dbm.add(t, b)
+        accounted = sum(nbytes for _s, _e, nbytes in dbm.buckets())
+        assert accounted == pytest.approx(total)
+
+    def test_buckets_contiguous_and_ordered(self, backend, rng):
+        dbm = DynamicBucketMerge(10, bucket_seconds=1.0, backend=backend)
+        t = 0.0
+        for _ in range(800):
+            t += rng.expovariate(3.0)
+            dbm.add(t, 100.0)
+        buckets = dbm.buckets()
+        for (s1, e1, _), (s2, _e2, _b2) in zip(buckets, buckets[1:]):
+            assert e1 <= s2 or e1 == pytest.approx(s2)
+            assert s1 < s2
+
+    def test_bandwidth_query(self, backend):
+        dbm = DynamicBucketMerge(100, bucket_seconds=1.0, backend=backend)
+        # 10 bytes at each second 0..9.
+        for sec in range(10):
+            dbm.add(float(sec), 10.0)
+        assert dbm.bandwidth(0.0, 10.0) == pytest.approx(100.0)
+        assert dbm.bandwidth(0.0, 5.0) == pytest.approx(50.0)
+
+    def test_bandwidth_rejects_bad_range(self, backend):
+        dbm = DynamicBucketMerge(4, backend=backend)
+        with pytest.raises(ConfigurationError):
+            dbm.bandwidth(5.0, 5.0)
+
+
+class TestDBMConfig:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            DynamicBucketMerge(1)
+        with pytest.raises(ConfigurationError):
+            DynamicBucketMerge(4, bucket_seconds=0)
+        with pytest.raises(ConfigurationError):
+            DynamicBucketMerge(4, backend="btree")
+
+    def test_backends_merge_similarly(self, rng):
+        """Both trackers must pick small-cost merges: the resulting
+        bucket byte distributions should be comparable."""
+        results = {}
+        for backend in ("heap", "qmax"):
+            dbm = DynamicBucketMerge(12, bucket_seconds=1.0,
+                                     backend=backend)
+            t = 0.0
+            rng2 = __import__("random").Random(42)
+            for _ in range(2000):
+                t += rng2.expovariate(10.0)
+                dbm.add(t, rng2.uniform(64, 1500))
+            sizes = sorted(b for _s, _e, b in dbm.buckets())
+            results[backend] = max(sizes)
+        ratio = results["qmax"] / results["heap"]
+        assert 0.3 < ratio < 3.0

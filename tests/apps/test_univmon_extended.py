@@ -1,0 +1,59 @@
+"""Additional UnivMon coverage: distinct-count G-sum and level scaling."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.apps.univmon import UnivMon
+
+
+class TestUnivMonDistinct:
+    def test_distinct_estimate_tracks_truth(self, rng):
+        um = UnivMon(levels=8, q=128, width=2048, depth=5, seed=6)
+        keys = set()
+        for _ in range(20000):
+            key = rng.randint(0, 3000)
+            keys.add(key)
+            um.update(key)
+        est = um.estimate_distinct()
+        assert 0.3 * len(keys) < est < 3 * len(keys)
+
+    def test_f1_gsum_matches_stream_length(self, rng):
+        """g(x) = x makes the G-sum the (exactly known) stream length —
+        the cheapest sanity check of the recursive estimator."""
+        um = UnivMon(levels=8, q=128, width=2048, depth=5, seed=7)
+        n = 15000
+        for _ in range(n):
+            um.update(rng.randint(0, 800))
+        est = um.estimate_gsum(lambda x: x)
+        assert est == pytest.approx(n, rel=0.5)
+
+    def test_one_level_degenerates_to_plain_tracking(self, rng):
+        """With levels=1 the G-sum is just the HH sum — exact when the
+        key set fits in the tracker."""
+        um = UnivMon(levels=1, q=64, width=2048, depth=5, seed=8)
+        truth = collections.Counter()
+        for _ in range(5000):
+            key = rng.randint(0, 30)
+            truth[key] += 1
+            um.update(key)
+        est = um.estimate_gsum(lambda x: x)
+        assert est == pytest.approx(5000, rel=0.1)
+
+    def test_entropy_of_uniform_near_log_n(self, rng):
+        """A near-uniform stream over 256 keys has entropy ≈ 8 bits."""
+        um = UnivMon(levels=9, q=256, width=4096, depth=5, seed=9)
+        for i in range(20000):
+            um.update(i % 256)
+        assert um.estimate_entropy() == pytest.approx(8.0, abs=1.5)
+
+    def test_skewed_entropy_below_uniform(self, rng):
+        """Heavy skew must reduce the estimated entropy."""
+        uniform = UnivMon(levels=8, q=128, width=2048, depth=5, seed=10)
+        skewed = UnivMon(levels=8, q=128, width=2048, depth=5, seed=10)
+        for i in range(15000):
+            uniform.update(i % 512)
+            skewed.update(0 if i % 10 else i % 512)
+        assert skewed.estimate_entropy() < uniform.estimate_entropy()

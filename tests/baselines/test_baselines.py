@@ -1,0 +1,141 @@
+"""Tests for the Heap / SkipList / SortedList q-MAX baselines.
+
+The baselines must agree exactly with the q-MAX implementations on
+every stream — the paper's comparisons are only meaningful if all
+backends compute the same answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.heap import HeapQMax
+from repro.baselines.skiplist import SkipList, SkipListQMax
+from repro.baselines.sortedlist import SortedListQMax
+from repro.errors import ConfigurationError, EmptyStructureError
+
+from tests.conftest import top_values, value_multiset
+
+BASELINES = [
+    pytest.param(HeapQMax, id="heap"),
+    pytest.param(SkipListQMax, id="skiplist"),
+    pytest.param(SortedListQMax, id="sortedlist"),
+]
+
+
+@pytest.mark.parametrize("cls", BASELINES)
+class TestBaselineCorrectness:
+    def test_random_stream(self, cls, rng):
+        q = 50
+        s = cls(q)
+        values = [rng.random() for _ in range(4000)]
+        for i, v in enumerate(values):
+            s.add(i, v)
+        assert value_multiset(s.query()) == top_values(values, q)
+        s.check_invariants()
+
+    def test_ascending_and_descending(self, cls):
+        s = cls(10)
+        for i in range(500):
+            s.add(i, float(i))
+        assert value_multiset(s.query()) == [float(v) for v in
+                                             range(499, 489, -1)]
+        s.reset()
+        for i in range(500):
+            s.add(i, float(-i))
+        assert value_multiset(s.query()) == [float(-v) for v in range(10)]
+
+    def test_duplicates(self, cls, rng):
+        s = cls(16)
+        values = [float(rng.randint(0, 2)) for _ in range(1000)]
+        for i, v in enumerate(values):
+            s.add(i, v)
+        assert value_multiset(s.query()) == top_values(values, 16)
+        s.check_invariants()
+
+    def test_underfull(self, cls):
+        s = cls(100)
+        s.add("a", 3.0)
+        s.add("b", 1.0)
+        assert value_multiset(s.query()) == [3.0, 1.0]
+
+    def test_single_eviction_semantics(self, cls):
+        """Baselines evict exactly one item per displacing insertion."""
+        s = cls(2, track_evictions=True)
+        s.add("a", 1.0)
+        s.add("b", 2.0)
+        assert s.take_evicted() == []
+        s.add("c", 3.0)
+        assert s.take_evicted() == [("a", 1.0)]
+        s.add("d", 0.5)  # below min: the item itself is discarded
+        assert s.take_evicted() == [("d", 0.5)]
+
+    def test_rejects_bad_q(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(0)
+
+    def test_size_never_exceeds_q(self, cls, rng):
+        s = cls(7)
+        for i in range(300):
+            s.add(i, rng.random())
+            assert len(s) <= 7
+        s.check_invariants()
+
+
+class TestSkipListStructure:
+    def test_ordered_iteration(self, rng):
+        sl = SkipList(seed=7)
+        values = [rng.random() for _ in range(500)]
+        for i, v in enumerate(values):
+            sl.insert(v, i)
+        assert [v for _, v in sl] == sorted(values)
+        sl.check_invariants()
+
+    def test_pop_min_drains_in_order(self, rng):
+        sl = SkipList(seed=3)
+        values = [rng.random() for _ in range(200)]
+        for i, v in enumerate(values):
+            sl.insert(v, i)
+        drained = [sl.pop_min()[1] for _ in range(len(values))]
+        assert drained == sorted(values)
+        assert len(sl) == 0
+
+    def test_empty_operations_raise(self):
+        sl = SkipList()
+        with pytest.raises(EmptyStructureError):
+            sl.min_value()
+        with pytest.raises(EmptyStructureError):
+            sl.pop_min()
+
+    def test_deterministic_given_seed(self, rng):
+        a, b = SkipList(seed=11), SkipList(seed=11)
+        for i in range(100):
+            v = rng.random()
+            a.insert(v, i)
+            b.insert(v, i)
+        assert [x for x in a] == [x for x in b]
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000),
+        min_size=1,
+        max_size=300,
+    ),
+    q=st.integers(min_value=1, max_value=30),
+)
+def test_all_backends_agree(values, q):
+    """Property: heap, skip list, and sorted list report identical
+    top-q value multisets on any stream."""
+    results = []
+    for cls in (HeapQMax, SkipListQMax, SortedListQMax):
+        s = cls(q)
+        for i, v in enumerate(values):
+            s.add(i, float(v))
+        results.append(value_multiset(s.query()))
+        s.check_invariants()
+    assert results[0] == results[1] == results[2]
+    assert results[0] == top_values([float(v) for v in values], q)

@@ -1,0 +1,102 @@
+"""Tests for the addressable IndexedHeap (classic LRFU / DBM substrate)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.heap import IndexedHeap
+from repro.errors import ConfigurationError, EmptyStructureError
+
+
+class TestIndexedHeap:
+    def test_push_and_pop_in_order(self, rng):
+        h = IndexedHeap()
+        values = {i: rng.random() for i in range(300)}
+        for k, v in values.items():
+            h.push(k, v)
+        drained = [h.pop_min()[1] for _ in range(len(values))]
+        assert drained == sorted(values.values())
+
+    def test_peek_does_not_remove(self):
+        h = IndexedHeap()
+        h.push("a", 2.0)
+        h.push("b", 1.0)
+        assert h.peek_min() == ("b", 1.0)
+        assert len(h) == 2
+
+    def test_update_key_both_directions(self):
+        h = IndexedHeap()
+        for k, v in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            h.push(k, v)
+        h.update("a", 10.0)  # increase
+        assert h.peek_min() == ("b", 2.0)
+        h.update("c", 0.5)  # decrease
+        assert h.peek_min() == ("c", 0.5)
+        h.check_invariants()
+
+    def test_remove_arbitrary(self, rng):
+        h = IndexedHeap()
+        for i in range(50):
+            h.push(i, rng.random())
+        assert h.remove(25) is not None
+        assert 25 not in h
+        assert len(h) == 49
+        h.check_invariants()
+
+    def test_value_of(self):
+        h = IndexedHeap()
+        h.push("x", 7.5)
+        assert h.value_of("x") == 7.5
+
+    def test_duplicate_push_rejected(self):
+        h = IndexedHeap()
+        h.push("x", 1.0)
+        with pytest.raises(ConfigurationError):
+            h.push("x", 2.0)
+
+    def test_empty_operations_raise(self):
+        h = IndexedHeap()
+        with pytest.raises(EmptyStructureError):
+            h.pop_min()
+        with pytest.raises(EmptyStructureError):
+            h.peek_min()
+
+    def test_contains(self):
+        h = IndexedHeap()
+        h.push(1, 1.0)
+        assert 1 in h and 2 not in h
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pop", "update", "remove"]),
+            st.integers(min_value=0, max_value=20),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+        ),
+        max_size=200,
+    )
+)
+def test_indexed_heap_random_ops(ops):
+    """Property: after any op sequence the heap invariants hold and the
+    contents match a dict model."""
+    h = IndexedHeap()
+    model = {}
+    for op, key, val in ops:
+        if op == "push" and key not in model:
+            h.push(key, val)
+            model[key] = val
+        elif op == "pop" and model:
+            k, v = h.pop_min()
+            assert v == min(model.values())
+            assert model.pop(k) == v
+        elif op == "update" and key in model:
+            h.update(key, val)
+            model[key] = val
+        elif op == "remove" and key in model:
+            assert h.remove(key) == model.pop(key)
+    h.check_invariants()
+    assert dict(h.items()) == model

@@ -1,0 +1,120 @@
+"""Tests for the benchmark substrate (runner, stats, workloads, report)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.bench.reporting import print_series, print_table
+from repro.bench.runner import Measurement, measure_callable, measure_throughput, mpps
+from repro.bench.stats import confidence_interval, summarize
+from repro.bench.workloads import cache_stream, packet_trace, trace_streams, value_stream
+from repro.errors import ConfigurationError
+
+
+class TestStats:
+    def test_t_interval_matches_scipy(self):
+        samples = [1.0, 1.2, 0.9, 1.1, 1.05]
+        mean, half = confidence_interval(samples, 0.99)
+        low, high = scipy_stats.t.interval(
+            0.99,
+            df=len(samples) - 1,
+            loc=mean,
+            scale=scipy_stats.sem(samples),
+        )
+        assert mean - half == pytest.approx(low)
+        assert mean + half == pytest.approx(high)
+
+    def test_wider_confidence_wider_interval(self):
+        samples = [0.8, 1.0, 1.2]
+        _, half95 = confidence_interval(samples, 0.95)
+        _, half99 = confidence_interval(samples, 0.99)
+        assert half99 > half95
+
+    def test_summarize_format(self):
+        text = summarize([2.0, 2.0])
+        assert text.startswith("2.000 ±")
+
+
+class TestRunner:
+    def test_mpps_helper(self):
+        assert mpps(2_000_000, 1.0) == 2.0
+
+    def test_measurement_properties(self):
+        m = Measurement("x", n_items=1_000_000,
+                        seconds_per_run=(1.0, 1.0))
+        assert m.mpps == pytest.approx(1.0)
+        mean, half = m.mpps_ci
+        assert mean == pytest.approx(1.0)
+        assert half == 0.0
+
+    def test_measure_throughput_counts_each_run_freshly(self):
+        built = []
+
+        def make_consumer():
+            state = []
+            built.append(state)
+            return lambda i, v: state.append(i)
+
+        stream = [(i, 0.0) for i in range(100)]
+        measure_throughput("t", make_consumer, stream, repeats=3)
+        assert len(built) == 3
+        assert all(len(s) == 100 for s in built)
+
+    def test_measure_throughput_validates(self):
+        with pytest.raises(ConfigurationError):
+            measure_throughput("t", lambda: None, [], repeats=1)
+        with pytest.raises(ConfigurationError):
+            measure_throughput("t", lambda: None, [(1, 1.0)], repeats=0)
+
+    def test_measure_callable(self):
+        m = measure_callable("t", lambda: (lambda: 1000), repeats=2)
+        assert m.n_items == 1000
+        assert m.mpps > 0
+
+    def test_measure_callable_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            measure_callable("t", lambda: (lambda: 0), repeats=1)
+
+
+class TestWorkloads:
+    def test_value_stream_cached_and_deterministic(self):
+        a = value_stream(1000, seed=1)
+        b = value_stream(1000, seed=1)
+        assert a is b  # lru_cache
+        assert a[0] == b[0]
+
+    def test_trace_streams_have_all_profiles(self):
+        streams = trace_streams(500)
+        assert set(streams) == {"caida16", "caida18", "univ1"}
+        for stream in streams.values():
+            assert len(stream) == 500
+            key, weight = stream[0]
+            assert isinstance(key, int) and weight > 0
+
+    def test_cache_stream(self):
+        trace = cache_stream(1000)
+        assert len(trace) == 1000
+
+    def test_packet_trace_profiles(self):
+        pkts = packet_trace(200, profile="univ1")
+        assert len(pkts) == 200
+
+
+class TestReporting:
+    def test_print_table_alignment(self, capsys):
+        text = print_table("Title", ["a", "bb"], [[1, 2.5], [10, 0.25]])
+        assert "Title" in text
+        assert "2.500" in text
+        out = capsys.readouterr().out
+        assert "Title" in out
+
+    def test_print_table_empty_rows(self):
+        text = print_table("Empty", ["col"], [])
+        assert "Empty" in text
+
+    def test_print_series_column_per_line(self):
+        text = print_series("S", "x", [1], {"a": [2.0], "b": [3.0]})
+        assert "a" in text and "b" in text and "2.000" in text

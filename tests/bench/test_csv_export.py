@@ -1,0 +1,32 @@
+"""Tests for the CSV export side channel of the reporting module."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import _slugify, print_series, print_table
+
+
+class TestCsvExport:
+    def test_export_on_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CSV_DIR", str(tmp_path))
+        print_table("Figure 99: demo table", ["q", "MPPS"],
+                    [[100, 1.5], [1000, 0.5]])
+        files = list(tmp_path.glob("*.csv"))
+        assert len(files) == 1
+        content = files[0].read_text()
+        assert content.startswith("q,MPPS")
+        assert "100,1.5" in content
+
+    def test_series_export(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CSV_DIR", str(tmp_path))
+        print_series("S vs x", "x", [1, 2], {"a": [0.1, 0.2]})
+        (csv_file,) = tmp_path.glob("*.csv")
+        assert "x,a" in csv_file.read_text()
+
+    def test_no_export_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CSV_DIR", raising=False)
+        print_table("T", ["c"], [[1]])
+        assert not list(tmp_path.glob("*.csv"))
+
+    def test_slugify(self):
+        assert _slugify("Figure 4: q-MAX vs γ!") == "figure-4-q-max-vs"
+        assert _slugify("***") == "table"

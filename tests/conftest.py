@@ -1,0 +1,23 @@
+"""Shared pytest fixtures and helpers for the repro test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG; tests must not use the global random state."""
+    return random.Random(0xC0FFEE)
+
+
+def top_values(values, q):
+    """Reference top-q: the q largest values, sorted descending."""
+    return sorted(values, reverse=True)[:q]
+
+
+def value_multiset(items):
+    """Values of (id, value) pairs, sorted descending (tie-insensitive)."""
+    return sorted((v for _, v in items), reverse=True)

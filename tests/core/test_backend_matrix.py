@@ -1,0 +1,93 @@
+"""Cross-backend matrix tests: every wrapper × every reservoir backend.
+
+The adapters (QMin, ExponentialDecayQMax) and the reservoir factory are
+advertised as backend-agnostic; this module pins that claim across the
+full matrix, including the amortized/deamortized q-MAX variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.reservoirs import BACKENDS, make_reservoir
+from repro.core.exponential_decay import ExponentialDecayQMax
+from repro.core.qmin import QMin
+
+from tests.conftest import top_values, value_multiset
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestQMinAcrossBackends:
+    def test_keeps_smallest(self, backend, rng):
+        qmin = QMin(16, backend=lambda n: make_reservoir(backend, n))
+        values = [rng.uniform(-50, 50) for _ in range(3000)]
+        for i, v in enumerate(values):
+            qmin.add(i, v)
+        assert [v for _, v in qmin.query()] == sorted(values)[:16]
+
+    def test_reset_and_reuse(self, backend, rng):
+        qmin = QMin(4, backend=lambda n: make_reservoir(backend, n))
+        for i in range(100):
+            qmin.add(i, float(i))
+        qmin.reset()
+        for i in range(100):
+            qmin.add(i, float(-i))
+        assert [v for _, v in qmin.query()] == [-99.0, -98.0, -97.0,
+                                                -96.0]
+
+    def test_invariants(self, backend, rng):
+        qmin = QMin(8, backend=lambda n: make_reservoir(backend, n))
+        for i in range(500):
+            qmin.add(i, rng.gauss(0, 10))
+        qmin.check_invariants()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestExponentialDecayAcrossBackends:
+    def test_recency_wins_with_equal_weights(self, backend):
+        ed = ExponentialDecayQMax(
+            5, decay=0.9,
+            backend=lambda n: make_reservoir(backend, n),
+        )
+        for i in range(500):
+            ed.add(i, 1.0)
+        assert sorted(i for i, _ in ed.query()) == list(range(495, 500))
+
+    def test_heavy_old_item_survives(self, backend):
+        ed = ExponentialDecayQMax(
+            1, decay=0.995,
+            backend=lambda n: make_reservoir(backend, n),
+        )
+        ed.add("whale", 1e9)
+        for i in range(300):
+            ed.add(i, 1.0)
+        assert ed.query()[0][0] == "whale"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestReservoirFactoryContract:
+    def test_produces_working_reservoir(self, backend, rng):
+        reservoir = make_reservoir(backend, 12, gamma=0.5)
+        values = [rng.random() for _ in range(1000)]
+        for i, v in enumerate(values):
+            reservoir.add(i, v)
+        assert value_multiset(reservoir.query()) == top_values(values,
+                                                               12)
+
+    def test_eviction_tracking_flag(self, backend):
+        reservoir = make_reservoir(backend, 2, track_evictions=True)
+        for i in range(10):
+            reservoir.add(i, float(i))
+        evicted = reservoir.take_evicted()
+        live = list(reservoir.items())
+        assert len(evicted) + len(live) == 10
+
+    def test_name_is_informative(self, backend):
+        assert make_reservoir(backend, 4).name
+
+
+def test_factory_rejects_unknown_backend():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        make_reservoir("btree", 4)

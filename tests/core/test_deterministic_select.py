@@ -1,0 +1,144 @@
+"""Tests for the deterministic (BFPRT) stepwise Select."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qmax import QMax
+from repro.core.select import (
+    run_to_completion,
+    stepwise_select_deterministic,
+)
+from repro.errors import ConfigurationError
+
+from tests.conftest import top_values, value_multiset
+
+
+def _select(values, rank, budget=16):
+    vals = list(values)
+    ids = list(range(len(vals)))
+    gen = stepwise_select_deterministic(
+        vals, ids, 0, len(vals), rank, budget
+    )
+    result = run_to_completion(gen)
+    return result, vals
+
+
+class TestBfprtSelect:
+    def test_matches_sorted_reference(self, rng):
+        for _ in range(30):
+            n = rng.randint(1, 300)
+            values = [rng.uniform(-100, 100) for _ in range(n)]
+            rank = rng.randint(0, n - 1)
+            result, after = _select(values, rank)
+            assert result == sorted(values)[rank]
+            assert sorted(after) == sorted(values)  # permutation
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            list(range(200)),                      # sorted ascending
+            list(range(200, 0, -1)),               # sorted descending
+            [5.0] * 150,                           # all equal
+            [1.0, 2.0] * 100,                      # two values
+            list(range(100)) + list(range(100, 0, -1)),  # organ pipe
+        ],
+        ids=["asc", "desc", "equal", "binary", "organ-pipe"],
+    )
+    def test_adversarial_patterns(self, values):
+        """Inputs that degrade quickselect leave BFPRT linear."""
+        values = [float(v) for v in values]
+        for rank in (0, len(values) // 2, len(values) - 1):
+            result, _ = _select(values, rank)
+            assert result == sorted(values)[rank]
+
+    def test_deterministic_op_bound(self, rng):
+        """Total operations stay within the linear BFPRT bound even on
+        a sorted (quickselect-adversarial) input."""
+        n = 2000
+        values = [float(i) for i in range(n)]
+        vals, ids = list(values), list(range(n))
+        gen = stepwise_select_deterministic(vals, ids, 0, n, n // 2, 64)
+        total_ops = 0
+        try:
+            while True:
+                total_ops += next(gen)
+        except StopIteration:
+            pass
+        assert total_ops < 30 * n, total_ops
+
+    def test_budget_respected(self, rng):
+        values = [rng.random() for _ in range(500)]
+        vals, ids = list(values), list(range(500))
+        gen = stepwise_select_deterministic(vals, ids, 0, 500, 250, 16)
+        chunks = []
+        try:
+            while True:
+                chunks.append(next(gen))
+        except StopIteration:
+            pass
+        assert max(chunks) <= 16 + 16  # budget + small-region tail
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            list(stepwise_select_deterministic([1.0], [0], 0, 1, 5, 4))
+        with pytest.raises(ConfigurationError):
+            list(stepwise_select_deterministic([1.0], [0], 0, 1, 0, 0))
+
+
+class TestQMaxWithDeterministicSelect:
+    def test_correct_on_random_stream(self, rng):
+        q = 50
+        qmax = QMax(q, 0.5, deterministic_select=True)
+        values = [rng.random() for _ in range(8000)]
+        for i, v in enumerate(values):
+            qmax.add(i, v)
+        assert value_multiset(qmax.query()) == top_values(values, q)
+        qmax.check_invariants()
+
+    def test_correct_on_ascending_adversary(self):
+        """A strictly ascending stream admits everything and makes
+        quickselect's recursion worst-case; the BFPRT variant keeps the
+        bounded schedule."""
+        q = 64
+        qmax = QMax(q, 0.5, deterministic_select=True, instrument=True)
+        n = 20000
+        for i in range(n):
+            qmax.add(i, float(i))
+        assert value_multiset(qmax.query()) == [
+            float(v) for v in range(n - 1, n - 1 - q, -1)
+        ]
+        # Worst-case per-update burst stays bounded (far below q·(1+γ)).
+        assert qmax.max_step_ops < 20 * (1 + 2 / 0.5) * 8 * 4
+
+    def test_matches_quickselect_variant(self, rng):
+        values = [rng.gauss(0, 10) for _ in range(5000)]
+        a = QMax(32, 0.3, deterministic_select=True)
+        b = QMax(32, 0.3, deterministic_select=False)
+        for i, v in enumerate(values):
+            a.add(i, v)
+            b.add(i, v)
+        assert value_multiset(a.query()) == value_multiset(b.query())
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000),
+        min_size=1,
+        max_size=150,
+    ),
+    rank_seed=st.integers(min_value=0, max_value=10**6),
+    budget=st.integers(min_value=1, max_value=64),
+)
+def test_bfprt_property(values, rank_seed, budget):
+    """Property: BFPRT equals the sorted reference for any input, rank
+    and budget."""
+    rank = rank_seed % len(values)
+    result, after = _select([float(v) for v in values], rank, budget)
+    assert result == sorted(float(v) for v in values)[rank]
+    assert sorted(after) == sorted(float(v) for v in values)

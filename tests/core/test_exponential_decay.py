@@ -1,0 +1,120 @@
+"""Tests for Exponential-Decay q-MAX (§5): the log-domain reduction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.amortized import AmortizedQMax
+from repro.core.exponential_decay import ExponentialDecayQMax
+from repro.errors import ConfigurationError
+
+
+def brute_force_decayed_topq(arrivals, decay, q):
+    """Reference: decayed weight of arrival i is val·c^(t-1-i) at query
+    time t = len(arrivals)."""
+    t = len(arrivals)
+    weighted = [
+        (i, val * decay ** (t - 1 - i)) for i, (_, val) in enumerate(arrivals)
+    ]
+    weighted.sort(key=lambda p: p[1], reverse=True)
+    return weighted[:q]
+
+
+class TestExponentialDecay:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDecayQMax(4, decay=0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDecayQMax(4, decay=1.5)
+        ed = ExponentialDecayQMax(4, decay=0.5)
+        with pytest.raises(ConfigurationError):
+            ed.add("x", 0.0)
+        with pytest.raises(ConfigurationError):
+            ed.add("x", -3.0)
+
+    def test_equal_weights_keep_most_recent(self):
+        """With all weights 1, decay strictly favours recency."""
+        ed = ExponentialDecayQMax(5, decay=0.9)
+        for i in range(100):
+            ed.add(i, 1.0)
+        assert sorted(i for i, _ in ed.query()) == [95, 96, 97, 98, 99]
+
+    def test_large_old_value_survives(self):
+        """A big enough old value outlasts small recent ones."""
+        ed = ExponentialDecayQMax(1, decay=0.99)
+        ed.add("elephant", 1e6)
+        for i in range(100):
+            ed.add(i, 1.0)
+        # 1e6 · 0.99^100 ≈ 3.7e5 >> 1
+        assert ed.query()[0][0] == "elephant"
+
+    def test_matches_brute_force(self, rng):
+        decay, q = 0.95, 8
+        ed = ExponentialDecayQMax(
+            q, decay, backend=lambda n: AmortizedQMax(n, 0.5)
+        )
+        arrivals = [(i, rng.uniform(0.1, 10.0)) for i in range(400)]
+        for item_id, val in arrivals:
+            ed.add(item_id, val)
+        expected = brute_force_decayed_topq(arrivals, decay, q)
+        got = ed.query()
+        assert [i for i, _ in got] == [i for i, _ in expected]
+        for (_, got_w), (_, exp_w) in zip(got, expected):
+            assert got_w == pytest.approx(exp_w, rel=1e-6)
+
+    def test_numerical_stability_long_stream(self):
+        """The naive c^{-i} transform overflows around i ≈ 7e2 for
+        c = 0.9; the log-domain version runs millions of steps."""
+        ed = ExponentialDecayQMax(3, decay=0.9)
+        for i in range(200_000):
+            ed.add(i, 1.0)
+        result = ed.query()
+        assert sorted(i for i, _ in result) == [199997, 199998, 199999]
+        assert all(math.isfinite(w) for _, w in result)
+
+    def test_decay_one_is_plain_qmax(self, rng):
+        ed = ExponentialDecayQMax(4, decay=1.0)
+        values = [rng.uniform(0.1, 5.0) for _ in range(300)]
+        for i, v in enumerate(values):
+            ed.add(i, v)
+        got = [v for _, v in ed.query()]
+        assert got == pytest.approx(sorted(values, reverse=True)[:4])
+
+    def test_reset(self):
+        ed = ExponentialDecayQMax(4, decay=0.9)
+        for i in range(100):
+            ed.add(i, 1.0)
+        ed.reset()
+        assert ed.now == 0
+        assert ed.query() == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    weights=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=150,
+    ),
+    decay=st.sampled_from([0.5, 0.9, 0.99]),
+    q=st.integers(min_value=1, max_value=10),
+)
+def test_decay_ordering_property(weights, decay, q):
+    """Property (§5): the log-domain transform preserves the decayed-
+    weight ordering — reported ids match the brute force for any
+    positive weight sequence (comparing by weight, ties arbitrary)."""
+    ed = ExponentialDecayQMax(
+        q, decay, backend=lambda n: AmortizedQMax(n, 0.5)
+    )
+    arrivals = [(i, w) for i, w in enumerate(weights)]
+    for item_id, val in arrivals:
+        ed.add(item_id, val)
+    expected = brute_force_decayed_topq(arrivals, decay, q)
+    got = ed.query()
+    got_weights = sorted((w for _, w in got), reverse=True)
+    exp_weights = sorted((w for _, w in expected), reverse=True)
+    assert got_weights == pytest.approx(exp_weights, rel=1e-6)

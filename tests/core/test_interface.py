@@ -1,0 +1,65 @@
+"""Tests for the QMaxBase interface defaults and the types module."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.core.interface import QMaxBase
+from repro.types import Item, ItemId, Value
+
+
+class _ListBacked(QMaxBase):
+    """Minimal concrete implementation exercising only the defaults."""
+
+    def __init__(self, q: int) -> None:
+        self.q = q
+        self._items: List[Item] = []
+
+    def add(self, item_id: ItemId, val: Value) -> None:
+        self._items.append((item_id, val))
+
+    def items(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def reset(self) -> None:
+        self._items = []
+
+
+class TestInterfaceDefaults:
+    def test_query_default_sorts_descending(self):
+        s = _ListBacked(3)
+        for item_id, val in [("a", 1.0), ("b", 9.0), ("c", 5.0),
+                             ("d", 7.0)]:
+            s.add(item_id, val)
+        assert s.query() == [("b", 9.0), ("d", 7.0), ("c", 5.0)]
+
+    def test_query_underfull(self):
+        s = _ListBacked(10)
+        s.add("x", 1.0)
+        assert s.query() == [("x", 1.0)]
+
+    def test_extend_feeds_add(self):
+        s = _ListBacked(4)
+        s.extend((i, float(i)) for i in range(5))
+        assert len(list(s.items())) == 5
+
+    def test_take_evicted_default_empty(self):
+        assert _ListBacked(2).take_evicted() == []
+
+    def test_check_invariants_default_noop(self):
+        _ListBacked(2).check_invariants()
+
+    def test_name_default(self):
+        assert _ListBacked(2).name == "_ListBacked"
+
+    def test_repr(self):
+        assert "q=2" in repr(_ListBacked(2))
+
+
+class TestTypesModule:
+    def test_aliases_importable(self):
+        from repro import types
+
+        assert types.Item is not None
+        assert types.TopItems is not None
+        assert types.ItemStream is not None

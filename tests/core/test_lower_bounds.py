@@ -1,0 +1,102 @@
+"""Tests running the Theorem-4 adversary against our sliding structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchical import HierarchicalSlidingQMax
+from repro.core.lower_bounds import (
+    required_live_values,
+    slack_window_adversary,
+)
+from repro.core.sliding import SlidingQMax
+from repro.errors import ConfigurationError
+
+from tests.conftest import value_multiset
+
+
+class TestAdversaryConstruction:
+    def test_shape(self):
+        q, window, tau = 4, 400, 0.125
+        stream, chain = slack_window_adversary(q, window, tau)
+        assert len(stream) <= window
+        # tau^-1/2 = 4 phases of q chain values each.
+        assert len(chain) == 4 * q
+        assert chain == sorted(chain, reverse=True)
+        values = [v for _, v in stream]
+        for x in chain:
+            assert x in values
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            slack_window_adversary(0, 100, 0.5)
+        with pytest.raises(ConfigurationError):
+            slack_window_adversary(4, 100, 2.0)
+        with pytest.raises(ConfigurationError):
+            # 2*W*tau < q: a phase cannot host q chain values.
+            slack_window_adversary(50, 100, 0.1)
+
+    def test_required_values_shrink_with_exposure(self):
+        _stream, chain = slack_window_adversary(4, 400, 0.125)
+        assert required_live_values(chain, 4, 0) == chain
+        assert len(required_live_values(chain, 4, 2)) == len(chain) - 8
+        assert required_live_values(chain, 4, 100) == []
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(lambda q, w, t: SlidingQMax(q, w, t), id="basic"),
+        pytest.param(
+            lambda q, w, t: HierarchicalSlidingQMax(q, w, t, levels=2),
+            id="hierarchical",
+        ),
+    ],
+)
+class TestAdversaryAgainstStructures:
+    def test_every_future_window_answerable(self, factory):
+        """Theorem 4's probe: after k filler blocks, the top-q must be
+        phase k's chain values — for every k.  An algorithm that
+        dropped any chain value would fail some k."""
+        q, window, tau = 4, 512, 0.0625  # 8 phases of 64 items
+        stream, chain = slack_window_adversary(q, window, tau)
+        structure = factory(q, window, tau)
+        next_id = len(stream)
+        for item_id, val in stream:
+            structure.add(item_id, val)
+
+        phase_len = int(2 * window * tau)
+        n_phases = len(chain) // q
+        for k in range(n_phases):
+            if k > 0:
+                for _ in range(phase_len):
+                    structure.add(next_id, 0.0)
+                    next_id += 1
+            got = value_multiset(structure.query())
+            expected = chain[k * q:(k + 1) * q]
+            assert got == expected, (k, got, expected)
+
+    def test_structure_stores_required_items(self, factory):
+        """The space lower bound in action: immediately after the
+        adversarial stream, the chain values are live.  The exposed
+        live view covers a suffix that may legally be as short as
+        W(1-τ), so the single oldest phase may be excluded."""
+        q, window, tau = 4, 512, 0.0625
+        stream, chain = slack_window_adversary(q, window, tau)
+        structure = factory(q, window, tau)
+        for item_id, val in stream:
+            structure.add(item_id, val)
+        # Collect everything the structure retains anywhere (the
+        # queryable view may cover only a W(1-τ) suffix; retained
+        # per-block reservoirs hold the rest).
+        if isinstance(structure, HierarchicalSlidingQMax):
+            live_values = {
+                v
+                for level in structure._levels
+                for block in level.blocks
+                for _, v in block.items()
+            }
+        else:
+            live_values = {v for _, v in structure.items()}
+        for x in chain:
+            assert x in live_values

@@ -1,0 +1,113 @@
+"""Tests for MergingQMax (the §5.1 duplicate-merging machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merging import MergingQMax
+from repro.errors import ConfigurationError
+
+
+class TestMergingQMax:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            MergingQMax(0)
+        with pytest.raises(ConfigurationError):
+            MergingQMax(5, gamma=0)
+
+    def test_sum_merge_with_few_keys(self):
+        """With at most q distinct keys nothing is evicted, so merged
+        sums are exact."""
+        m = MergingQMax(8, gamma=0.5, merge=lambda a, b: a + b)
+        for i in range(400):
+            m.add(i % 4, 1.0)
+        result = dict(m.query())
+        assert result == {0: 100.0, 1: 100.0, 2: 100.0, 3: 100.0}
+
+    def test_max_merge(self, rng):
+        m = MergingQMax(4, gamma=1.0, merge=max)
+        best = {}
+        for _ in range(500):
+            key = rng.randint(0, 3)
+            val = rng.random()
+            best[key] = max(best.get(key, 0.0), val)
+            m.add(key, val)
+        assert dict(m.query()) == best
+
+    def test_membership_and_len(self):
+        m = MergingQMax(4, gamma=0.5)
+        assert "a" not in m
+        m.add("a", 1.0)
+        m.add("a", 2.0)
+        m.add("b", 3.0)
+        assert "a" in m and "b" in m
+        assert len(m) == 2
+
+    def test_eviction_drops_whole_key(self):
+        """When a key is evicted at maintenance, its membership ends and
+        it appears exactly once in the eviction drain."""
+        m = MergingQMax(2, gamma=0.5, merge=max, track_evictions=True)
+        # cap = 2 + 1 = 3; third distinct key triggers maintenance.
+        m.add("low", 1.0)
+        m.add("mid", 2.0)
+        m.add("high", 3.0)
+        evicted = m.take_evicted()
+        assert evicted == [("low", 1.0)]
+        assert "low" not in m
+        assert "mid" in m and "high" in m
+
+    def test_log_sum_exp_merge(self):
+        """The paper's LRFU merge: log(e^w1 + e^w2) computed stably."""
+
+        def lse(w1, w2):
+            if w1 < w2:
+                w1, w2 = w2, w1
+            return w1 + math.log1p(math.exp(w2 - w1))
+
+        m = MergingQMax(4, gamma=0.5, merge=lse)
+        for _ in range(10):
+            m.add("x", 0.0)  # ten entries of weight e^0 = 1
+        m.flush()
+        ((key, logw),) = [e for e in m.query() if e[0] == "x"]
+        assert logw == pytest.approx(math.log(10.0))
+
+    def test_query_merges_unflushed_duplicates(self):
+        m = MergingQMax(4, gamma=10.0, merge=lambda a, b: a + b)
+        m.add("k", 1.0)
+        m.add("k", 2.0)  # buffer not yet full — merged on the fly
+        assert dict(m.query()) == {"k": 3.0}
+
+    def test_reset(self):
+        m = MergingQMax(4)
+        m.add("a", 1.0)
+        m.reset()
+        assert len(m) == 0
+        assert m.query() == []
+
+    def test_invariants_after_random_ops(self, rng):
+        m = MergingQMax(8, gamma=0.4, merge=max, track_evictions=True)
+        for _ in range(2000):
+            m.add(rng.randint(0, 30), rng.random())
+        m.check_invariants()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=5), min_size=1,
+                  max_size=300),
+    q=st.integers(min_value=6, max_value=12),
+)
+def test_merging_exact_when_keys_fit(keys, q):
+    """Property: with ≤ 6 distinct keys and q ≥ 6, counting via
+    sum-merge is exact regardless of maintenance timing."""
+    m = MergingQMax(q, gamma=0.3, merge=lambda a, b: a + b)
+    counts = {}
+    for k in keys:
+        m.add(k, 1.0)
+        counts[k] = counts.get(k, 0) + 1
+    assert dict(m.query()) == {k: float(c) for k, c in counts.items()}
+    m.check_invariants()

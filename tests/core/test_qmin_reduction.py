@@ -1,0 +1,95 @@
+"""Tests for the QMin adapter and the Algorithm-2 sorting reduction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.heap import HeapQMax
+from repro.core.amortized import AmortizedQMax
+from repro.core.qmax import QMax
+from repro.core.qmin import QMin
+from repro.core.reduction import sort_via_qmax
+from repro.errors import ConfigurationError
+
+
+class TestQMin:
+    def test_keeps_smallest(self, rng):
+        qmin = QMin(8, backend=lambda q: QMax(q, 0.25))
+        values = [rng.random() for _ in range(3000)]
+        for i, v in enumerate(values):
+            qmin.add(i, v)
+        got = [v for _, v in qmin.query()]
+        assert got == sorted(values)[:8]
+
+    def test_query_sorted_ascending(self, rng):
+        qmin = QMin(5)
+        for i in range(100):
+            qmin.add(i, rng.random())
+        got = [v for _, v in qmin.query()]
+        assert got == sorted(got)
+
+    def test_items_restore_sign(self):
+        qmin = QMin(3)
+        qmin.add("a", 4.0)
+        qmin.add("b", 2.0)
+        assert dict(qmin.items()) == {"a": 4.0, "b": 2.0}
+
+    def test_evictions_restore_sign(self):
+        qmin = QMin(1, backend=lambda q: HeapQMax(q, track_evictions=True))
+        qmin.add("a", 1.0)
+        qmin.add("b", 5.0)
+        assert qmin.take_evicted() == [("b", 5.0)]
+
+    def test_reset(self, rng):
+        qmin = QMin(3)
+        for i in range(50):
+            qmin.add(i, rng.random())
+        qmin.reset()
+        assert qmin.query() == []
+
+
+class TestSortingReduction:
+    @pytest.mark.parametrize("psi", [1, 2, 5])
+    def test_sorts_random_integers(self, rng, psi):
+        values = [rng.randint(-100, 100) for _ in range(60)]
+        assert sort_via_qmax(values, space_overhead=psi) == sorted(values)
+
+    def test_sorts_with_heap_backend(self, rng):
+        values = [rng.randint(0, 50) for _ in range(40)]
+        result = sort_via_qmax(
+            values,
+            space_overhead=2,
+            factory=lambda q: HeapQMax(q, track_evictions=True),
+        )
+        assert result == sorted(values)
+
+    def test_sorts_duplicates_and_negatives(self):
+        values = [3, -1, 3, 3, -1, 0]
+        assert sort_via_qmax(values, 3) == sorted(values)
+
+    def test_single_element(self):
+        assert sort_via_qmax([42], 2) == [42]
+
+    def test_empty(self):
+        assert sort_via_qmax([], 2) == []
+
+    def test_rejects_bad_overhead(self):
+        with pytest.raises(ConfigurationError):
+            sort_via_qmax([1, 2], space_overhead=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-1000, max_value=1000),
+        min_size=1,
+        max_size=50,
+    ),
+    psi=st.integers(min_value=1, max_value=4),
+)
+def test_reduction_property(values, psi):
+    """Property (Theorem 3, constructive direction): the reduction sorts
+    any integer array through the q-MAX eviction interface."""
+    assert sort_via_qmax(values, space_overhead=psi) == sorted(values)

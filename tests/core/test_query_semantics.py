@@ -1,0 +1,73 @@
+"""Query-semantics contracts shared by every top-q structure.
+
+Pins down the behaviours callers rely on but that are easy to break in
+a refactor: descending order, tie handling, id fidelity, and query
+idempotence (queries must not mutate state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.reservoirs import BACKENDS, make_reservoir
+from repro.core.merging import MergingQMax
+from repro.core.sliding import SlidingQMax
+
+ALL_FACTORIES = [
+    pytest.param(lambda q: make_reservoir(b, q), id=b) for b in BACKENDS
+] + [
+    pytest.param(lambda q: MergingQMax(q, 0.5), id="merging"),
+    pytest.param(lambda q: SlidingQMax(q, window=10_000, tau=0.5),
+                 id="sliding"),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_FACTORIES)
+class TestQueryContracts:
+    def test_descending_order(self, factory, rng):
+        s = factory(16)
+        for i in range(500):
+            s.add(i, rng.random())
+        values = [v for _, v in s.query()]
+        assert values == sorted(values, reverse=True)
+
+    def test_query_is_idempotent(self, factory, rng):
+        s = factory(8)
+        for i in range(300):
+            s.add(i, rng.random())
+        first = s.query()
+        second = s.query()
+        assert first == second
+        # And updating still works after queries.
+        s.add("late", 2.0)
+        assert ("late", 2.0) in s.query()
+
+    def test_ids_are_preserved_verbatim(self, factory):
+        s = factory(3)
+        exotic_ids = [("tuple", 1), "string", 42]
+        for item_id, val in zip(exotic_ids, (3.0, 2.0, 1.0)):
+            s.add(item_id, val)
+        assert [i for i, _ in s.query()] == exotic_ids
+
+    def test_ties_fill_all_slots(self, factory):
+        s = factory(4)
+        for i in range(100):
+            s.add(i, 7.0)
+        result = s.query()
+        assert len(result) == 4
+        assert all(v == 7.0 for _, v in result)
+
+    def test_negative_and_zero_values(self, factory):
+        s = factory(3)
+        for item_id, val in [("z", 0.0), ("n", -5.0), ("p", 5.0),
+                             ("nn", -50.0)]:
+            s.add(item_id, val)
+        assert [v for _, v in s.query()] == [5.0, 0.0, -5.0]
+
+    def test_integer_values_accepted(self, factory, rng):
+        s = factory(5)
+        values = [rng.randint(-1000, 1000) for _ in range(200)]
+        for i, v in enumerate(values):
+            s.add(i, v)
+        assert [v for _, v in s.query()] == sorted(values,
+                                                   reverse=True)[:5]

@@ -1,0 +1,172 @@
+"""Unit and property tests for the step-wise select/partition primitives."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.select import (
+    partition_top,
+    run_to_completion,
+    select_kth_largest,
+    stepwise_partition_top,
+    stepwise_select,
+)
+from repro.errors import ConfigurationError
+
+
+def _random_region(rng, n, lo_pad=0, hi_pad=0):
+    """Values with padding so region bounds are exercised."""
+    vals = [rng.uniform(-100, 100) for _ in range(lo_pad + n + hi_pad)]
+    ids = list(range(len(vals)))
+    return vals, ids
+
+
+class TestSelectKthLargest:
+    def test_small_region(self):
+        vals = [5.0, 1.0, 3.0]
+        ids = [0, 1, 2]
+        assert select_kth_largest(vals, ids, 0, 3, 1) == 5.0
+        assert select_kth_largest(vals, ids, 0, 3, 2) == 3.0
+        assert select_kth_largest(vals, ids, 0, 3, 3) == 1.0
+
+    def test_matches_sorted_reference(self, rng):
+        for trial in range(30):
+            n = rng.randint(1, 200)
+            vals, ids = _random_region(rng, n)
+            k = rng.randint(1, n)
+            expected = sorted(vals, reverse=True)[k - 1]
+            assert select_kth_largest(vals, ids, 0, n, k) == expected
+
+    def test_subregion_only_is_touched(self, rng):
+        vals, ids = _random_region(rng, 50, lo_pad=5, hi_pad=5)
+        before_lo = vals[:5].copy()
+        before_hi = vals[-5:].copy()
+        select_kth_largest(vals, ids, 5, 55, 10)
+        assert vals[:5] == before_lo
+        assert vals[-5:] == before_hi
+
+    def test_duplicates(self):
+        vals = [2.0] * 10 + [1.0] * 10
+        random.Random(1).shuffle(vals)
+        ids = list(range(20))
+        assert select_kth_largest(vals, ids, 0, 20, 10) == 2.0
+        assert select_kth_largest(vals, ids, 0, 20, 11) == 1.0
+
+    def test_ids_follow_values(self, rng):
+        n = 100
+        vals = [float(i) for i in range(n)]
+        rng.shuffle(vals)
+        ids = [f"id-{v}" for v in vals]
+        select_kth_largest(vals, ids, 0, n, 30)
+        assert all(ids[i] == f"id-{vals[i]}" for i in range(n))
+
+    def test_rejects_bad_k(self):
+        vals, ids = [1.0, 2.0], [0, 1]
+        with pytest.raises(ConfigurationError):
+            select_kth_largest(vals, ids, 0, 2, 0)
+        with pytest.raises(ConfigurationError):
+            select_kth_largest(vals, ids, 0, 2, 3)
+
+
+class TestStepwiseSelect:
+    def test_yields_bounded_ops(self, rng):
+        n = 500
+        vals, ids = _random_region(rng, n)
+        gen = stepwise_select(vals, ids, 0, n, n // 2, ops_per_step=16)
+        max_chunk = 0
+        try:
+            while True:
+                max_chunk = max(max_chunk, next(gen))
+        except StopIteration as stop:
+            result = stop.value
+        # Each chunk is at most the budget plus the small-region tail.
+        assert max_chunk <= 16 + 16
+        assert result == sorted(vals)[n // 2]
+
+    def test_partial_progress_preserves_elements(self, rng):
+        n = 300
+        vals, ids = _random_region(rng, n)
+        snapshot = sorted(vals)
+        gen = stepwise_select(vals, ids, 0, n, 10, ops_per_step=8)
+        for _ in range(5):  # advance a few steps, then abandon
+            next(gen)
+        assert sorted(vals) == snapshot  # a permutation, nothing lost
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ConfigurationError):
+            list(stepwise_select([1.0], [0], 0, 1, 0, ops_per_step=0))
+
+
+class TestPartitionTop:
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_top_q_lands_on_side(self, rng, side):
+        for trial in range(20):
+            n = rng.randint(2, 150)
+            q = rng.randint(1, n - 1)
+            vals, ids = _random_region(rng, n)
+            expected = sorted(vals, reverse=True)[:q]
+            threshold = partition_top(vals, ids, 0, n, q, side=side)
+            region = vals[:q] if side == "left" else vals[n - q:]
+            assert sorted(region, reverse=True) == expected
+            assert threshold == expected[-1]
+
+    def test_with_heavy_ties(self):
+        vals = [1.0] * 30 + [2.0] * 30
+        random.Random(2).shuffle(vals)
+        ids = list(range(60))
+        partition_top(vals, ids, 0, 60, 40, side="right")
+        top = vals[20:]
+        assert sorted(top, reverse=True) == [2.0] * 30 + [1.0] * 10
+
+    def test_rejects_bad_side(self):
+        gen = stepwise_partition_top([1.0], [0], 0, 1, 1.0, "up", 4)
+        with pytest.raises(ConfigurationError):
+            next(gen)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=80,
+    ),
+    k_seed=st.integers(min_value=0, max_value=10**6),
+    budget=st.integers(min_value=1, max_value=64),
+)
+def test_stepwise_select_matches_sorting(values, k_seed, budget):
+    """Property: step-wise select equals the sorted reference for any
+    list, any rank, and any op budget."""
+    n = len(values)
+    k = (k_seed % n) + 1
+    vals = list(values)
+    ids = list(range(n))
+    gen = stepwise_select(vals, ids, 0, n, n - k, budget)
+    result = run_to_completion(gen)
+    assert result == sorted(values, reverse=True)[k - 1]
+    assert sorted(vals) == sorted(values)  # permutation preserved
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=-50, max_value=50), min_size=2, max_size=80
+    ),
+    q_seed=st.integers(min_value=0, max_value=10**6),
+    side=st.sampled_from(["left", "right"]),
+)
+def test_partition_top_property(values, q_seed, side):
+    """Property: after partition_top the chosen side holds exactly the
+    top-q multiset, for any input including heavy duplicates."""
+    n = len(values)
+    q = (q_seed % (n - 1)) + 1
+    vals = list(map(float, values))
+    ids = list(range(n))
+    partition_top(vals, ids, 0, n, q, side=side)
+    region = vals[:q] if side == "left" else vals[n - q:]
+    assert sorted(region) == sorted(map(float, values))[n - q:]
+    assert sorted(vals) == sorted(map(float, values))

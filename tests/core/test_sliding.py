@@ -1,0 +1,217 @@
+"""Tests for the slack-window algorithms (Algorithms 3, 4 and Theorem 7).
+
+The slack-window contract: a query must return the top-q of *some*
+suffix whose length lies between roughly W(1-τ) and W (up to the
+structure's block-size rounding).  We verify against a brute-force
+reference over every admissible suffix length.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchical import BufferedSlidingQMax, HierarchicalSlidingQMax
+from repro.core.sliding import SlidingQMax
+from repro.errors import ConfigurationError
+
+from tests.conftest import value_multiset
+
+
+def assert_valid_slack_answer(result, history, q, window, max_block):
+    """``result`` must equal the top-q of some suffix of admissible length."""
+    got = value_multiset(result)
+    shortest = max(0, min(len(history), window) - max_block)
+    for length in range(shortest, min(len(history), window) + 1):
+        suffix = history[len(history) - length:]
+        if sorted(suffix, reverse=True)[:q] == got:
+            return
+    raise AssertionError(
+        f"top-q {got[:5]}... does not match any admissible window"
+    )
+
+
+class TestSlidingQMax:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlidingQMax(0, 100, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingQMax(5, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingQMax(5, 100, 0.0)
+        with pytest.raises(ConfigurationError):
+            SlidingQMax(5, 100, 1.5)
+
+    def test_block_geometry(self):
+        s = SlidingQMax(4, window=1000, tau=0.25)
+        assert s.n_blocks == 4
+        assert s.block_size == 250
+
+    @pytest.mark.parametrize("tau", [0.1, 0.25, 0.5, 1.0])
+    def test_slack_window_semantics(self, rng, tau):
+        q, window = 8, 400
+        s = SlidingQMax(q, window, tau)
+        history = []
+        for i in range(2500):
+            v = rng.random()
+            s.add(i, v)
+            history.append(v)
+            if i % 173 == 0:
+                assert_valid_slack_answer(
+                    s.query(), history, q, window, s.block_size
+                )
+
+    def test_old_items_expire(self, rng):
+        """A huge value must disappear once it leaves every window."""
+        q, window = 4, 200
+        s = SlidingQMax(q, window, 0.25)
+        s.add("giant", 1e9)
+        for i in range(window + s.block_size + 1):
+            s.add(i, rng.random())
+        assert all(v < 1e9 for _, v in s.query())
+
+    def test_recent_items_always_reported(self, rng):
+        """Items inside the last W(1-τ) positions must be visible."""
+        q, window = 4, 200
+        s = SlidingQMax(q, window, 0.25)
+        for i in range(1000):
+            s.add(i, rng.random())
+        s.add("fresh-giant", 1e9)
+        assert s.query()[0][0] == "fresh-giant"
+
+    def test_partial_merges_subranges(self, rng):
+        s = SlidingQMax(4, window=100, tau=0.25)
+        for i in range(90):
+            s.add(i, float(i))
+        # Merge just the current block (indices 75..89 live there).
+        current = (s._i // s.block_size) % s.n_blocks
+        top = s.partial(current, current).query()
+        assert value_multiset(top) == [89.0, 88.0, 87.0, 86.0]
+
+    def test_warmup_matches_interval_topq(self, rng):
+        """Before W items arrive, the window is the entire stream."""
+        q, window = 8, 1000
+        s = SlidingQMax(q, window, 0.5)
+        values = [rng.random() for _ in range(300)]
+        for i, v in enumerate(values):
+            s.add(i, v)
+        assert value_multiset(s.query()) == sorted(values, reverse=True)[:q]
+
+    def test_reset(self, rng):
+        s = SlidingQMax(4, 100, 0.5)
+        for i in range(50):
+            s.add(i, float(i))
+        s.reset()
+        assert s.query() == []
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        pytest.param(
+            lambda q, w, t: HierarchicalSlidingQMax(q, w, t, levels=2),
+            id="hier-c2",
+        ),
+        pytest.param(
+            lambda q, w, t: HierarchicalSlidingQMax(q, w, t, levels=3),
+            id="hier-c3",
+        ),
+        pytest.param(
+            lambda q, w, t: BufferedSlidingQMax(q, w, t, levels=2),
+            id="buffered",
+        ),
+    ],
+)
+class TestHierarchicalVariants:
+    @pytest.mark.parametrize("tau", [0.04, 0.1, 0.3])
+    def test_slack_window_semantics(self, rng, factory, tau):
+        q, window = 6, 500
+        s = factory(q, window, tau)
+        max_block = s._hier._finest.block_size if isinstance(
+            s, BufferedSlidingQMax
+        ) else s._finest.block_size
+        history = []
+        for i in range(2200):
+            v = rng.random()
+            s.add(i, v)
+            history.append(v)
+            if i % 211 == 0:
+                assert_valid_slack_answer(
+                    s.query(), history, q, window, max_block
+                )
+
+    def test_old_items_expire(self, rng, factory):
+        q, window = 4, 300
+        s = factory(q, window, 0.1)
+        s.add("giant", 1e9)
+        for i in range(2 * window):
+            s.add(i, rng.random())
+        assert all(v < 1e9 for _, v in s.query())
+
+    def test_warmup(self, rng, factory):
+        q, window = 8, 1000
+        s = factory(q, window, 0.1)
+        values = [rng.random() for _ in range(137)]
+        for i, v in enumerate(values):
+            s.add(i, v)
+        assert value_multiset(s.query()) == sorted(values, reverse=True)[:q]
+
+    def test_reset(self, rng, factory):
+        s = factory(4, 100, 0.2)
+        for i in range(250):
+            s.add(i, float(i))
+        s.reset()
+        assert s.query() == []
+        for i in range(10):
+            s.add(i, float(i))
+        assert value_multiset(s.query()) == [9.0, 8.0, 7.0, 6.0]
+
+
+class TestHierarchicalStructure:
+    def test_levels_align(self):
+        s = HierarchicalSlidingQMax(4, window=10000, tau=0.01, levels=2)
+        sizes = [lvl.block_size for lvl in s._levels]
+        assert sizes[0] == 100  # ceil(W·τ)
+        for coarse, fine in zip(sizes[1:], sizes):
+            assert coarse % fine == 0  # boundaries align
+
+    def test_query_touches_fewer_blocks_than_basic(self, rng):
+        """The point of Algorithm 4: far fewer block merges per query."""
+        q, window, tau = 4, 10000, 0.01
+        hier = HierarchicalSlidingQMax(q, window, tau, levels=2)
+        for i in range(25000):
+            hier.add(i, rng.random())
+        cover = hier._cover()
+        # Basic Algorithm 3 merges τ⁻¹ = 100 blocks; two levels need
+        # about 2·√100 = 20.
+        assert 0 < len(cover) <= 3 * int(round((1 / tau) ** 0.5))
+
+    def test_tau_one_degenerates(self, rng):
+        s = HierarchicalSlidingQMax(4, window=100, tau=1.0, levels=2)
+        values = []
+        for i in range(1000):
+            v = rng.random()
+            s.add(i, v)
+            values.append(v)
+        assert_valid_slack_answer(s.query(), values, 4, 100, 100)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=1000), min_size=1, max_size=600
+    ),
+    q=st.integers(min_value=1, max_value=8),
+    tau=st.sampled_from([0.2, 0.5, 1.0]),
+)
+def test_sliding_property(values, q, tau):
+    """Property: Algorithm 3's answer is the top-q of an admissible
+    suffix for arbitrary integer streams."""
+    window = 64
+    s = SlidingQMax(q, window, tau)
+    history = []
+    for i, v in enumerate(values):
+        s.add(i, float(v))
+        history.append(float(v))
+    assert_valid_slack_answer(s.query(), history, q, window, s.block_size)

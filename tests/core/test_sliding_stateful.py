@@ -1,0 +1,110 @@
+"""Stateful property tests for the sliding-window structures.
+
+Drives interleaved add/query sequences against a keep-everything model:
+every query answer must equal the top-q of some admissible suffix of
+the full history — the slack-window contract under arbitrary operation
+interleavings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.hierarchical import HierarchicalSlidingQMax
+from repro.core.sliding import SlidingQMax
+
+_VALUES = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                    width=32)
+
+
+def _admissible(history, q, window, max_block, got):
+    """Does ``got`` match the top-q of some admissible suffix?"""
+    shortest = max(0, min(len(history), window) - max_block)
+    for length in range(shortest, min(len(history), window) + 1):
+        suffix = history[len(history) - length:]
+        if sorted(suffix, reverse=True)[:q] == got:
+            return True
+    return False
+
+
+class SlidingMachine(RuleBasedStateMachine):
+    @initialize(
+        q=st.integers(min_value=1, max_value=6),
+        tau=st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    def setup(self, q, tau):
+        self.q = q
+        self.window = 48
+        self.structure = SlidingQMax(q, self.window, tau)
+        self.max_block = self.structure.block_size
+        self.history = []
+        self.counter = 0
+
+    @rule(vals=st.lists(_VALUES, min_size=1, max_size=40))
+    def add(self, vals):
+        for val in vals:
+            self.structure.add(self.counter, val)
+            self.history.append(val)
+            self.counter += 1
+
+    @rule()
+    def reset(self):
+        self.structure.reset()
+        self.history = []
+
+    @invariant()
+    def query_is_admissible(self):
+        got = sorted(
+            (v for _, v in self.structure.query()), reverse=True
+        )
+        assert _admissible(
+            self.history, self.q, self.window, self.max_block, got
+        ), got
+
+
+class HierarchicalMachine(RuleBasedStateMachine):
+    @initialize(
+        q=st.integers(min_value=1, max_value=5),
+        levels=st.integers(min_value=1, max_value=3),
+    )
+    def setup(self, q, levels):
+        self.q = q
+        self.window = 64
+        self.structure = HierarchicalSlidingQMax(
+            q, self.window, tau=0.125, levels=levels
+        )
+        self.max_block = self.structure._finest.block_size
+        self.history = []
+        self.counter = 0
+
+    @rule(vals=st.lists(_VALUES, min_size=1, max_size=50))
+    def add(self, vals):
+        for val in vals:
+            self.structure.add(self.counter, val)
+            self.history.append(val)
+            self.counter += 1
+
+    @invariant()
+    def query_is_admissible(self):
+        got = sorted(
+            (v for _, v in self.structure.query()), reverse=True
+        )
+        assert _admissible(
+            self.history, self.q, self.window, self.max_block, got
+        ), got
+
+
+_settings = settings(max_examples=20, stateful_step_count=30,
+                     deadline=None)
+
+TestSlidingMachine = SlidingMachine.TestCase
+TestSlidingMachine.settings = _settings
+TestHierarchicalMachine = HierarchicalMachine.TestCase
+TestHierarchicalMachine.settings = _settings

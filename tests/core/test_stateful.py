@@ -1,0 +1,183 @@
+"""Stateful property tests: hypothesis state machines vs. exact models.
+
+These drive long, interleaved operation sequences (adds of adversarial
+values, queries, resets, eviction drains) and compare every observable
+against a trivially correct model — the strongest correctness net for
+the maintenance machinery's many interleavings.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.baselines.heap import HeapQMax
+from repro.core.amortized import AmortizedQMax
+from repro.core.merging import MergingQMax
+from repro.core.qmax import QMax
+
+_VALUES = st.one_of(
+    st.integers(min_value=-100, max_value=100).map(float),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+              width=32),
+)
+
+
+class QMaxMachine(RuleBasedStateMachine):
+    """QMax (deamortized) vs. a keep-everything model."""
+
+    @initialize(
+        q=st.integers(min_value=1, max_value=24),
+        gamma=st.sampled_from([0.05, 0.3, 1.0]),
+        batch=st.integers(min_value=1, max_value=8),
+    )
+    def setup(self, q, gamma, batch):
+        self.q = q
+        self.qmax = QMax(q, gamma, track_evictions=True,
+                         step_batch=batch)
+        self.model = []
+        self.drained = []
+        self.counter = 0
+
+    @rule(val=_VALUES)
+    def add(self, val):
+        self.qmax.add(self.counter, val)
+        self.model.append(val)
+        self.counter += 1
+
+    @rule(vals=st.lists(_VALUES, min_size=1, max_size=40))
+    def add_burst(self, vals):
+        for val in vals:
+            self.qmax.add(self.counter, val)
+            self.model.append(val)
+            self.counter += 1
+
+    @rule()
+    def drain_evictions(self):
+        self.drained.extend(self.qmax.take_evicted())
+
+    @rule()
+    def reset(self):
+        self.qmax.reset()
+        self.model = []
+        self.drained = []
+
+    @invariant()
+    def query_matches_model(self):
+        got = sorted((v for _, v in self.qmax.query()), reverse=True)
+        expected = heapq.nlargest(self.q, self.model)
+        assert got == expected
+
+    @invariant()
+    def internal_invariants_hold(self):
+        self.qmax.check_invariants()
+
+    @invariant()
+    def nothing_lost(self):
+        live = [v for _, v in self.qmax.items()]
+        pending = [v for _, v in self.qmax._evicted]
+        drained = [v for _, v in self.drained]
+        assert sorted(live + pending + drained) == sorted(self.model)
+
+
+class AmortizedMachine(RuleBasedStateMachine):
+    """AmortizedQMax with interleaved flushes vs. the model."""
+
+    @initialize(q=st.integers(min_value=1, max_value=16))
+    def setup(self, q):
+        self.q = q
+        self.qmax = AmortizedQMax(q, gamma=0.4)
+        self.model = []
+        self.counter = 0
+
+    @rule(val=_VALUES)
+    def add(self, val):
+        self.qmax.add(self.counter, val)
+        self.model.append(val)
+        self.counter += 1
+
+    @rule()
+    def flush(self):
+        self.qmax.flush()
+
+    @invariant()
+    def query_matches_model(self):
+        got = sorted((v for _, v in self.qmax.query()), reverse=True)
+        assert got == heapq.nlargest(self.q, self.model)
+
+
+class MergingMachine(RuleBasedStateMachine):
+    """MergingQMax (sum merge) vs. a dict model, few enough keys that
+    nothing is ever evicted — aggregation must then be exact."""
+
+    @initialize(q=st.integers(min_value=6, max_value=16))
+    def setup(self, q):
+        self.merging = MergingQMax(q, gamma=0.4,
+                                   merge=lambda a, b: a + b)
+        self.model = {}
+
+    @rule(
+        key=st.integers(min_value=0, max_value=5),
+        val=st.integers(min_value=1, max_value=50).map(float),
+    )
+    def add(self, key, val):
+        self.merging.add(key, val)
+        self.model[key] = self.model.get(key, 0.0) + val
+
+    @rule()
+    def flush(self):
+        self.merging.flush()
+
+    @invariant()
+    def aggregates_exact(self):
+        assert dict(self.merging.query()) == self.model
+
+    @invariant()
+    def membership_exact(self):
+        for key in range(6):
+            assert (key in self.merging) == (key in self.model)
+
+
+class BackendAgreementMachine(RuleBasedStateMachine):
+    """QMax and HeapQMax fed identically must always agree on values."""
+
+    @initialize(q=st.integers(min_value=1, max_value=12))
+    def setup(self, q):
+        self.q = q
+        self.a = QMax(q, 0.3)
+        self.b = HeapQMax(q)
+        self.counter = 0
+
+    @rule(vals=st.lists(_VALUES, min_size=1, max_size=30))
+    def add(self, vals):
+        for val in vals:
+            self.a.add(self.counter, val)
+            self.b.add(self.counter, val)
+            self.counter += 1
+
+    @invariant()
+    def agree(self):
+        got_a = sorted((v for _, v in self.a.query()), reverse=True)
+        got_b = sorted((v for _, v in self.b.query()), reverse=True)
+        assert got_a == got_b
+
+
+_settings = settings(max_examples=25, stateful_step_count=40,
+                     deadline=None)
+
+TestQMaxMachine = QMaxMachine.TestCase
+TestQMaxMachine.settings = _settings
+TestAmortizedMachine = AmortizedMachine.TestCase
+TestAmortizedMachine.settings = _settings
+TestMergingMachine = MergingMachine.TestCase
+TestMergingMachine.settings = _settings
+TestBackendAgreementMachine = BackendAgreementMachine.TestCase
+TestBackendAgreementMachine.settings = _settings

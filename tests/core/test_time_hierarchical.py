@@ -1,0 +1,120 @@
+"""Tests for the time-domain hierarchical slack-window q-MAX."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.time_hierarchical import TimeHierarchicalSlidingQMax
+from repro.core.time_sliding import TimeSlidingQMax
+from repro.errors import ConfigurationError
+
+from tests.conftest import value_multiset
+
+
+class TestTimeHierarchical:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            TimeHierarchicalSlidingQMax(0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            TimeHierarchicalSlidingQMax(4, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            TimeHierarchicalSlidingQMax(4, 1.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            TimeHierarchicalSlidingQMax(4, 1.0, 0.5, levels=0)
+
+    def test_levels_aligned(self):
+        s = TimeHierarchicalSlidingQMax(4, window_seconds=100.0,
+                                        tau=0.01, levels=2)
+        spans = [lvl.span for lvl in s._levels]
+        assert spans[0] == pytest.approx(1.0)
+        for coarse, fine in zip(spans[1:], spans):
+            assert (coarse / fine) == pytest.approx(round(coarse / fine))
+
+    def test_empty_query(self):
+        s = TimeHierarchicalSlidingQMax(4, 10.0, 0.1)
+        assert s.query() == []
+
+    def test_warmup_matches_interval(self, rng):
+        s = TimeHierarchicalSlidingQMax(8, window_seconds=100.0,
+                                        tau=0.1, levels=2)
+        values = []
+        for i in range(300):
+            v = rng.random()
+            values.append(v)
+            s.add_at(i * 0.01, i, v)  # all within 3 seconds
+        assert value_multiset(s.query()) == sorted(values,
+                                                   reverse=True)[:8]
+
+    def test_old_items_expire(self, rng):
+        s = TimeHierarchicalSlidingQMax(4, window_seconds=10.0,
+                                        tau=0.1, levels=2)
+        s.add_at(0.0, "giant", 1e9)
+        for i in range(500):
+            s.add_at(30.0 + i * 0.01, i, rng.random())
+        got = s.query_at(35.0)
+        assert all(v < 1e9 for _, v in got)
+
+    @pytest.mark.parametrize("tau,levels", [(0.04, 2), (0.1, 2),
+                                            (0.04, 3)])
+    def test_slack_semantics(self, rng, tau, levels):
+        """The answer equals the top-q of some admissible time suffix."""
+        window = 8.0
+        s = TimeHierarchicalSlidingQMax(6, window, tau, levels=levels)
+        history = []
+        ts = 0.0
+        for i in range(4000):
+            ts += rng.expovariate(150.0)
+            v = rng.random()
+            history.append((ts, v))
+            s.add_at(ts, i, v)
+        got = value_multiset(s.query_at(ts))
+        # Probe every boundary at finest-block resolution.
+        finest = s._levels[0].span
+        boundary = ts - window
+        ok = False
+        while boundary <= ts - window * (1 - tau) + finest + 1e-9:
+            suffix = [v for t, v in history if t >= boundary - 1e-12]
+            if sorted(suffix, reverse=True)[:6] == got:
+                ok = True
+                break
+            boundary += finest / 4
+        assert ok, got[:3]
+
+    def test_query_merges_few_blocks(self, rng):
+        """The point of the hierarchy: the cover is far smaller than
+        the basic variant's τ⁻¹ blocks."""
+        tau = 0.01
+        s = TimeHierarchicalSlidingQMax(4, window_seconds=10.0, tau=tau,
+                                        levels=2)
+        ts = 0.0
+        for i in range(30000):
+            ts += 0.001
+            s.add_at(ts, i, rng.random())
+        cover = s._cover(ts)
+        assert 0 < len(cover) <= 3 * int(round((1 / tau) ** 0.5))
+
+    def test_matches_basic_variant(self, rng):
+        """Hierarchical and basic time structures may legitimately pick
+        different window boundaries; on a stream where the top values
+        are all recent, both must agree exactly."""
+        window, tau = 4.0, 0.1
+        hier = TimeHierarchicalSlidingQMax(5, window, tau, levels=2)
+        basic = TimeSlidingQMax(5, window, tau)
+        ts = 0.0
+        for i in range(5000):
+            ts += 0.002
+            # Values grow over time: top-q is always the newest items,
+            # well inside every admissible window.
+            v = float(i)
+            hier.add_at(ts, i, v)
+            basic.add_at(ts, i, v)
+        assert value_multiset(hier.query_at(ts)) == value_multiset(
+            basic.query_at(ts)
+        )
+
+    def test_reset(self, rng):
+        s = TimeHierarchicalSlidingQMax(4, 10.0, 0.1)
+        for i in range(100):
+            s.add_at(i * 0.01, i, rng.random())
+        s.reset()
+        assert s.query() == []

@@ -1,0 +1,86 @@
+"""Tests for the time-based slack-window q-MAX."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.time_sliding import TimeSlidingQMax
+from repro.errors import ConfigurationError
+
+from tests.conftest import value_multiset
+
+
+class TestTimeSlidingQMax:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            TimeSlidingQMax(0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            TimeSlidingQMax(4, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            TimeSlidingQMax(4, 1.0, 0.0)
+
+    def test_window_expiry_in_time(self):
+        s = TimeSlidingQMax(4, window_seconds=10.0, tau=0.25)
+        s.add_at(0.0, "old-giant", 1e9)
+        for i in range(40):
+            s.add_at(50.0 + i * 0.1, i, float(i))
+        got = s.query_at(55.0)
+        assert all(v < 1e9 for _, v in got)
+        assert value_multiset(got) == [39.0, 38.0, 37.0, 36.0]
+
+    def test_recent_items_retained(self, rng):
+        s = TimeSlidingQMax(8, window_seconds=5.0, tau=0.25)
+        values = []
+        for i in range(200):
+            ts = i * 0.01  # all within 2 seconds
+            v = rng.random()
+            values.append(v)
+            s.add_at(ts, i, v)
+        assert value_multiset(s.query()) == sorted(values,
+                                                   reverse=True)[:8]
+
+    def test_slack_semantics_over_time(self, rng):
+        """The answer is the top-q of the epoch-aligned suffix, whose
+        span always lies in [W(1-τ), W)."""
+        window, tau = 8.0, 0.25
+        s = TimeSlidingQMax(6, window, tau)
+        history = []  # (ts, value)
+        ts = 0.0
+        for i in range(3000):
+            ts += rng.expovariate(100.0)
+            v = rng.random()
+            history.append((ts, v))
+            s.add_at(ts, i, v)
+        got = value_multiset(s.query_at(ts))
+        block = window * tau
+        oldest_epoch = int(ts / block) - (s._n_blocks - 1)
+        span = ts - oldest_epoch * block
+        assert window * (1 - tau) - 1e-9 <= span < window + 1e-9
+        suffix = [v for t, v in history if int(t / block) >= oldest_epoch]
+        assert sorted(suffix, reverse=True)[:6] == got
+
+    def test_rejects_big_time_regression(self):
+        s = TimeSlidingQMax(2, window_seconds=10.0, tau=0.5)
+        s.add_at(100.0, "a", 1.0)
+        with pytest.raises(ConfigurationError):
+            s.add_at(10.0, "b", 2.0)
+        s.add_at(99.0, "c", 3.0)  # small regression is tolerated
+
+    def test_plain_add_uses_stream_head(self):
+        s = TimeSlidingQMax(2, window_seconds=10.0, tau=0.5)
+        s.add("a", 1.0)
+        s.add_at(3.0, "b", 2.0)
+        s.add("c", 3.0)  # lands at ts=3.0
+        assert value_multiset(s.query()) == [3.0, 2.0]
+
+    def test_reset(self):
+        s = TimeSlidingQMax(2, window_seconds=1.0, tau=0.5)
+        s.add_at(0.5, "a", 1.0)
+        s.reset()
+        assert s.query() == []
+
+    def test_idle_gap_expires_everything(self):
+        s = TimeSlidingQMax(3, window_seconds=2.0, tau=0.5)
+        for i in range(10):
+            s.add_at(0.1 * i, i, float(i))
+        assert s.query_at(100.0) == []

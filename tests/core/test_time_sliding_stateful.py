@@ -1,0 +1,110 @@
+"""Stateful property tests for the time-based slack windows.
+
+Interleaves timestamped adds (with jittery inter-arrival gaps, idle
+periods, and occasional small time regressions) with queries, checking
+every answer against the full timestamped history.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.time_hierarchical import TimeHierarchicalSlidingQMax
+from repro.core.time_sliding import TimeSlidingQMax
+
+_VALUES = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                    width=32)
+_GAPS = st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+
+
+class _TimeMachineBase(RuleBasedStateMachine):
+    window = 8.0
+    tau = 0.25
+
+    def _make(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def common_setup(self):
+        self.structure = self._make()
+        self.history = []  # (ts, value)
+        self.now = 0.0
+        self.counter = 0
+
+    @rule(gap=_GAPS, val=_VALUES)
+    def add(self, gap, val):
+        self.now += gap
+        self.structure.add_at(self.now, self.counter, val)
+        self.history.append((self.now, val))
+        self.counter += 1
+
+    @rule(val=_VALUES)
+    def add_slightly_late(self, val):
+        """A packet timestamped just before the stream head (allowed
+        up to one finest block of regression)."""
+        ts = max(0.0, self.now - 0.01)
+        self.structure.add_at(ts, self.counter, val)
+        self.history.append((ts, val))
+        self.counter += 1
+
+    @rule(gap=st.floats(min_value=5.0, max_value=50.0))
+    def idle(self, gap):
+        """Dead air: everything may expire."""
+        self.now += gap
+
+    @invariant()
+    def query_is_admissible(self):
+        got = sorted(
+            (v for _, v in self.structure.query_at(self.now)),
+            reverse=True,
+        )[:6]
+        # Probe every epoch-aligned boundary the structure may use.
+        finest = self.window * self.tau
+        boundary = self.now - self.window - finest
+        while boundary <= self.now + 1e-9:
+            suffix = sorted(
+                (v for t, v in self.history if t >= boundary - 1e-9),
+                reverse=True,
+            )[:6]
+            if suffix == got:
+                return
+            boundary += finest / 4
+        raise AssertionError(f"inadmissible answer {got[:3]}")
+
+
+class TimeSlidingMachine(_TimeMachineBase):
+    @initialize()
+    def setup(self):
+        self.common_setup()
+
+    def _make(self):
+        return TimeSlidingQMax(6, self.window, self.tau)
+
+
+class TimeHierarchicalMachine(_TimeMachineBase):
+    @initialize(levels=st.integers(min_value=1, max_value=3))
+    def setup(self, levels):
+        self.levels = levels
+        self.common_setup()
+
+    def _make(self):
+        return TimeHierarchicalSlidingQMax(
+            6, self.window, self.tau, levels=self.levels
+        )
+
+
+_settings = settings(max_examples=20, stateful_step_count=30,
+                     deadline=None)
+
+TestTimeSlidingMachine = TimeSlidingMachine.TestCase
+TestTimeSlidingMachine.settings = _settings
+TestTimeHierarchicalMachine = TimeHierarchicalMachine.TestCase
+TestTimeHierarchicalMachine.settings = _settings

@@ -1,0 +1,54 @@
+"""Tests for the hierarchical (Algorithm-4) sliding NMP option."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netwide.sliding import SlidingController, SlidingMeasurementPoint
+from repro.traffic.packet import Packet
+
+
+def _mkpkt(src, pid, ts):
+    return Packet(src_ip=src, dst_ip=1, src_port=1, dst_port=2, proto=6,
+                  size=100, timestamp=ts, packet_id=pid)
+
+
+class TestHierarchicalNMP:
+    def test_report_matches_basic_layout(self):
+        """With the top hashes well inside the window, both layouts
+        must report the identical sample."""
+        kwargs = dict(q=64, window_seconds=5.0, tau=0.04, seed=3)
+        basic = SlidingMeasurementPoint(levels=1, **kwargs)
+        hier = SlidingMeasurementPoint(levels=2, **kwargs)
+        for pid in range(4000):
+            # All traffic within one second: every admissible window
+            # covers everything, so the reports must coincide.
+            pkt = _mkpkt(src=pid % 20, pid=pid, ts=0.5 + pid * 1e-4)
+            basic.observe(pkt)
+            hier.observe(pkt)
+        now = 0.95
+        assert hier.report(now) == basic.report(now)
+
+    def test_window_expiry(self):
+        nmp = SlidingMeasurementPoint(16, window_seconds=10.0, tau=0.1,
+                                      seed=4, levels=2)
+        for pid in range(100):
+            nmp.observe(_mkpkt(src=111, pid=pid, ts=0.1))
+        for pid in range(100, 150):
+            nmp.observe(_mkpkt(src=222, pid=pid, ts=60.0))
+        flows = {f for (f, _p), _v in nmp.report(now=60.0)}
+        assert flows == {222}
+
+    def test_controller_integration(self):
+        nmps = [
+            SlidingMeasurementPoint(200, window_seconds=5.0, tau=0.1,
+                                    seed=5, levels=2, name=f"n{i}")
+            for i in range(2)
+        ]
+        for pid in range(3000):
+            pkt = _mkpkt(src=pid % 5, pid=pid, ts=pid * 0.001)
+            for nmp in nmps:
+                nmp.observe(pkt)
+        ctrl = SlidingController(200, epsilon=0.05)
+        heavy = ctrl.heavy_hitters(nmps, now=3.0, theta=0.15)
+        assert {f for f, _ in heavy} == {0, 1, 2, 3, 4}

@@ -1,0 +1,179 @@
+"""Tests for the network-wide heavy hitters subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netwide import (
+    Controller,
+    MeasurementPoint,
+    NetworkSimulation,
+    NetworkTopology,
+)
+from repro.traffic.packet import Packet
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+def _mkpkt(src, pid):
+    return Packet(src_ip=src, dst_ip=1, src_port=1, dst_port=2,
+                  proto=6, size=100, packet_id=pid)
+
+
+class TestMeasurementPoint:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementPoint(0)
+
+    def test_keeps_minimal_hashes(self):
+        nmp = MeasurementPoint(8, seed=1)
+        for pid in range(1000):
+            nmp.observe(_mkpkt(src=pid % 10, pid=pid))
+        report = nmp.report()
+        assert len(report) == 8
+        values = [v for _, v in report]
+        assert values == sorted(values)
+        assert nmp.observed == 1000
+
+    def test_same_packet_same_value(self):
+        """Two NMPs observing the same packet store identical values —
+        the dedup property."""
+        a = MeasurementPoint(4, seed=7)
+        b = MeasurementPoint(4, seed=7)
+        pkt = _mkpkt(src=5, pid=42)
+        a.observe(pkt)
+        b.observe(pkt)
+        assert a.report() == b.report()
+
+    def test_reset(self):
+        nmp = MeasurementPoint(4, seed=1)
+        nmp.observe(_mkpkt(1, 1))
+        nmp.reset()
+        assert nmp.report() == []
+        assert nmp.observed == 0
+
+
+class TestController:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            Controller(1)
+        ctrl = Controller(4)
+        with pytest.raises(ConfigurationError):
+            ctrl.heavy_hitters([], theta=0.0)
+
+    def test_merge_deduplicates(self):
+        """A packet seen by every NMP occupies one merged slot."""
+        nmps = [MeasurementPoint(16, seed=3) for _ in range(4)]
+        for pid in range(100):
+            pkt = _mkpkt(src=pid, pid=pid)
+            for nmp in nmps:
+                nmp.observe(pkt)
+        ctrl = Controller(16)
+        merged = ctrl.merge_reports(nmps)
+        pids = [pid for (_flow, pid), _v in merged]
+        assert len(pids) == len(set(pids)) == 16
+
+    def test_merge_equals_single_point_view(self):
+        """Merging partial views must equal one NMP that saw everything
+        (same q, same seed) — the routing-obliviousness property."""
+        whole = MeasurementPoint(32, seed=5)
+        parts = [MeasurementPoint(32, seed=5) for _ in range(3)]
+        for pid in range(3000):
+            pkt = _mkpkt(src=pid % 50, pid=pid)
+            whole.observe(pkt)
+            parts[pid % 3].observe(pkt)
+            if pid % 2 == 0:  # duplicate observations on another NMP
+                parts[(pid + 1) % 3].observe(pkt)
+        ctrl = Controller(32)
+        merged = ctrl.merge_reports(parts)
+        assert merged == whole.report()
+
+    def test_total_estimate(self):
+        nmp = MeasurementPoint(64, seed=2)
+        for pid in range(5000):
+            nmp.observe(_mkpkt(src=0, pid=pid))
+        ctrl = Controller(64)
+        est = ctrl.estimate_total(ctrl.merge_reports([nmp]))
+        assert est == pytest.approx(5000, rel=0.4)
+
+    def test_flow_estimates_proportional(self):
+        nmp = MeasurementPoint(500, seed=4)
+        # Flow 1: 75% of traffic; flow 2: 25%.
+        for pid in range(8000):
+            nmp.observe(_mkpkt(src=1 if pid % 4 else 2, pid=pid))
+        ctrl = Controller(500)
+        est = ctrl.flow_estimates([nmp])
+        assert est[1] / (est[1] + est[2]) == pytest.approx(0.75, abs=0.07)
+
+
+class TestTopology:
+    def test_linear(self):
+        topo = NetworkTopology.linear(5, hosts_per_switch=2)
+        assert len(topo.switches) == 5
+        assert len(topo.hosts) == 10
+        route = topo.route("h0_0", "h4_0")
+        assert route == [f"s{i}" for i in range(5)]
+
+    def test_intra_host_traffic_still_observed(self):
+        topo = NetworkTopology.linear(3)
+        assert topo.route("h1_0", "h1_0") == ["s1"]
+
+    def test_fat_tree_pod(self):
+        topo = NetworkTopology.fat_tree_pod(edge_switches=4,
+                                            hosts_per_edge=2)
+        assert len(topo.switches) == 6  # 4 edge + 2 agg
+        route = topo.route("h0_0", "h3_1")
+        assert len(route) == 3  # edge, agg, edge
+
+    def test_random_wan_connected(self):
+        topo = NetworkTopology.random_wan(n_switches=10, seed=3)
+        # Any host pair must be routable.
+        assert topo.route(topo.hosts[0], topo.hosts[-1])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            NetworkTopology.linear(0)
+        with pytest.raises(ConfigurationError):
+            NetworkTopology.random_wan(2)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def sim_and_pkts(self):
+        topo = NetworkTopology.fat_tree_pod(edge_switches=4,
+                                            hosts_per_edge=2)
+        sim = NetworkSimulation(topo, q=1000, backend="qmax", seed=1)
+        pkts = generate_packets(CAIDA16, 15000, seed=3, n_flows=1500)
+        sim.run(pkts)
+        return sim, pkts
+
+    def test_packets_cross_multiple_nmps(self, sim_and_pkts):
+        sim, _ = sim_and_pkts
+        assert sim.mean_path_length > 1.2
+
+    def test_no_false_negatives_with_margin(self, sim_and_pkts):
+        sim, pkts = sim_and_pkts
+        truth = {f for f, _ in sim.true_heavy_hitters(pkts, theta=0.02)}
+        found = {f for f, _ in sim.heavy_hitters(theta=0.02,
+                                                 epsilon=0.015)}
+        assert truth <= found
+
+    def test_estimates_near_truth(self, sim_and_pkts):
+        sim, pkts = sim_and_pkts
+        truth = dict(sim.true_heavy_hitters(pkts, theta=0.03))
+        reported = dict(sim.heavy_hitters(theta=0.03, epsilon=0.01))
+        for flow, count in truth.items():
+            assert reported[flow] == pytest.approx(count, rel=0.5)
+
+    def test_backend_equivalence(self):
+        """q-MAX and heap NMPs produce the same merged sample."""
+        topo = NetworkTopology.linear(3, hosts_per_switch=2)
+        pkts = generate_packets(CAIDA16, 4000, seed=9, n_flows=400)
+        samples = []
+        for backend in ("qmax", "heap"):
+            sim = NetworkSimulation(topo, q=200, backend=backend, seed=2)
+            sim.run(pkts)
+            samples.append(
+                sim.controller.merge_reports(sim.nmps.values())
+            )
+        assert samples[0] == samples[1]

@@ -1,0 +1,110 @@
+"""Tests for the Theorem-8 sliding-window network-wide heavy hitters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netwide.sliding import SlidingController, SlidingMeasurementPoint
+from repro.traffic.packet import Packet
+
+
+def _mkpkt(src, pid, ts):
+    return Packet(src_ip=src, dst_ip=1, src_port=1, dst_port=2, proto=6,
+                  size=100, timestamp=ts, packet_id=pid)
+
+
+class TestSlidingMeasurementPoint:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlidingMeasurementPoint(0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingMeasurementPoint(4, 0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SlidingMeasurementPoint(4, 1.0, 0.0)
+
+    def test_window_expiry(self):
+        """Samples from before the window must disappear."""
+        nmp = SlidingMeasurementPoint(16, window_seconds=10.0, tau=0.25,
+                                      seed=1)
+        for pid in range(100):
+            nmp.observe(_mkpkt(src=999, pid=pid, ts=0.5))
+        # Much later: only fresh traffic inside the window.
+        for pid in range(100, 200):
+            nmp.observe(_mkpkt(src=111, pid=pid, ts=100.0))
+        report = nmp.report(now=100.0)
+        flows = {flow for (flow, _pid), _v in report}
+        assert flows == {111}
+
+    def test_recent_window_retained(self):
+        nmp = SlidingMeasurementPoint(16, window_seconds=10.0, tau=0.25,
+                                      seed=2)
+        for pid in range(50):
+            nmp.observe(_mkpkt(src=5, pid=pid, ts=pid * 0.1))
+        report = nmp.report(now=5.0)
+        assert len(report) == 16
+
+    def test_slack_keeps_at_least_shrunk_window(self):
+        """Packets within W(1-τ) of `now` are always covered."""
+        nmp = SlidingMeasurementPoint(300, window_seconds=8.0, tau=0.25,
+                                      seed=3)
+        for pid in range(200):
+            ts = pid * 0.05  # spans [0, 10)
+            nmp.observe(_mkpkt(src=pid, pid=pid, ts=ts))
+        now = 10.0
+        report = nmp.report(now=now)
+        covered_pids = {pid for (_f, pid), _v in report}
+        for pid in range(200):
+            ts = pid * 0.05
+            if now - 8.0 * 0.75 <= ts:
+                assert pid in covered_pids, (pid, ts)
+
+
+class TestSlidingController:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlidingController(1)
+        with pytest.raises(ConfigurationError):
+            SlidingController(4, epsilon=0.0)
+        ctrl = SlidingController(4)
+        with pytest.raises(ConfigurationError):
+            ctrl.heavy_hitters([], now=0.0, theta=2.0)
+
+    def test_windowed_heavy_hitters(self):
+        """A flow heavy only in the recent window must be reported; an
+        old heavy flow must not."""
+        nmps = [
+            SlidingMeasurementPoint(400, window_seconds=5.0, tau=0.25,
+                                    seed=4, name=f"n{i}")
+            for i in range(2)
+        ]
+        pid = 0
+        # Old phase: flow A dominates, ts in [0, 5).
+        for _ in range(2000):
+            for nmp in nmps:
+                nmp.observe(_mkpkt(src=0xA, pid=pid, ts=pid * 0.0025))
+            pid += 1
+        # Recent phase: flow B dominates, ts in [20, 25).
+        for j in range(2000):
+            for nmp in nmps:
+                nmp.observe(_mkpkt(src=0xB, pid=pid, ts=20 + j * 0.0025))
+            pid += 1
+        ctrl = SlidingController(400, epsilon=0.05)
+        heavy = dict(ctrl.heavy_hitters(nmps, now=25.0, theta=0.5))
+        assert 0xB in heavy
+        assert 0xA not in heavy
+
+    def test_dedup_across_nmps(self):
+        nmps = [
+            SlidingMeasurementPoint(64, window_seconds=10.0, tau=0.5,
+                                    seed=5)
+            for _ in range(3)
+        ]
+        for pid in range(500):
+            pkt = _mkpkt(src=pid % 7, pid=pid, ts=1.0)
+            for nmp in nmps:  # every NMP sees every packet
+                nmp.observe(pkt)
+        ctrl = SlidingController(64)
+        sample = ctrl.merged_sample(nmps, now=1.0)
+        pids = [pid for (_f, pid), _v in sample]
+        assert len(pids) == len(set(pids)) == 64

@@ -1,0 +1,97 @@
+"""Tests for the end-to-end sliding network-wide simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netwide.sliding_simulation import SlidingNetworkSimulation
+from repro.netwide.topology import NetworkTopology
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+def _retimed(packets, start):
+    """Shift a packet list so the first timestamp is ``start``."""
+    base = packets[0].timestamp
+    return [
+        dataclasses.replace(p, timestamp=start + (p.timestamp - base))
+        for p in packets
+    ]
+
+
+class TestSlidingNetworkSimulation:
+    def test_requires_switches(self):
+        import networkx as nx
+
+        bare = NetworkTopology(nx.Graph([("h0", "h1")]), ["h0", "h1"])
+        with pytest.raises(ConfigurationError):
+            SlidingNetworkSimulation(bare, q=4, window_seconds=1.0)
+
+    def test_windowed_heavy_hitters_track_regime_change(self):
+        """Old-phase heavy flows must vanish from windowed queries."""
+        topo = NetworkTopology.fat_tree_pod(edge_switches=2,
+                                            hosts_per_edge=2)
+        window = 0.02
+        sim = SlidingNetworkSimulation(
+            topo, q=800, window_seconds=window, tau=0.25, epsilon=0.05,
+            seed=1,
+        )
+        phase1 = generate_packets(CAIDA16, 8000, seed=10, n_flows=500)
+        phase2 = generate_packets(CAIDA16, 8000, seed=20, n_flows=500)
+        # Make phase 2 start long after phase 1 ended.
+        phase2 = _retimed(phase2, phase1[-1].timestamp + 10 * window)
+        # Re-number packet ids so they stay distinct across phases.
+        phase2 = [
+            dataclasses.replace(p, packet_id=p.packet_id + 1_000_000)
+            for p in phase2
+        ]
+        sim.run(phase1)
+        sim.run(phase2)
+
+        truth = {
+            f
+            for f, _ in sim.true_windowed_heavy_hitters(
+                phase1 + phase2, theta=0.02
+            )
+        }
+        reported = {f for f, _ in sim.heavy_hitters(theta=0.02)}
+        # No false negatives among windowed truth...
+        assert truth <= reported
+        # ...and nothing exclusive to phase 1 is reported.
+        phase1_only = {p.src_ip for p in phase1} - {
+            p.src_ip for p in phase2
+        }
+        assert not (reported & phase1_only)
+
+    def test_multi_hop_dedup_in_window(self):
+        """Packets crossing several windowed NMPs count once."""
+        topo = NetworkTopology.linear(4, hosts_per_switch=2)
+        sim = SlidingNetworkSimulation(
+            topo, q=500, window_seconds=1.0, tau=0.25, seed=2
+        )
+        pkts = generate_packets(CAIDA16, 4000, seed=3, n_flows=400)
+        sim.run(pkts)
+        sample = sim.controller.merged_sample(
+            sim.nmps.values(), pkts[-1].timestamp
+        )
+        pids = [pid for (_f, pid), _v in sample]
+        assert len(pids) == len(set(pids))
+
+    def test_levels_give_same_answers(self):
+        """Basic and hierarchical NMP layouts agree when all traffic is
+        recent (every admissible window covers everything)."""
+        topo = NetworkTopology.linear(2, hosts_per_switch=2)
+        pkts = generate_packets(CAIDA16, 3000, seed=4, n_flows=300)
+        # Compress the trace into a fraction of the window.
+        pkts = _retimed(pkts, 0.0)
+        hh = {}
+        for levels in (1, 2):
+            sim = SlidingNetworkSimulation(
+                topo, q=400, window_seconds=1000.0, tau=0.1,
+                levels=levels, seed=5,
+            )
+            sim.run(pkts)
+            hh[levels] = sorted(sim.heavy_hitters(theta=0.02))
+        assert hh[1] == hh[2]

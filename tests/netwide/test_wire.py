@@ -1,0 +1,144 @@
+"""Tests for the NMP report wire formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netwide.controller import Controller
+from repro.netwide.nmp import MeasurementPoint
+from repro.netwide.wire import (
+    Report,
+    from_bytes,
+    from_json,
+    from_measurement_point,
+    merge_reports,
+    to_bytes,
+    to_json,
+)
+from repro.traffic.packet import Packet
+
+
+def _fill_nmp(name, pids, seed=3):
+    nmp = MeasurementPoint(16, seed=seed, name=name)
+    for pid in pids:
+        nmp.observe(Packet(pid % 50, 0, 0, 0, 6, 100, packet_id=pid))
+    return nmp
+
+
+class TestReportModel:
+    def test_snapshot(self):
+        nmp = _fill_nmp("edge-1", range(200))
+        report = from_measurement_point(nmp)
+        assert report.nmp_name == "edge-1"
+        assert report.observed == 200
+        assert len(report.entries) == 16
+
+    def test_rejects_unsorted_entries(self):
+        with pytest.raises(ConfigurationError):
+            Report("x", 2, (((1, 1), 0.9), ((2, 2), 0.1)))
+
+    def test_rejects_negative_observed(self):
+        with pytest.raises(ConfigurationError):
+            Report("x", -1, ())
+
+
+class TestJsonRoundTrip:
+    def test_exact_roundtrip(self):
+        report = from_measurement_point(_fill_nmp("a", range(500)))
+        assert from_json(to_json(report)) == report
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            from_json("not json at all {")
+        with pytest.raises(ConfigurationError):
+            from_json('{"format": "something-else"}')
+        with pytest.raises(ConfigurationError):
+            from_json(
+                '{"format": "qmax-report", "version": 99, "nmp": "x",'
+                ' "observed": 0, "samples": []}'
+            )
+
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ConfigurationError):
+            from_json(
+                '{"format": "qmax-report", "version": 1,'
+                ' "samples": [{"flow": 1}]}'
+            )
+
+
+class TestBinaryRoundTrip:
+    def test_exact_roundtrip(self):
+        report = from_measurement_point(_fill_nmp("switch-β", range(300)))
+        assert from_bytes(to_bytes(report)) == report
+
+    def test_binary_is_compact(self):
+        report = from_measurement_point(_fill_nmp("s", range(1000)))
+        assert len(to_bytes(report)) < len(to_json(report))
+
+    def test_rejects_truncation_everywhere(self):
+        data = to_bytes(from_measurement_point(_fill_nmp("s", range(99))))
+        for cut in (0, 3, 8, len(data) // 2, len(data) - 1):
+            with pytest.raises(ConfigurationError):
+                from_bytes(data[:cut])
+
+    def test_rejects_bad_magic_and_version(self):
+        data = to_bytes(from_measurement_point(_fill_nmp("s", range(50))))
+        with pytest.raises(ConfigurationError):
+            from_bytes(b"XXXX" + data[4:])
+        with pytest.raises(ConfigurationError):
+            from_bytes(data[:4] + b"\x09" + data[5:])
+
+    def test_rejects_out_of_range_records(self):
+        with pytest.raises(ConfigurationError):
+            to_bytes(Report("x", 1, (((2**33, 1), 0.5),)))
+
+
+class TestWireMerging:
+    def test_wire_merge_equals_in_process_merge(self):
+        """Ship reports over both encodings: the controller's answer
+        must be bit-identical to in-process merging."""
+        nmps = [
+            _fill_nmp(f"n{i}", range(i * 137, i * 137 + 400))
+            for i in range(4)
+        ]
+        in_process = Controller(16).merge_reports(nmps)
+
+        json_side = [
+            from_json(to_json(from_measurement_point(n))) for n in nmps
+        ]
+        binary_side = [
+            from_bytes(to_bytes(from_measurement_point(n))) for n in nmps
+        ]
+        assert merge_reports(json_side, 16) == in_process
+        assert merge_reports(binary_side, 16) == in_process
+
+    def test_merge_validates_q(self):
+        with pytest.raises(ConfigurationError):
+            merge_reports([], 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    flows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.integers(min_value=0, max_value=2**64 - 1),
+        ),
+        max_size=30,
+        unique=True,
+    ),
+    observed=st.integers(min_value=0, max_value=2**40),
+    name=st.text(max_size=20),
+)
+def test_wire_roundtrip_property(flows, observed, name):
+    """Property: any well-formed report survives both encodings."""
+    entries = tuple(
+        (record, i / (len(flows) + 1.0))
+        for i, record in enumerate(flows)
+    )
+    report = Report(name, observed, entries)
+    assert from_bytes(to_bytes(report)) == report
+    assert from_json(to_json(report)) == report

@@ -1,0 +1,142 @@
+"""Tests for the Count Sketch and Count-Min substrate."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sketches import CountMinSketch, CountSketch
+
+
+def _zipfish_stream(rng, n, keys):
+    stream = []
+    for _ in range(n):
+        if rng.random() < 0.7:
+            stream.append(rng.randint(0, keys // 20))
+        else:
+            stream.append(rng.randint(0, keys - 1))
+    return stream
+
+
+class TestCountSketch:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            CountSketch(width=0)
+        with pytest.raises(ConfigurationError):
+            CountSketch(depth=0)
+
+    def test_exact_for_single_key(self):
+        cs = CountSketch(width=256, depth=5, seed=1)
+        for _ in range(100):
+            cs.update("only-key")
+        assert cs.estimate("only-key") == 100
+
+    def test_estimates_heavy_keys_on_skewed_stream(self, rng):
+        cs = CountSketch(width=4096, depth=5, seed=2)
+        stream = _zipfish_stream(rng, 20000, 5000)
+        truth = collections.Counter(stream)
+        for key in stream:
+            cs.update(key)
+        # Per-row error is ~ ||f||2/sqrt(width); allow several sigma on
+        # each heavy key and require the *typical* error to be small.
+        l2 = sum(c * c for c in truth.values()) ** 0.5
+        sigma = l2 / (cs.width ** 0.5)
+        errors = []
+        for key, count in truth.most_common(20):
+            err = abs(cs.estimate(key) - count)
+            errors.append(err)
+            assert err <= 8 * sigma, (key, count, err, sigma)
+        errors.sort()
+        assert errors[len(errors) // 2] <= 3 * sigma
+
+    def test_negative_updates(self):
+        cs = CountSketch(width=256, depth=5, seed=3)
+        cs.update("x", 10)
+        cs.update("x", -10)
+        assert cs.estimate("x") == 0
+
+    def test_l2_estimate(self, rng):
+        cs = CountSketch(width=4096, depth=5, seed=4)
+        truth = collections.Counter(_zipfish_stream(rng, 30000, 2000))
+        for key, count in truth.items():
+            cs.update(key, count)
+        true_l2 = sum(c * c for c in truth.values()) ** 0.5
+        assert cs.l2_estimate() == pytest.approx(true_l2, rel=0.15)
+
+    def test_merge(self, rng):
+        a = CountSketch(width=512, depth=5, seed=5)
+        b = CountSketch(width=512, depth=5, seed=5)
+        whole = CountSketch(width=512, depth=5, seed=5)
+        for i in range(1000):
+            key = rng.randint(0, 50)
+            (a if i % 2 else b).update(key)
+            whole.update(key)
+        a.merge(b)
+        for key in range(50):
+            assert a.estimate(key) == whole.estimate(key)
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            CountSketch(width=128).merge(CountSketch(width=256))
+
+    def test_reset(self):
+        cs = CountSketch(width=64, depth=3)
+        cs.update("k", 5)
+        cs.reset()
+        assert cs.estimate("k") == 0
+
+    def test_counters_property(self):
+        assert CountSketch(width=128, depth=4).counters == 512
+
+
+class TestCountMin:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=0)
+
+    def test_never_underestimates(self, rng):
+        cm = CountMinSketch(width=512, depth=4, seed=1)
+        truth = collections.Counter(_zipfish_stream(rng, 10000, 2000))
+        for key, count in truth.items():
+            cm.update(key, count)
+        for key, count in truth.items():
+            assert cm.estimate(key) >= count
+
+    def test_error_bound(self, rng):
+        epsilon, delta = 0.01, 0.05
+        cm = CountMinSketch.from_error(epsilon, delta, seed=2)
+        stream = _zipfish_stream(rng, 20000, 3000)
+        truth = collections.Counter(stream)
+        for key in stream:
+            cm.update(key)
+        n = len(stream)
+        violations = sum(
+            1
+            for key, count in truth.items()
+            if cm.estimate(key) > count + epsilon * n
+        )
+        assert violations <= delta * len(truth) + 3
+
+    def test_from_error_validates(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.from_error(0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.from_error(0.1, 1.5)
+
+    def test_merge_and_total(self, rng):
+        a = CountMinSketch(width=256, depth=4, seed=3)
+        b = CountMinSketch(width=256, depth=4, seed=3)
+        for i in range(500):
+            (a if i % 2 else b).update(i % 20)
+        a.merge(b)
+        assert a.total == 500
+        assert a.estimate(0) >= 25
+
+    def test_reset(self):
+        cm = CountMinSketch(width=64, depth=2)
+        cm.update("k")
+        cm.reset()
+        assert cm.estimate("k") == 0
+        assert cm.total == 0

@@ -1,0 +1,81 @@
+"""Additional flow-table and datapath edge-case coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.switch.datapath import Datapath
+from repro.switch.flow_table import FlowRule, FlowTable
+from repro.traffic.packet import PROTO_TCP, PROTO_UDP, Packet
+
+
+def _mkpkt(src=1, dst=2, dport=80, proto=PROTO_TCP, pid=0):
+    return Packet(src_ip=src, dst_ip=dst, src_port=1000, dst_port=dport,
+                  proto=proto, size=100, packet_id=pid)
+
+
+class TestRulePriorityTies:
+    def test_equal_priority_first_added_wins(self):
+        table = FlowTable()
+        table.add_rule(FlowRule(priority=5, action="first"))
+        table.add_rule(FlowRule(priority=5, action="second"))
+        assert table.lookup(_mkpkt()) == "first"
+
+    def test_insertion_order_independent_of_priority_order(self):
+        a = FlowTable()
+        a.add_rule(FlowRule(priority=1, action="low"))
+        a.add_rule(FlowRule(priority=9, action="high"))
+        b = FlowTable()
+        b.add_rule(FlowRule(priority=9, action="high"))
+        b.add_rule(FlowRule(priority=1, action="low"))
+        pkt = _mkpkt()
+        assert a.lookup(pkt) == b.lookup(pkt) == "high"
+
+    def test_len(self):
+        table = FlowTable([FlowRule(), FlowRule(priority=3)])
+        assert len(table) == 2
+
+
+class TestMaskSemantics:
+    def test_dst_mask(self):
+        rule = FlowRule(dst_ip=0xC0A80000, dst_mask=0xFFFF0000)
+        assert rule.matches(_mkpkt(dst=0xC0A81234))
+        assert not rule.matches(_mkpkt(dst=0xC0A91234))
+
+    def test_proto_filter(self):
+        rule = FlowRule(proto=PROTO_UDP)
+        assert rule.matches(_mkpkt(proto=PROTO_UDP))
+        assert not rule.matches(_mkpkt(proto=PROTO_TCP))
+
+
+class TestDatapathEdgeCases:
+    def test_drop_counted_not_forwarded(self):
+        table = FlowTable([FlowRule(dst_port=80, action="fwd")])
+        dp = Datapath(flow_table=table)
+        dp.process(_mkpkt(dport=80))
+        dp.process(_mkpkt(dport=22))
+        assert dp.packets_forwarded == 1
+        assert dp.packets_dropped == 1
+
+    def test_emc_eviction_keeps_working(self):
+        dp = Datapath(emc_size=4)
+        # 100 distinct flows churn through a 4-entry cache.
+        for i in range(100):
+            dp.process(_mkpkt(src=i, pid=i))
+        assert len(dp._emc) <= 4
+        # A flow still resolves correctly after its entry was evicted.
+        assert dp.process(_mkpkt(src=0, pid=1000)) != "drop"
+
+    def test_batching_equivalent_to_single(self):
+        from repro.traffic.synthetic import CAIDA16, generate_packets
+
+        pkts = generate_packets(CAIDA16, 500, seed=30, n_flows=50)
+        one = Datapath(batch_size=1)
+        one.run(pkts)
+        big = Datapath(batch_size=64)
+        big.run(pkts)
+        assert one.packets_forwarded == big.packets_forwarded
+        assert one.emc_hits == big.emc_hits
+
+    def test_hit_rate_zero_when_idle(self):
+        assert Datapath().emc_hit_rate == 0.0

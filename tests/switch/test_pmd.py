@@ -1,0 +1,73 @@
+"""Tests for the multi-PMD (RSS-sharded) datapath."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.switch.monitor import NetworkWideMonitor, NullMonitor
+from repro.switch.pmd import MultiPMDDatapath
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+class TestMultiPMD:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            MultiPMDDatapath(0, lambda i: NullMonitor())
+
+    def test_flow_sticky_sharding(self):
+        """All packets of one flow land on the same PMD (RSS)."""
+        mp = MultiPMDDatapath(4, lambda i: NullMonitor(), rss_seed=1)
+        pkts = generate_packets(CAIDA16, 3000, seed=1, n_flows=100)
+        flow_to_pmd = {}
+        for pkt in pkts:
+            pmd = mp.pmd_of(pkt)
+            prev = flow_to_pmd.setdefault(pkt.five_tuple, pmd)
+            assert prev == pmd
+
+    def test_load_roughly_balanced(self):
+        mp = MultiPMDDatapath(4, lambda i: NullMonitor(), rss_seed=2)
+        pkts = generate_packets(CAIDA16, 8000, seed=2, n_flows=4000)
+        mp.run(pkts)
+        loads = mp.load_by_pmd()
+        assert sum(loads) == mp.packets_forwarded
+        assert min(loads) > 0.1 * max(loads)
+
+    def test_totals_match_single_datapath(self):
+        from repro.switch.datapath import Datapath
+
+        pkts = generate_packets(CAIDA16, 2000, seed=3, n_flows=200)
+        single = Datapath()
+        single.run(pkts)
+        multi = MultiPMDDatapath(3, lambda i: NullMonitor(), rss_seed=3)
+        multi.run(pkts)
+        assert multi.packets_forwarded == single.packets_forwarded
+        assert multi.bytes_forwarded == single.bytes_forwarded
+
+    def test_merged_network_wide_sample(self):
+        """Per-PMD NMP shards merge into a valid global sample."""
+        q = 300
+        mp = MultiPMDDatapath(
+            3,
+            lambda i: NetworkWideMonitor(q, backend="qmax", seed=7),
+            rss_seed=4,
+        )
+        pkts = generate_packets(CAIDA16, 6000, seed=4, n_flows=600)
+        mp.run(pkts)
+        sample = mp.merged_network_wide_sample(q)
+        assert len(sample) == q
+        values = [v for _r, v in sample]
+        assert values == sorted(values)
+        # Sharding is disjoint, so merged == one NMP that saw all.
+        from repro.netwide.nmp import MeasurementPoint
+
+        whole = MeasurementPoint(q, backend="qmax", seed=7)
+        for pkt in pkts:
+            if mp.pmds[mp.pmd_of(pkt)].flow_table.lookup(pkt) != "drop":
+                whole.observe(pkt)
+        assert sample == whole.report()
+
+    def test_merged_sample_requires_nw_monitors(self):
+        mp = MultiPMDDatapath(2, lambda i: NullMonitor())
+        with pytest.raises(ConfigurationError):
+            mp.merged_network_wide_sample(4)

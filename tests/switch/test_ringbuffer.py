@@ -1,0 +1,160 @@
+"""Tests for the datapath → measurement ring-buffer channel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.switch.datapath import Datapath
+from repro.switch.pmd import MultiPMDDatapath
+from repro.switch.ringbuffer import (
+    MeasurementProcess,
+    RecordingMonitor,
+    RingBuffer,
+    decode_record,
+    encode_record,
+)
+from repro.traffic.packet import Packet
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+class TestRingBuffer:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            RingBuffer(0)
+
+    def test_fifo_order(self):
+        ring = RingBuffer(8)
+        for i in range(5):
+            assert ring.push(bytes([i])) is True
+        assert ring.drain() == [bytes([i]) for i in range(5)]
+
+    def test_full_ring_drops(self):
+        ring = RingBuffer(3)
+        for i in range(5):
+            ring.push(bytes([i]))
+        assert ring.dropped == 2
+        assert ring.pushed == 3
+        assert len(ring) == 3
+        assert ring.is_full
+
+    def test_wraparound(self):
+        ring = RingBuffer(4)
+        for round_i in range(10):
+            assert ring.push(bytes([round_i]))
+            assert ring.pop() == bytes([round_i])
+        assert len(ring) == 0
+        assert ring.dropped == 0
+
+    def test_pop_empty(self):
+        assert RingBuffer(2).pop() is None
+
+    def test_drain_limit(self):
+        ring = RingBuffer(8)
+        for i in range(6):
+            ring.push(bytes([i]))
+        assert len(ring.drain(limit=4)) == 4
+        assert len(ring) == 2
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        pkt = Packet(0x0A000001, 2, 3, 4, 6, 1500, packet_id=12345)
+        src, pid, size = decode_record(encode_record(pkt))
+        assert (src, pid, size) == (0x0A000001, 12345, 1500)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            decode_record(b"\x00\x01")
+
+
+class TestRecordingPipeline:
+    def test_datapath_to_measurement_process(self):
+        """Full decoupled pipeline: forward, then measure offline."""
+        from repro.core.qmax import QMax
+        from repro.hashing.uniform import UniformHasher
+
+        monitor = RecordingMonitor(capacity=1 << 16)
+        dp = Datapath(monitor=monitor)
+        pkts = generate_packets(CAIDA16, 3000, seed=1, n_flows=300)
+        dp.run(pkts)
+        assert monitor.ring.pushed == dp.packets_forwarded
+        assert monitor.ring.dropped == 0
+
+        uniform = UniformHasher(seed=9)
+        offline = QMax(64, 0.25)
+        process = MeasurementProcess(
+            [monitor.ring],
+            lambda src, pid, size: offline.add(
+                (src, pid), uniform.unit(pid)
+            ),
+        )
+        total = process.run_until_empty()
+        assert total == dp.packets_forwarded
+
+        # Offline result == inline result on the same packets.
+        inline = QMax(64, 0.25)
+        for pkt in pkts:
+            if dp.flow_table.lookup(pkt) != "drop":
+                inline.add(
+                    (pkt.src_ip, pkt.packet_id),
+                    uniform.unit(pkt.packet_id),
+                )
+        assert sorted(v for _, v in offline.query()) == sorted(
+            v for _, v in inline.query()
+        )
+
+    def test_small_ring_drops_under_burst(self):
+        monitor = RecordingMonitor(capacity=64)
+        dp = Datapath(monitor=monitor)
+        dp.run(generate_packets(CAIDA16, 1000, seed=2))
+        assert monitor.ring.dropped > 0
+        assert monitor.ring.pushed + monitor.ring.dropped == (
+            dp.packets_forwarded
+        )
+
+    def test_per_pmd_rings(self):
+        """One ring per PMD, drained by a single process — the paper's
+        shared-memory-block-per-PMD layout."""
+        mp = MultiPMDDatapath(
+            3, lambda i: RecordingMonitor(capacity=1 << 14), rss_seed=5
+        )
+        mp.run(generate_packets(CAIDA16, 4000, seed=3, n_flows=400))
+        seen = []
+        process = MeasurementProcess(
+            [m.ring for m in mp.monitors],
+            lambda src, pid, size: seen.append(pid),
+        )
+        process.run_until_empty()
+        assert len(seen) == mp.packets_forwarded
+        assert len(set(seen)) == len(seen)  # each packet once
+
+    def test_measurement_process_validates(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementProcess([], lambda s, p, z: None)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    ops=st.lists(st.booleans(), max_size=200),
+)
+def test_ring_property_counts_consistent(capacity, ops):
+    """Property: pushed = popped + len + (never lost); drops only when
+    full."""
+    ring = RingBuffer(capacity)
+    popped = 0
+    seq = 0
+    for is_push in ops:
+        if is_push:
+            was_full = ring.is_full
+            ok = ring.push(seq.to_bytes(4, "big"))
+            assert ok != was_full
+            seq += 1
+        else:
+            if ring.pop() is not None:
+                popped += 1
+    assert ring.pushed == popped + len(ring)
+    assert ring.pushed + ring.dropped == seq

@@ -1,0 +1,43 @@
+"""Tests for the windowed switch monitor."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.switch.datapath import Datapath
+from repro.switch.monitor import SlidingReservoirMonitor
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+class TestSlidingReservoirMonitor:
+    def test_collects_recent_window(self):
+        monitor = SlidingReservoirMonitor(q=32, window_seconds=0.01,
+                                          tau=0.25, seed=1)
+        dp = Datapath(monitor=monitor)
+        pkts = generate_packets(CAIDA16, 5000, seed=1, n_flows=500)
+        dp.run(pkts)
+        top = monitor.window.query()
+        assert 0 < len(top) <= 32
+        # Every reported record must be from inside the window.
+        cutoff = pkts[-1].timestamp - 0.01
+        recent_pids = {
+            p.packet_id for p in pkts if p.timestamp >= cutoff
+        }
+        for (_src, pid, _size), _v in top:
+            assert pid in recent_pids
+
+    def test_old_traffic_expires(self):
+        monitor = SlidingReservoirMonitor(q=8, window_seconds=0.005,
+                                          tau=0.5, seed=2)
+        dp = Datapath(monitor=monitor)
+        pkts = generate_packets(CAIDA16, 2000, seed=2, n_flows=200)
+        early = pkts[:1000]
+        # Shift the rest far into the future.
+        late = [
+            dataclasses.replace(p, timestamp=p.timestamp + 10.0)
+            for p in pkts[1000:]
+        ]
+        dp.run(early + late)
+        late_pids = {p.packet_id for p in late}
+        for (_src, pid, _size), _v in monitor.window.query():
+            assert pid in late_pids

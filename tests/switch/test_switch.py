@@ -1,0 +1,227 @@
+"""Tests for the simulated OVS-style datapath."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.switch.datapath import Datapath
+from repro.switch.flow_table import FlowRule, FlowTable, make_default_rules
+from repro.switch.linerate import (
+    FORTY_GBPS,
+    TEN_GBPS,
+    FRAMING_OVERHEAD,
+    LinkModel,
+)
+from repro.switch.monitor import (
+    NetworkWideMonitor,
+    NullMonitor,
+    PrioritySamplingMonitor,
+    QMaxMonitor,
+    make_monitor,
+)
+from repro.traffic.packet import PROTO_TCP, Packet
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+def _mkpkt(src=1, dst=2, dport=80, proto=PROTO_TCP, pid=0):
+    return Packet(src_ip=src, dst_ip=dst, src_port=1000, dst_port=dport,
+                  proto=proto, size=100, packet_id=pid)
+
+
+class TestFlowRule:
+    def test_exact_match(self):
+        rule = FlowRule(src_ip=1, dst_port=80, proto=PROTO_TCP)
+        assert rule.matches(_mkpkt(src=1))
+        assert not rule.matches(_mkpkt(src=2))
+        assert not rule.matches(_mkpkt(dport=443))
+
+    def test_masked_match(self):
+        rule = FlowRule(src_ip=0x0A000000, src_mask=0xFF000000)
+        assert rule.matches(_mkpkt(src=0x0A0B0C0D))
+        assert not rule.matches(_mkpkt(src=0x0B000000))
+
+    def test_wildcard_matches_all(self):
+        assert FlowRule().matches(_mkpkt())
+
+
+class TestFlowTable:
+    def test_priority_order(self):
+        table = FlowTable([
+            FlowRule(priority=0, action="default"),
+            FlowRule(dst_port=80, priority=10, action="web"),
+        ])
+        assert table.lookup(_mkpkt(dport=80)) == "web"
+        assert table.lookup(_mkpkt(dport=443)) == "default"
+
+    def test_no_match_drops(self):
+        table = FlowTable([FlowRule(dst_port=80, action="web")])
+        assert table.lookup(_mkpkt(dport=22)) == "drop"
+
+    def test_default_rules_cover_everything(self):
+        table = FlowTable(make_default_rules())
+        assert table.lookup(_mkpkt()) != "drop"
+        assert table.lookup(_mkpkt(dport=22)) == "controller"
+
+    def test_rejects_bad_port_count(self):
+        with pytest.raises(ConfigurationError):
+            make_default_rules(0)
+
+
+class TestDatapath:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            Datapath(emc_size=0)
+        with pytest.raises(ConfigurationError):
+            Datapath(batch_size=0)
+
+    def test_forwards_and_counts(self):
+        dp = Datapath()
+        pkts = generate_packets(CAIDA16, 1000, seed=1)
+        dp.run(pkts)
+        assert dp.packets_forwarded + dp.packets_dropped == 1000
+        assert dp.bytes_forwarded > 0
+
+    def test_emc_caches_flows(self):
+        dp = Datapath()
+        pkt = _mkpkt()
+        for i in range(100):
+            dp.process(pkt)
+        assert dp.emc_misses == 1
+        assert dp.emc_hits == 99
+
+    def test_emc_bounded(self):
+        dp = Datapath(emc_size=16)
+        for i in range(1000):
+            dp.process(_mkpkt(src=i, pid=i))
+        assert len(dp._emc) <= 16
+
+    def test_monitor_sees_forwarded_packets_only(self):
+        seen = []
+
+        class Spy(NullMonitor):
+            def on_packet(self, pkt):
+                seen.append(pkt.packet_id)
+
+        table = FlowTable([FlowRule(dst_port=80, action="fwd")])
+        dp = Datapath(flow_table=table, monitor=Spy())
+        dp.process(_mkpkt(dport=80, pid=1))
+        dp.process(_mkpkt(dport=22, pid=2))  # dropped
+        assert seen == [1]
+
+    def test_reset_counters(self):
+        dp = Datapath()
+        dp.process(_mkpkt())
+        dp.reset_counters()
+        assert dp.packets_forwarded == 0
+        assert dp.emc_hits == 0
+
+
+class TestMonitors:
+    def test_factory(self):
+        assert isinstance(make_monitor("none", 4), NullMonitor)
+        assert isinstance(make_monitor("reservoir", 4), QMaxMonitor)
+        assert isinstance(
+            make_monitor("priority-sampling", 4), PrioritySamplingMonitor
+        )
+        assert isinstance(
+            make_monitor("network-wide-hh", 4), NetworkWideMonitor
+        )
+        with pytest.raises(ConfigurationError):
+            make_monitor("magic", 4)
+
+    @pytest.mark.parametrize("backend", ["qmax", "heap", "skiplist"])
+    def test_reservoir_monitor_collects(self, backend):
+        monitor = QMaxMonitor(32, backend=backend, seed=1)
+        dp = Datapath(monitor=monitor)
+        dp.run(generate_packets(CAIDA16, 2000, seed=2))
+        assert len(monitor.reservoir.query()) == 32
+
+    def test_priority_sampling_monitor_estimates_bytes(self):
+        monitor = PrioritySamplingMonitor(400, seed=3)
+        dp = Datapath(monitor=monitor)
+        pkts = generate_packets(CAIDA16, 5000, seed=4)
+        dp.run(pkts)
+        est = monitor.sampler.estimate_total()
+        assert est == pytest.approx(dp.bytes_forwarded, rel=0.3)
+
+    def test_network_wide_monitor_is_an_nmp(self):
+        monitor = NetworkWideMonitor(64, seed=5)
+        dp = Datapath(monitor=monitor)
+        dp.run(generate_packets(CAIDA16, 2000, seed=6))
+        assert len(monitor.nmp.report()) == 64
+
+
+class TestLinkModel:
+    def test_line_rate_64b_10g(self):
+        # Canonical figure: ~14.88 Mpps for 64B frames on 10G.
+        pps = TEN_GBPS.line_rate_pps(64)
+        assert pps == pytest.approx(14.88e6, rel=0.01)
+
+    def test_40g_scales_4x(self):
+        assert FORTY_GBPS.line_rate_pps(64) == pytest.approx(
+            4 * TEN_GBPS.line_rate_pps(64)
+        )
+
+    def test_gbps_at_rate(self):
+        gbps = TEN_GBPS.gbps_at(1e6, 1250)
+        assert gbps == pytest.approx(10.0)
+
+    def test_utilisation_capped(self):
+        assert TEN_GBPS.utilisation(1e12, 64) == 1.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel(0)
+
+    def test_framing_overhead_value(self):
+        assert FRAMING_OVERHEAD == 20  # preamble 8 + IFG 12
+
+
+class TestBenchSubstrate:
+    def test_confidence_interval(self):
+        from repro.bench.stats import confidence_interval
+
+        mean, half = confidence_interval([1.0, 1.0, 1.0])
+        assert mean == 1.0 and half == 0.0
+        mean, half = confidence_interval([1.0])
+        assert half == 0.0
+        mean, half = confidence_interval([0.9, 1.0, 1.1])
+        assert mean == pytest.approx(1.0)
+        assert half > 0
+
+    def test_confidence_interval_validates(self):
+        from repro.bench.stats import confidence_interval
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            confidence_interval([])
+        with pytest.raises(ConfigurationError):
+            confidence_interval([1.0], confidence=2.0)
+
+    def test_measure_throughput(self):
+        from repro.bench.runner import measure_throughput
+        from repro.core.qmax import QMax
+
+        stream = [(i, float(i % 97)) for i in range(2000)]
+        m = measure_throughput(
+            "t", lambda: QMax(16, 0.25).add, stream, repeats=2
+        )
+        assert m.mpps > 0
+        mean, half = m.mpps_ci
+        assert mean > 0 and half >= 0
+        assert "MPPS" in str(m)
+
+    def test_scaled_sizes(self, monkeypatch):
+        from repro.bench import workloads
+
+        monkeypatch.setenv("REPRO_SCALE", "2.0")
+        assert workloads.scaled(100) == 200
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert workloads.scaled(100, minimum=5) == 5
+
+    def test_print_table_roundtrip(self, capsys):
+        from repro.bench.reporting import print_series
+
+        text = print_series("T", "x", [1, 2], {"s": [0.5, 1.5]})
+        assert "T" in text and "0.500" in text

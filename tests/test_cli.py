@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traffic import generate_packets, write_pcap
+from repro.traffic.synthetic import CAIDA16
+
+
+@pytest.fixture
+def sample_pcap(tmp_path):
+    path = tmp_path / "sample.pcap"
+    write_pcap(path, generate_packets(CAIDA16, 2000, seed=4,
+                                      n_flows=200))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["gen-trace", "x.pcap", "--profile", "mystery"]
+            )
+
+
+class TestGenTrace:
+    def test_writes_pcap(self, tmp_path, capsys):
+        out = tmp_path / "t.pcap"
+        assert main(["gen-trace", str(out), "--packets", "500"]) == 0
+        assert out.exists()
+        assert "500" in capsys.readouterr().out
+
+    def test_unwritable_path_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["gen-trace", str(tmp_path / "no" / "dir" / "t.pcap")]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTopFlows:
+    def test_prints_top_sources(self, sample_pcap, capsys):
+        assert main(["top-flows", sample_pcap, "-q", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "source" in out
+        assert out.count("\n") >= 3
+
+    def test_backends_agree_on_heaviest(self, sample_pcap, capsys):
+        tops = []
+        for backend in ("qmax", "heap"):
+            main(["top-flows", sample_pcap, "-q", "3",
+                  "--backend", backend])
+            out = capsys.readouterr().out
+            # Heaviest flow's source ip (estimates may differ slightly
+            # because the discard threshold depends on eviction timing).
+            tops.append(out.splitlines()[1].split()[0])
+        assert tops[0] == tops[1]
+
+    def test_missing_file(self, capsys):
+        assert main(["top-flows", "/does/not/exist.pcap"]) == 1
+
+
+class TestHeavyHitters:
+    def test_merges_multiple_pcaps(self, tmp_path, capsys):
+        pkts = generate_packets(CAIDA16, 3000, seed=5, n_flows=300)
+        a, b = tmp_path / "a.pcap", tmp_path / "b.pcap"
+        write_pcap(a, pkts[:1500])
+        write_pcap(b, pkts[1500:])
+        assert main(
+            ["heavy-hitters", str(a), str(b), "-q", "500",
+             "--theta", "0.02"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 NMP(s)" in out
+
+
+class TestDistinct:
+    def test_estimates(self, sample_pcap, capsys):
+        assert main(["distinct", sample_pcap, "-q", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct" in out
+
+
+class TestCacheSim:
+    def test_reports_all_backends(self, capsys):
+        assert main(
+            ["cache-sim", "--requests", "3000", "--keys", "1000",
+             "--capacity", "100", "--backends", "qmax", "indexedheap"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "qmax" in out and "indexedheap" in out
+        assert out.count("%") == 2
+
+
+class TestBench:
+    def test_quick_sweep(self, capsys):
+        assert main(
+            ["bench", "-q", "64", "--items", "5000", "--repeats", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "qmax" in out and "heap" in out and "skiplist" in out

@@ -1,0 +1,98 @@
+"""Failure-injection / fuzz tests: parsers must reject garbage cleanly.
+
+A controller ingests reports from remote switches and pcap files from
+arbitrary tooling; whatever the bytes, the decoders must either return
+a valid object or raise ``ConfigurationError`` — never crash with an
+unrelated exception or hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.netwide.wire import from_bytes, from_json
+from repro.traffic.headers import packet_from_bytes
+from repro.traffic.pcap import _iter_records
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=400))
+def test_wire_decoder_survives_random_bytes(data):
+    try:
+        report = from_bytes(data)
+    except ConfigurationError:
+        return
+    # If it parsed, it must be internally consistent.
+    assert report.observed >= 0
+    values = [v for _r, v in report.entries]
+    assert values == sorted(values)
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(max_size=300))
+def test_json_decoder_survives_random_text(text):
+    try:
+        from_json(text)
+    except ConfigurationError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=200))
+def test_packet_parser_survives_random_bytes(data):
+    try:
+        packet_from_bytes(data)
+    except (ConfigurationError, ValueError):
+        # struct.error is a ValueError subclass: acceptable for raw
+        # header parsing of truncated frames.
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_pcap_reader_survives_random_bytes(data):
+    try:
+        list(_iter_records(data))
+    except ConfigurationError:
+        pass
+
+
+class TestBitFlips:
+    """Single-bit corruptions of valid artifacts are caught or benign."""
+
+    def test_wire_report_bit_flips(self):
+        from repro.netwide.nmp import MeasurementPoint
+        from repro.netwide.wire import from_measurement_point, to_bytes
+        from repro.traffic.packet import Packet
+
+        nmp = MeasurementPoint(8, seed=1)
+        for pid in range(100):
+            nmp.observe(Packet(1, 2, 3, 4, 6, 100, packet_id=pid))
+        blob = bytearray(to_bytes(from_measurement_point(nmp)))
+        for byte_index in range(0, len(blob), 7):
+            corrupted = bytearray(blob)
+            corrupted[byte_index] ^= 0x40
+            try:
+                report = from_bytes(bytes(corrupted))
+            except (ConfigurationError, UnicodeDecodeError):
+                continue
+            # Accepted corruptions must still be structurally valid.
+            assert report.observed >= 0
+
+    def test_ipv4_checksum_catches_header_flips(self):
+        from repro.traffic.headers import IPv4Header
+
+        header = IPv4Header(0x0A000001, 0x0A000002, 500, 6).encode()
+        caught = 0
+        for byte_index in range(len(header)):
+            corrupted = bytearray(header)
+            corrupted[byte_index] ^= 0x01
+            try:
+                IPv4Header.decode(bytes(corrupted))
+            except ConfigurationError:
+                caught += 1
+        # The internet checksum detects every single-bit flip.
+        assert caught == len(header)

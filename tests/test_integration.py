@@ -1,0 +1,124 @@
+"""Cross-module integration tests: full pipelines end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QMax
+from repro.apps import CountDistinct, PrioritySampler
+from repro.netwide import Controller, NetworkSimulation, NetworkTopology
+from repro.switch import Datapath, NetworkWideMonitor, make_monitor
+from repro.traffic import (
+    CAIDA16,
+    UNIV1,
+    generate_packets,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestPcapToMeasurement:
+    """Trace generation → pcap file → re-parse → measurement."""
+
+    def test_pcap_roundtrip_preserves_measurements(self, tmp_path):
+        pkts = generate_packets(CAIDA16, 3000, seed=5, n_flows=300)
+        path = tmp_path / "trace.pcap"
+        write_pcap(path, pkts)
+        reloaded = read_pcap(path)
+
+        def heavy_sources(packets):
+            sampler = PrioritySampler(500, seed=1)
+            for i, p in enumerate(packets):
+                sampler.update(i, p.size)
+            return round(sampler.estimate_total())
+
+        # Sizes survive the round trip, so estimates are identical.
+        assert heavy_sources(pkts) == heavy_sources(reloaded)
+
+    def test_distinct_sources_survive_roundtrip(self, tmp_path):
+        pkts = generate_packets(UNIV1, 2000, seed=6, n_flows=500)
+        path = tmp_path / "u.pcap"
+        write_pcap(path, pkts)
+        reloaded = read_pcap(path)
+        cd_a, cd_b = CountDistinct(64, seed=2), CountDistinct(64, seed=2)
+        for p in pkts:
+            cd_a.update(p.src_ip)
+        for p in reloaded:
+            cd_b.update(p.src_ip)
+        assert cd_a.estimate() == cd_b.estimate()
+
+
+class TestSwitchToController:
+    """Datapath monitors feeding the network-wide controller."""
+
+    def test_two_switches_one_controller(self):
+        pkts = generate_packets(CAIDA16, 8000, seed=7, n_flows=800)
+        monitors = [
+            NetworkWideMonitor(500, backend="qmax", seed=3)
+            for _ in range(2)
+        ]
+        datapaths = [Datapath(monitor=m) for m in monitors]
+        # Split traffic across switches with 30% overlap (shared links).
+        for i, pkt in enumerate(pkts):
+            datapaths[i % 2].process(pkt)
+            if i % 10 < 3:
+                datapaths[(i + 1) % 2].process(pkt)
+
+        controller = Controller(500)
+        estimates = controller.flow_estimates(
+            m.nmp for m in monitors
+        )
+        # Total estimated packets ~ distinct packets (not observations).
+        assert sum(estimates.values()) == pytest.approx(
+            len(pkts), rel=0.3
+        )
+
+    def test_monitored_datapath_agrees_with_direct_nmp(self):
+        """Running packets through the switch must not change what the
+        NMP samples (the monitor is a pass-through)."""
+        pkts = generate_packets(CAIDA16, 3000, seed=8, n_flows=300)
+        monitor = NetworkWideMonitor(200, backend="qmax", seed=4)
+        dp = Datapath(monitor=monitor)
+        dp.run(pkts)
+
+        from repro.netwide.nmp import MeasurementPoint
+
+        direct = MeasurementPoint(200, backend="qmax", seed=4)
+        for p in pkts:
+            if dp.flow_table.lookup(p) != "drop":
+                direct.observe(p)
+        assert monitor.nmp.report() == direct.report()
+
+
+class TestTopologySimulationBackends:
+    def test_sliding_and_interval_agree_on_short_stream(self):
+        """For a stream shorter than the window, sliding == interval."""
+        topo = NetworkTopology.linear(3, hosts_per_switch=2)
+        pkts = generate_packets(CAIDA16, 1500, seed=9, n_flows=200)
+        sim = NetworkSimulation(topo, q=300, backend="qmax", seed=5)
+        sim.run(pkts)
+        hh_interval = dict(sim.heavy_hitters(theta=0.05, epsilon=0.02))
+        truth = dict(sim.true_heavy_hitters(pkts, theta=0.05))
+        assert set(truth) <= set(hh_interval)
+
+
+class TestQMaxAsLibraryPrimitives:
+    """The public API used the way a downstream user would."""
+
+    def test_extend_and_query(self):
+        qmax = QMax(5, 0.5)
+        qmax.extend((i, float(i % 17)) for i in range(1000))
+        values = [v for _, v in qmax.query()]
+        assert values == [16.0] * 5
+
+    def test_monitor_factory_backends_consistent(self):
+        pkts = generate_packets(CAIDA16, 2000, seed=10, n_flows=200)
+        tops = []
+        for backend in ("qmax", "heap", "skiplist", "sortedlist"):
+            monitor = make_monitor("reservoir", 50, backend, seed=6)
+            dp = Datapath(monitor=monitor)
+            dp.run(pkts)
+            tops.append(
+                sorted(v for _, v in monitor.reservoir.query())
+            )
+        assert tops[0] == tops[1] == tops[2] == tops[3]

@@ -1,0 +1,167 @@
+"""Tests for raw header encoding and pcap round-trips."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.headers import (
+    ETH_HEADER_LEN,
+    IPV4_HEADER_LEN,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    packet_from_bytes,
+    packet_to_bytes,
+    rfc1071_checksum,
+)
+from repro.traffic.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+    ip_to_str,
+    str_to_ip,
+)
+from repro.traffic.pcap import read_pcap, write_pcap
+from repro.traffic.synthetic import CAIDA16, generate_packets
+
+
+class TestAddressHelpers:
+    def test_roundtrip(self):
+        for dotted in ["0.0.0.0", "10.1.2.3", "255.255.255.255"]:
+            assert ip_to_str(str_to_ip(dotted)) == dotted
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            str_to_ip("10.0.0")
+        with pytest.raises(ValueError):
+            str_to_ip("10.0.0.999")
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example words.
+        data = bytes.fromhex("00010203 0405".replace(" ", ""))
+        total = rfc1071_checksum(data)
+        # Verifying property: sum including checksum folds to zero.
+        full = data + struct.pack("!H", total)
+        assert rfc1071_checksum(full) in (0, 0xFFFF)
+
+    def test_odd_length_padded(self):
+        assert rfc1071_checksum(b"\x01") == rfc1071_checksum(b"\x01\x00")
+
+
+class TestHeaders:
+    def test_ipv4_roundtrip(self):
+        hdr = IPv4Header(
+            src_ip=str_to_ip("10.0.0.1"),
+            dst_ip=str_to_ip("192.168.0.2"),
+            total_length=1500,
+            proto=PROTO_TCP,
+            identification=0x1234,
+        )
+        encoded = hdr.encode()
+        assert len(encoded) == IPV4_HEADER_LEN
+        assert IPv4Header.decode(encoded) == hdr
+
+    def test_ipv4_checksum_validated(self):
+        hdr = IPv4Header(1, 2, 100, PROTO_UDP).encode()
+        corrupted = bytes([hdr[0]]) + b"\xff" + hdr[2:]
+        with pytest.raises(ConfigurationError):
+            IPv4Header.decode(corrupted)
+
+    def test_tcp_roundtrip(self):
+        hdr = TCPHeader(src_port=443, dst_port=51000, seq=7, ack=9)
+        assert TCPHeader.decode(hdr.encode()) == hdr
+
+    def test_udp_roundtrip(self):
+        hdr = UDPHeader(src_port=53, dst_port=3333, length=100)
+        assert UDPHeader.decode(hdr.encode()) == hdr
+
+    def test_ethernet_rejects_bad_mac(self):
+        with pytest.raises(ConfigurationError):
+            EthernetHeader(b"\x00", b"\x00" * 6).encode()
+
+
+class TestPacketBytes:
+    @pytest.mark.parametrize("proto", [PROTO_TCP, PROTO_UDP])
+    def test_roundtrip(self, proto):
+        pkt = Packet(
+            src_ip=str_to_ip("10.9.8.7"),
+            dst_ip=str_to_ip("172.16.0.1"),
+            src_port=1234,
+            dst_port=80,
+            proto=proto,
+            size=256,
+            timestamp=1.5,
+            packet_id=77,
+        )
+        data = packet_to_bytes(pkt)
+        assert len(data) == ETH_HEADER_LEN + pkt.size
+        back = packet_from_bytes(data, timestamp=1.5)
+        assert back.five_tuple == pkt.five_tuple
+        assert back.size == pkt.size
+        assert back.packet_id == 77
+
+    def test_minimum_size_clamped(self):
+        pkt = Packet(1, 2, 3, 4, PROTO_TCP, size=10)
+        data = packet_to_bytes(pkt)
+        back = packet_from_bytes(data)
+        assert back.size >= 40  # IPv4 + TCP headers
+
+
+class TestPcap:
+    def test_roundtrip_synthetic_trace(self, tmp_path):
+        pkts = generate_packets(CAIDA16, 200, seed=1)
+        path = tmp_path / "trace.pcap"
+        assert write_pcap(path, pkts) == 200
+        back = read_pcap(path)
+        assert len(back) == 200
+        for orig, parsed in zip(pkts, back):
+            assert parsed.five_tuple == orig.five_tuple
+            assert parsed.size == orig.size
+            assert parsed.timestamp == pytest.approx(
+                orig.timestamp, abs=1e-6
+            )
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(ConfigurationError):
+            read_pcap(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        pkts = generate_packets(CAIDA16, 5, seed=2)
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, pkts)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(ConfigurationError):
+            read_pcap(path)
+
+    def test_empty_file_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        assert write_pcap(path, []) == 0
+        assert read_pcap(path) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=2**32 - 1),
+    dst=st.integers(min_value=0, max_value=2**32 - 1),
+    sport=st.integers(min_value=0, max_value=65535),
+    dport=st.integers(min_value=0, max_value=65535),
+    proto=st.sampled_from([PROTO_TCP, PROTO_UDP]),
+    size=st.integers(min_value=40, max_value=1500),
+)
+def test_wire_roundtrip_property(src, dst, sport, dport, proto, size):
+    """Property: any packet survives the wire-format round trip."""
+    pkt = Packet(src, dst, sport, dport, proto, size)
+    back = packet_from_bytes(packet_to_bytes(pkt))
+    assert back.five_tuple == pkt.five_tuple
+    assert back.size == pkt.size

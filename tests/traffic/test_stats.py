@@ -1,0 +1,112 @@
+"""Tests for the trace-statistics module — including the generator
+calibration checks that back DESIGN.md's substitution argument."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.stats import (
+    burst_run_fraction,
+    compute_stats,
+    fit_zipf_alpha,
+    flow_size_ccdf,
+    size_histogram,
+)
+from repro.traffic.synthetic import (
+    CAIDA16,
+    CAIDA18,
+    UNIV1,
+    generate_packets,
+)
+
+
+class TestZipfFit:
+    def test_recovers_known_exponent(self, rng):
+        """Counts drawn as c_r = C·r^-α must fit back to ~α."""
+        alpha = 1.2
+        counts = [int(1e6 * r ** -alpha) for r in range(1, 2000)]
+        assert fit_zipf_alpha(counts) == pytest.approx(alpha, abs=0.1)
+
+    def test_flat_distribution_fits_near_zero(self):
+        assert fit_zipf_alpha([50] * 100) == pytest.approx(0.0, abs=0.05)
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ConfigurationError):
+            fit_zipf_alpha([5, 3])
+
+
+class TestComputeStats:
+    def test_basic_fields(self):
+        pkts = generate_packets(CAIDA16, 5000, seed=1, n_flows=500)
+        stats = compute_stats(pkts)
+        assert stats.n_packets == 5000
+        assert 0 < stats.n_flows <= 500
+        assert stats.total_bytes == sum(p.size for p in pkts)
+        assert stats.duration_seconds > 0
+        assert len(stats.as_rows()) == 9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            compute_stats([])
+
+
+class TestGeneratorCalibration:
+    """The DESIGN.md substitution claims, checked quantitatively."""
+
+    def test_caida_skew_near_profile_alpha(self):
+        pkts = generate_packets(CAIDA16, 40_000, seed=2, n_flows=4_000)
+        stats = compute_stats(pkts)
+        assert stats.zipf_alpha == pytest.approx(CAIDA16.alpha, abs=0.35)
+
+    def test_caida18_less_skewed_than_caida16(self):
+        a16 = compute_stats(
+            generate_packets(CAIDA16, 30_000, seed=3, n_flows=3_000)
+        )
+        a18 = compute_stats(
+            generate_packets(CAIDA18, 30_000, seed=3, n_flows=3_000)
+        )
+        assert a16.top10_flow_share > a18.top10_flow_share * 0.8
+
+    def test_univ1_burstier_and_bigger_packets(self):
+        univ = compute_stats(
+            generate_packets(UNIV1, 20_000, seed=4, n_flows=2_000)
+        )
+        caida = compute_stats(
+            generate_packets(CAIDA16, 20_000, seed=4, n_flows=2_000)
+        )
+        assert univ.burst_run_fraction > 2 * caida.burst_run_fraction
+        assert univ.mean_packet_size > caida.mean_packet_size
+
+    def test_size_mixture_matches_profile(self):
+        pkts = generate_packets(CAIDA16, 30_000, seed=5)
+        hist = size_histogram(pkts, bins=(64, 576, 1500))
+        assert hist["<=64"] == pytest.approx(
+            CAIDA16.size_probs[0], abs=0.02
+        )
+        assert hist["<=576"] == pytest.approx(
+            CAIDA16.size_probs[1], abs=0.02
+        )
+
+
+class TestHistogramAndCcdf:
+    def test_histogram_sums_to_one(self):
+        pkts = generate_packets(CAIDA16, 2000, seed=6)
+        hist = size_histogram(pkts)
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+    def test_histogram_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            size_histogram([])
+
+    def test_ccdf_monotone_decreasing(self):
+        pkts = generate_packets(CAIDA16, 10_000, seed=7, n_flows=1_000)
+        ccdf = flow_size_ccdf(pkts)
+        fractions = [f for _s, f in ccdf]
+        assert fractions[0] == 1.0
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_burst_fraction_bounds(self):
+        pkts = generate_packets(UNIV1, 3000, seed=8)
+        assert 0.0 <= burst_run_fraction(pkts) <= 1.0
+        assert burst_run_fraction(pkts[:1]) == 0.0

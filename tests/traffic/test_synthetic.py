@@ -1,0 +1,168 @@
+"""Tests for the synthetic trace generators."""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.cache_trace import generate_cache_trace
+from repro.traffic.synthetic import (
+    CAIDA16,
+    CAIDA18,
+    UNIV1,
+    PROFILES,
+    TraceProfile,
+    generate_packets,
+    generate_value_stream,
+    packets_to_weighted_stream,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        w = zipf_weights(1000, 1.1)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(100, 0.9)
+        assert all(w[i] >= w[i + 1] for i in range(99))
+
+    def test_skew_increases_head_mass(self):
+        flat = zipf_weights(1000, 0.5)
+        steep = zipf_weights(1000, 1.5)
+        assert steep[:10].sum() > flat[:10].sum()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"caida16", "caida18", "univ1"}
+
+    def test_invalid_mixture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceProfile(
+                name="bad",
+                n_flows=10,
+                alpha=1.0,
+                size_points=(64,),
+                size_probs=(0.5,),
+            )
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceProfile(
+                name="bad",
+                n_flows=10,
+                alpha=1.0,
+                size_points=(64,),
+                size_probs=(1.0,),
+                burst=0,
+            )
+
+
+class TestGeneratePackets:
+    @pytest.mark.parametrize("profile", [CAIDA16, CAIDA18, UNIV1])
+    def test_basic_shape(self, profile):
+        pkts = generate_packets(profile, 5000, seed=1)
+        assert len(pkts) == 5000
+        assert all(p.size in profile.size_points for p in pkts)
+        assert all(p.timestamp >= 0 for p in pkts)
+        # Timestamps are monotone non-decreasing.
+        times = [p.timestamp for p in pkts]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        a = generate_packets(CAIDA16, 1000, seed=7)
+        b = generate_packets(CAIDA16, 1000, seed=7)
+        assert a == b
+        c = generate_packets(CAIDA16, 1000, seed=8)
+        assert a != c
+
+    def test_heavy_tail(self):
+        """A few flows must dominate — the crux of heavy-hitter work."""
+        pkts = generate_packets(CAIDA16, 20000, seed=2, n_flows=2000)
+        counts = collections.Counter(p.five_tuple for p in pkts)
+        top10 = sum(c for _, c in counts.most_common(10))
+        assert top10 > 0.15 * len(pkts)
+
+    def test_burstiness_of_univ1(self):
+        """UNIV1 emits runs of same-flow packets; CAIDA interleaves."""
+
+        def run_fraction(pkts):
+            same = sum(
+                1
+                for a, b in zip(pkts, pkts[1:])
+                if a.five_tuple == b.five_tuple
+            )
+            return same / (len(pkts) - 1)
+
+        univ = generate_packets(UNIV1, 5000, seed=3, n_flows=2000)
+        caida = generate_packets(CAIDA16, 5000, seed=3, n_flows=2000)
+        assert run_fraction(univ) > 2 * run_fraction(caida)
+
+    def test_weighted_stream_convention(self):
+        pkts = generate_packets(CAIDA16, 100, seed=4)
+        stream = list(packets_to_weighted_stream(pkts))
+        assert stream[0] == (pkts[0].src_ip, pkts[0].size)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            generate_packets(CAIDA16, -1)
+
+
+class TestValueStream:
+    def test_shape_and_determinism(self):
+        s = generate_value_stream(1000, seed=5)
+        assert len(s) == 1000
+        assert s == generate_value_stream(1000, seed=5)
+        assert [i for i, _ in s] == list(range(1000))
+        assert all(0.0 <= v < 1.0 for _, v in s)
+
+    def test_mean_near_half(self):
+        s = generate_value_stream(20000, seed=6)
+        assert abs(np.mean([v for _, v in s]) - 0.5) < 0.01
+
+
+class TestCacheTrace:
+    def test_length_and_range(self):
+        trace = generate_cache_trace(10000, n_keys=5000, seed=1)
+        assert len(trace) == 10000
+        assert all(0 <= k < 5000 for k in trace)
+
+    def test_deterministic(self):
+        assert generate_cache_trace(3000, seed=2) == generate_cache_trace(
+            3000, seed=2
+        )
+
+    def test_popularity_skew(self):
+        """The hot set must receive most accesses (cachability)."""
+        trace = generate_cache_trace(
+            30000, n_keys=50000, seed=3, scan_fraction=0.2
+        )
+        counts = collections.Counter(trace)
+        top100 = sum(c for _, c in counts.most_common(100))
+        assert top100 > 0.2 * len(trace)
+
+    def test_scans_touch_cold_keys(self):
+        with_scans = generate_cache_trace(
+            20000, n_keys=50000, seed=4, scan_fraction=0.5
+        )
+        without = generate_cache_trace(
+            20000, n_keys=50000, seed=4, scan_fraction=0.0
+        )
+        assert len(set(with_scans)) > len(set(without))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            generate_cache_trace(-1)
+        with pytest.raises(ConfigurationError):
+            generate_cache_trace(10, n_keys=0)
+        with pytest.raises(ConfigurationError):
+            generate_cache_trace(10, scan_fraction=1.0)
