@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import repeats, scaled
+from conftest import batch_size, repeats, scaled
 
 from repro.baselines.heap import HeapQMax
 from repro.baselines.skiplist import SkipListQMax
@@ -21,18 +21,40 @@ CHECKPOINTS = 5
 
 
 def _segment_rates(factory, stream):
-    """MPPS of each of CHECKPOINTS consecutive trace segments."""
+    """MPPS of each of CHECKPOINTS consecutive trace segments.
+
+    Honours ``--batch-size``: in batch mode each segment is pre-split
+    into bursts (outside the timed region) and driven via add_many().
+    """
     seg = len(stream) // CHECKPOINTS
+    bs = batch_size()
+    segments = []
+    for c in range(CHECKPOINTS):
+        chunk = stream[c * seg:(c + 1) * seg]
+        if bs > 1:
+            chunk = [
+                ([i for i, _ in chunk[s:s + bs]],
+                 [v for _, v in chunk[s:s + bs]])
+                for s in range(0, len(chunk), bs)
+            ]
+        segments.append(chunk)
     best = [float("inf")] * CHECKPOINTS
     for _ in range(repeats()):
         s = factory()
-        add = s.add
-        for c in range(CHECKPOINTS):
-            chunk = stream[c * seg:(c + 1) * seg]
-            start = time.perf_counter()
-            for item_id, val in chunk:
-                add(item_id, val)
-            best[c] = min(best[c], time.perf_counter() - start)
+        if bs > 1:
+            add_many = s.add_many
+            for c in range(CHECKPOINTS):
+                start = time.perf_counter()
+                for ids, vals in segments[c]:
+                    add_many(ids, vals)
+                best[c] = min(best[c], time.perf_counter() - start)
+        else:
+            add = s.add
+            for c in range(CHECKPOINTS):
+                start = time.perf_counter()
+                for item_id, val in segments[c]:
+                    add(item_id, val)
+                best[c] = min(best[c], time.perf_counter() - start)
     return [seg / t / 1e6 for t in best]
 
 

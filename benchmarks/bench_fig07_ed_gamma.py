@@ -7,12 +7,11 @@ transformation (a log) before hitting the admission filter.
 
 from __future__ import annotations
 
-from conftest import bench_stream, measure_backend, repeats, scaled
+from conftest import bench_stream, measure_backend, scaled
 
 from repro.baselines.heap import HeapQMax
 from repro.baselines.skiplist import SkipListQMax
 from repro.bench.reporting import print_series
-from repro.bench.runner import measure_throughput
 from repro.core.exponential_decay import ExponentialDecayQMax
 from repro.core.qmax import QMax
 
@@ -36,21 +35,19 @@ def test_fig07_ed_gamma_sweep(benchmark):
     series = {}
     for q in qs:
         series[f"ed-qmax q={q}"] = [
-            measure_throughput(
+            measure_backend(
                 f"ed(g={g},q={q})",
-                lambda: _ed_factory(q, gamma=g).add,
+                lambda: _ed_factory(q, gamma=g),
                 stream,
-                repeats=repeats(),
             ).mpps
             for g in GAMMAS
         ]
         for name, backend in (("heap", HeapQMax),
                               ("skiplist", SkipListQMax)):
-            ref = measure_throughput(
+            ref = measure_backend(
                 f"ed-{name}(q={q})",
-                lambda: _ed_factory(q, backend=backend).add,
+                lambda: _ed_factory(q, backend=backend),
                 stream,
-                repeats=repeats(),
             ).mpps
             series[f"ed-{name} q={q} (ref)"] = [ref] * len(GAMMAS)
     print_series(

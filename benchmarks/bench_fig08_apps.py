@@ -11,12 +11,12 @@ heap baseline pays O(q) per value update.
 
 from __future__ import annotations
 
-from conftest import repeats, scaled
+from conftest import batch_size, repeats, scaled
 
 from repro.apps.pba import PriorityBasedAggregation
 from repro.apps.priority_sampling import PrioritySampler
 from repro.bench.reporting import print_table
-from repro.bench.runner import measure_throughput
+from repro.bench.runner import measure_throughput, measure_throughput_batched
 from repro.bench.workloads import trace_streams
 from repro.netwide.nmp import MeasurementPoint
 from repro.traffic.packet import Packet
@@ -39,10 +39,43 @@ def _ps_consumer(q, backend):
     return make
 
 
+def _ps_consumer_batched(q, backend):
+    def make():
+        ps = PrioritySampler(q, backend=backend, seed=1)
+        update_many = ps.update_many
+        next_key = [0]
+
+        def consume(keys, weights):
+            base = next_key[0]
+            next_key[0] = base + len(keys)
+            update_many(range(base, next_key[0]), weights)  # distinct
+
+        return consume
+
+    return make
+
+
 def _pba_consumer(q, backend):
     def make():
         pba = PriorityBasedAggregation(q, backend=backend, seed=1)
         return pba.update
+
+    return make
+
+
+def _pba_consumer_batched(q, backend):
+    # PBA aggregates per key, so there is no batch update; the burst
+    # falls back to a per-item loop (the apples-to-apples cost of a
+    # batch-unaware application behind a batched datapath).
+    def make():
+        pba = PriorityBasedAggregation(q, backend=backend, seed=1)
+        update = pba.update
+
+        def consume(keys, weights):
+            for key, weight in zip(keys, weights):
+                update(key, weight)
+
+        return consume
 
     return make
 
@@ -62,10 +95,36 @@ def _nwhh_consumer(q, backend):
     return make
 
 
+def _nwhh_consumer_batched(q, backend):
+    def make():
+        nmp = MeasurementPoint(q, backend=backend, seed=1)
+        observe_many = nmp.observe_many
+        next_pid = [0]
+
+        def consume(keys, weights):
+            base = next_pid[0]
+            next_pid[0] = base + len(keys)
+            observe_many([
+                Packet(key, 0, 0, 0, 6, weight, packet_id=base + j)
+                for j, (key, weight) in enumerate(zip(keys, weights))
+            ])
+
+        return consume
+
+    return make
+
+
 APPS = {
-    "priority-sampling": (_ps_consumer, ("qmax", "heap", "skiplist")),
-    "network-wide-hh": (_nwhh_consumer, ("qmax", "heap", "skiplist")),
-    "pba": (_pba_consumer, ("qmax", "heap", "skiplist")),
+    "priority-sampling": (
+        _ps_consumer, _ps_consumer_batched, ("qmax", "heap", "skiplist")
+    ),
+    "network-wide-hh": (
+        _nwhh_consumer, _nwhh_consumer_batched,
+        ("qmax", "heap", "skiplist"),
+    ),
+    "pba": (
+        _pba_consumer, _pba_consumer_batched, ("qmax", "heap", "skiplist")
+    ),
 }
 
 
@@ -74,18 +133,28 @@ def test_fig08_application_throughput(benchmark):
     streams = trace_streams(n)
     q = scaled(2_000, minimum=128)
 
+    bs = batch_size()
     rows = []
     results = {}
-    for app, (consumer, backends) in APPS.items():
+    for app, (consumer, batched_consumer, backends) in APPS.items():
         for trace in TRACES:
             stream = list(streams[trace])
             for backend in backends:
-                m = measure_throughput(
-                    f"{app}/{trace}/{backend}",
-                    consumer(q, backend),
-                    stream,
-                    repeats=repeats(),
-                )
+                if bs > 1:
+                    m = measure_throughput_batched(
+                        f"{app}/{trace}/{backend}",
+                        batched_consumer(q, backend),
+                        stream,
+                        bs,
+                        repeats=repeats(),
+                    )
+                else:
+                    m = measure_throughput(
+                        f"{app}/{trace}/{backend}",
+                        consumer(q, backend),
+                        stream,
+                        repeats=repeats(),
+                    )
                 results[(app, trace, backend)] = m.mpps
                 rows.append([app, trace, backend, m.mpps])
     print_table(

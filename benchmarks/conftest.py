@@ -12,6 +12,7 @@ Sizes honour ``REPRO_SCALE`` (default 1.0, laptop-scale).  Run with
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Sequence, Tuple
@@ -23,10 +24,44 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.baselines.heap import HeapQMax
 from repro.baselines.skiplist import SkipListQMax
-from repro.bench.runner import Measurement, measure_throughput
+from repro.bench.runner import (
+    Measurement,
+    measure_throughput,
+    measure_throughput_batched,
+)
 from repro.bench.workloads import scaled, value_stream
 from repro.core.amortized import AmortizedQMax
 from repro.core.qmax import QMax
+
+#: Batch size for the update path: 0/1 drives backends through add()
+#: per item (the default); >= 2 drives them through add_many() in
+#: batches of this size.  Settable via ``--batch-size`` or the
+#: ``REPRO_BATCH`` environment variable.
+_BATCH_SIZE = int(os.environ.get("REPRO_BATCH", "0"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--batch-size",
+        action="store",
+        type=int,
+        default=None,
+        dest="batch_size",
+        help="Drive backends through add_many() in batches of this "
+        "size instead of per-item add() (also via REPRO_BATCH).",
+    )
+
+
+def pytest_configure(config):
+    global _BATCH_SIZE
+    opt = config.getoption("batch_size", default=None)
+    if opt is not None:
+        _BATCH_SIZE = opt
+
+
+def batch_size() -> int:
+    """The active --batch-size / REPRO_BATCH (0/1 = per-item mode)."""
+    return _BATCH_SIZE
 
 #: The γ grid of Figure 4 / Table 1.
 GAMMA_GRID = (0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
@@ -59,7 +94,21 @@ def measure_backend(
     stream,
     n_repeats: int = None,
 ) -> Measurement:
-    """Measure a q-MAX-interface backend's add() throughput."""
+    """Measure a q-MAX-interface backend's update throughput.
+
+    Honours :func:`batch_size`: in batch mode the backend is driven
+    through ``add_many()`` over pre-split bursts, otherwise through
+    per-item ``add()`` — so every figure can be re-run in both modes.
+    """
+    bs = batch_size()
+    if bs > 1:
+        return measure_throughput_batched(
+            label,
+            lambda: factory().add_many,
+            stream,
+            bs,
+            repeats=n_repeats or repeats(),
+        )
     return measure_throughput(
         label,
         lambda: factory().add,

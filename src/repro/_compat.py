@@ -1,0 +1,29 @@
+"""Optional-dependency shims.
+
+NumPy is an *optional* accelerator (``pip install .[fast]``): every
+algorithm in this package has a pure-Python implementation that is
+semantically identical, and the vectorized paths are only engaged when
+``HAVE_NUMPY`` is true.  Import ``np`` from here instead of importing
+numpy directly so a missing install degrades to the pure path instead
+of raising at import time.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    from scipy import stats as scipy_stats
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover
+    scipy_stats = None  # type: ignore[assignment]
+    HAVE_SCIPY = False
+
+__all__ = ["np", "HAVE_NUMPY", "scipy_stats", "HAVE_SCIPY"]

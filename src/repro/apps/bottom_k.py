@@ -21,7 +21,7 @@ reservoir update — the reservoir again being a pluggable q-MAX backend
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.apps.reservoirs import make_reservoir
 from repro.core.qmin import QMin
@@ -68,6 +68,34 @@ class BottomKSketch:
             )
         self._reservoir.add((key, weight), self.rank_of(key, weight))
         self.processed += 1
+
+    def update_many(
+        self, keys: Sequence[ItemId], weights: Sequence[Value]
+    ) -> None:
+        """Process a batch of distinct (key, weight) observations.
+
+        Equivalent to calling :meth:`update` per pair, with ranks
+        computed in one pass and a single batched reservoir call.  The
+        whole batch is validated up front, so a non-positive weight
+        rejects it atomically.
+        """
+        n = len(keys)
+        if n != len(weights):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} keys vs {len(weights)} weights"
+            )
+        for weight in weights:
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"weights must be positive, got {weight}"
+                )
+        unit_open = self._uniform.unit_open
+        log = math.log
+        self._reservoir.add_many(
+            list(zip(keys, weights)),
+            [-log(unit_open(keys[i])) / weights[i] for i in range(n)],
+        )
+        self.processed += n
 
     def sketch(self) -> Tuple[List[Tuple[ItemId, Value, float]], float]:
         """Current sketch: ``(entries, tau)``.

@@ -22,7 +22,7 @@ details beyond the plain reservoir:
 from __future__ import annotations
 
 import math
-from typing import Callable, Hashable, List, Set
+from typing import Callable, Hashable, List, Sequence, Set
 
 from repro.apps.reservoirs import make_reservoir
 from repro.core.qmin import QMin
@@ -71,6 +71,33 @@ class CountDistinct:
                 # (evicted) value can never re-enter the reservoir.
                 self._candidates = {v for _, v in self._reservoir.items()}
         self.processed += 1
+
+    def update_many(self, keys: Sequence[Hashable]) -> None:
+        """Observe a batch of keys, equivalently to per-key ``update``.
+
+        New hash values are buffered and handed to the reservoir in
+        batches; the buffer is flushed before every candidate prune so
+        the reservoir (and hence the pruned candidate set) matches the
+        sequential state exactly at that point.
+        """
+        unit_open = self._uniform.unit_open
+        candidates = self._candidates
+        reservoir = self._reservoir
+        prune_at = self._prune_at
+        pending: List[float] = []
+        for key in keys:
+            value = unit_open(key)
+            if value not in candidates:
+                candidates.add(value)
+                pending.append(value)
+                if len(candidates) >= prune_at:
+                    reservoir.add_many(pending, pending)
+                    pending = []
+                    candidates = {v for _, v in reservoir.items()}
+        if pending:
+            reservoir.add_many(pending, pending)
+        self._candidates = candidates
+        self.processed += len(keys)
 
     def estimate(self) -> float:
         """Estimated number of distinct keys observed."""
@@ -189,6 +216,50 @@ class SlidingCountDistinct:
         if i % self._block_size == 0:
             self._blocks[i // self._block_size].reset()
             self._seen[i // self._block_size] = set()
+        self._i = i
+
+    def update_many(self, keys: Sequence[Hashable]) -> None:
+        """Observe a batch of keys, equivalently to per-key ``update``.
+
+        The batch is split at block boundaries; within a block, new
+        values are buffered and flushed to the block's reservoir before
+        every dedup-set prune, exactly like
+        :meth:`CountDistinct.update_many`.
+        """
+        n = len(keys)
+        unit_open = self._uniform.unit_open
+        bs = self._block_size
+        total = self._n_blocks * bs
+        prune_at = 4 * self.q
+        i = self._i
+        pos = 0
+        while pos < n:
+            take = bs - i % bs
+            if take > n - pos:
+                take = n - pos
+            block_index = i // bs
+            block = self._blocks[block_index]
+            seen = self._seen[block_index]
+            pending: List[float] = []
+            for key in keys[pos : pos + take]:
+                value = unit_open(key)
+                if value not in seen:
+                    seen.add(value)
+                    pending.append(value)
+                    if len(seen) >= prune_at:
+                        block.add_many(pending, pending)
+                        pending = []
+                        seen = {v for _, v in block.items()}
+            if pending:
+                block.add_many(pending, pending)
+            self._seen[block_index] = seen
+            i += take
+            pos += take
+            if i >= total:
+                i = 0
+            if i % bs == 0:
+                self._blocks[i // bs].reset()
+                self._seen[i // bs] = set()
         self._i = i
 
     def estimate(self) -> float:

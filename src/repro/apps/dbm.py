@@ -21,7 +21,7 @@ interchangeable minimum trackers:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.heap import IndexedHeap
 from repro.core.amortized import AmortizedQMax
@@ -196,6 +196,40 @@ class DynamicBucketMerge:
         self._count += 1
         if self._count > self.m:
             self._merge_min_pair()
+
+    def add_many(
+        self, timestamps: Sequence[float], byte_counts: Sequence[float]
+    ) -> None:
+        """Account a batch of (timestamp, bytes) records.
+
+        Runs of consecutive records landing in the open tail bucket —
+        the common case for packet-rate streams — are accumulated with
+        one pair-cost refresh instead of one per record.  Bucket state
+        after the batch is identical to repeated :meth:`add`.
+        """
+        n = len(timestamps)
+        if n != len(byte_counts):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} timestamps vs "
+                f"{len(byte_counts)} byte counts"
+            )
+        i = 0
+        while i < n:
+            tail = self._tail
+            if tail is None or timestamps[i] >= tail.end:
+                self.add(timestamps[i], byte_counts[i])
+                i += 1
+                continue
+            # No merge can trigger inside this run (the bucket count is
+            # unchanged), so the tail stays fixed until it ends.
+            end = tail.end
+            while i < n and timestamps[i] < end:
+                tail.bytes += byte_counts[i]
+                i += 1
+            if tail.prev is not None:
+                if self.backend == "heap":
+                    self._unregister_pair(tail.prev)
+                self._register_pair(tail.prev)
 
     def _merge_min_pair(self) -> None:
         left, right = self._pop_min_pair()

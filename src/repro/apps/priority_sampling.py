@@ -16,7 +16,7 @@ caller selects (``q = k + 1``).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.apps.reservoirs import make_reservoir
 from repro.core.interface import QMaxBase
@@ -73,6 +73,33 @@ class PrioritySampler:
         # the reservoir is the only state we keep.
         self._reservoir.add((key, weight), priority)
         self.processed += 1
+
+    def update_many(
+        self, keys: Sequence[ItemId], weights: Sequence[Value]
+    ) -> None:
+        """Process a batch of (key, weight) observations.
+
+        Equivalent to calling :meth:`update` per pair, but hashes in a
+        tight loop and makes one batched reservoir call.  The whole
+        batch is validated up front, so a non-positive weight rejects
+        it atomically.
+        """
+        n = len(keys)
+        if n != len(weights):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} keys vs {len(weights)} weights"
+            )
+        for weight in weights:
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"weights must be positive, got {weight}"
+                )
+        unit_open = self._uniform.unit_open
+        self._reservoir.add_many(
+            list(zip(keys, weights)),
+            [weights[i] / unit_open(keys[i]) for i in range(n)],
+        )
+        self.processed += n
 
     def sample(self) -> Tuple[List[Tuple[ItemId, Value, float]], float]:
         """The current sample and threshold.

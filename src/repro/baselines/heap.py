@@ -16,7 +16,7 @@ applications.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.core.interface import QMaxBase
 from repro.errors import ConfigurationError, EmptyStructureError, InvariantError
@@ -57,6 +57,45 @@ class HeapQMax(QMaxBase):
         vals[0] = val
         self._ids[0] = item_id
         self._sift_down(0)
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: same logic as ``add`` with lookups hoisted.
+
+        Once the heap is warm, the common case is one comparison against
+        the root per item — no method dispatch.
+        """
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        heap_vals = self._vals
+        heap_ids = self._ids
+        q = self.q
+        track = self._track_evictions
+        evicted = self._evicted
+        sift_up = self._sift_up
+        sift_down = self._sift_down
+        i = 0
+        if len(heap_vals) < q:
+            while i < n and len(heap_vals) < q:
+                heap_vals.append(vals[i])
+                heap_ids.append(ids[i])
+                sift_up(len(heap_vals) - 1)
+                i += 1
+        while i < n:
+            val = vals[i]
+            if val <= heap_vals[0]:
+                if track:
+                    evicted.append((ids[i], val))
+                i += 1
+                continue
+            if track:
+                evicted.append((heap_ids[0], heap_vals[0]))
+            heap_vals[0] = val
+            heap_ids[0] = ids[i]
+            sift_down(0)
+            i += 1
 
     def _sift_up(self, i: int) -> None:
         vals, ids = self._vals, self._ids

@@ -9,7 +9,7 @@ discarded in O(1).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 from repro.core.interface import QMaxBase
 from repro.errors import ConfigurationError, EmptyStructureError, InvariantError
@@ -192,6 +192,33 @@ class SkipListQMax(QMaxBase):
             if self._track_evictions:
                 self._evicted.append(dropped)
         lst.insert(val, item_id)
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: ``add`` semantics with lookups hoisted; the
+        common case is one O(1) comparison against the list minimum."""
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        lst = self._list
+        q = self.q
+        track = self._track_evictions
+        evicted = self._evicted
+        min_value = lst.min_value
+        pop_min = lst.pop_min
+        insert = lst.insert
+        for i in range(n):
+            val = vals[i]
+            if len(lst) >= q:
+                if val <= min_value():
+                    if track:
+                        evicted.append((ids[i], val))
+                    continue
+                dropped = pop_min()
+                if track:
+                    evicted.append(dropped)
+            insert(val, ids[i])
 
     def items(self) -> Iterator[Item]:
         return iter(self._list)

@@ -10,7 +10,7 @@ asymptotic family, with very low constants for small q.
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.core.interface import QMaxBase
 from repro.errors import ConfigurationError, InvariantError
@@ -50,6 +50,33 @@ class SortedListQMax(QMaxBase):
                 self._evicted.append((dropped[2], dropped[0]))
         self._seq += 1
         insort(entries, (val, self._seq, item_id))
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: ``add`` semantics with lookups hoisted; the
+        common case is one comparison against the current minimum."""
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        entries = self._entries
+        q = self.q
+        track = self._track_evictions
+        evicted = self._evicted
+        seq = self._seq
+        for i in range(n):
+            val = vals[i]
+            if len(entries) >= q:
+                if val <= entries[0][0]:
+                    if track:
+                        evicted.append((ids[i], val))
+                    continue
+                dropped = entries.pop(0)
+                if track:
+                    evicted.append((dropped[2], dropped[0]))
+            seq += 1
+            insort(entries, (val, seq, ids[i]))
+        self._seq = seq
 
     def items(self) -> Iterator[Item]:
         for val, _, item_id in self._entries:

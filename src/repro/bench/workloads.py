@@ -54,6 +54,26 @@ def trace_streams(
     return streams
 
 
+@lru_cache(maxsize=16)
+def batched(
+    stream: Tuple[Tuple[int, float], ...], batch_size: int
+) -> Tuple[Tuple[Tuple, Tuple], ...]:
+    """Pre-split an (id, value) stream into ``(ids, values)`` batches.
+
+    Cached so that repeated benchmark rows over the same stream don't
+    pay the chunking cost; the tuples make the result safely shareable
+    between cached calls.
+    """
+    out = []
+    for start in range(0, len(stream), batch_size):
+        chunk = stream[start : start + batch_size]
+        out.append((
+            tuple(i for i, _ in chunk),
+            tuple(v for _, v in chunk),
+        ))
+    return tuple(out)
+
+
 @lru_cache(maxsize=4)
 def cache_stream(n: int, seed: int = 0) -> Tuple[int, ...]:
     """Cached P1-ARC-style cache trace."""

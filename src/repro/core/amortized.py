@@ -17,8 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Sequence
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, np
 from repro.core.interface import QMaxBase
 from repro.core.select import partition_top
 from repro.errors import ConfigurationError, InvariantError
@@ -88,6 +87,47 @@ class AmortizedQMax(QMaxBase):
         if self._fill == self._cap:
             self._compact()
 
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update; Ψ and the fill cursor are constant between
+        compactions, so the batch is consumed in free-suffix-sized
+        chunks with all per-item attribute lookups hoisted."""
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        vals_a = self._vals
+        ids_a = self._ids
+        cap = self._cap
+        track = self._track_evictions
+        evicted = self._evicted
+        admitted = 0
+        i = 0
+        while i < n:
+            psi = self._psi
+            fill = self._fill
+            room = cap - fill
+            while i < n:
+                val = vals[i]
+                if val <= psi:
+                    if track:
+                        evicted.append((ids[i], val))
+                    i += 1
+                    continue
+                vals_a[fill] = val
+                ids_a[fill] = ids[i]
+                fill += 1
+                admitted += 1
+                i += 1
+                room -= 1
+                if not room:
+                    break
+            self._fill = fill
+            if not room:
+                self._compact()
+        self.admitted += admitted
+        self.rejected += n - admitted
+
     def _compact(self) -> None:
         """One-shot maintenance: select, pivot, evict the non-top-q."""
         self._psi = partition_top(
@@ -153,6 +193,10 @@ class VectorQMax(QMaxBase):
                  "compactions", "admitted", "rejected")
 
     def __init__(self, q: int, gamma: float = 0.25) -> None:
+        if not HAVE_NUMPY:
+            raise ConfigurationError(
+                "VectorQMax requires numpy (pip install .[fast])"
+            )
         if q < 1:
             raise ConfigurationError(f"q must be >= 1, got {q}")
         if gamma <= 0:
@@ -182,8 +226,12 @@ class VectorQMax(QMaxBase):
         if self._fill == self._cap:
             self._compact()
 
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Uniform batch entry point; delegates to :meth:`add_batch`."""
+        self.add_batch(ids, vals)
+
     def add_batch(
-        self, item_ids: Sequence[ItemId], vals: np.ndarray
+        self, item_ids: Sequence[ItemId], vals: "np.ndarray"
     ) -> None:
         """Admit a whole chunk of items with vectorised filtering."""
         vals = np.asarray(vals, dtype=np.float64)

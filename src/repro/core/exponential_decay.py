@@ -16,7 +16,7 @@ top-q under ``val'`` equals the top-q under decayed weight at any time.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Sequence
 
 from repro.core.interface import QMaxBase
 from repro.core.qmax import QMax
@@ -65,6 +65,33 @@ class ExponentialDecayQMax(QMaxBase):
             )
         self._inner.add(item_id, math.log(val) + self._t * self._neg_log_c)
         self._t += 1
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: one log-domain transform pass, one backend call.
+
+        Deviation from the sequential loop: the whole batch is validated
+        *before* any item is applied, so a non-positive weight rejects
+        the batch atomically instead of applying a prefix.  The
+        transform deliberately uses ``math.log`` (not a vectorized log)
+        so stored values are bit-identical to repeated :meth:`add`.
+        """
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        for val in vals:
+            if val <= 0:
+                raise ConfigurationError(
+                    f"exponential decay requires positive weights, got {val}"
+                )
+        t = self._t
+        neg_log_c = self._neg_log_c
+        log = math.log
+        self._inner.add_many(
+            ids, [log(v) + (t + i) * neg_log_c for i, v in enumerate(vals)]
+        )
+        self._t = t + n
 
     @property
     def now(self) -> int:

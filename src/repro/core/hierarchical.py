@@ -23,7 +23,7 @@ built from the raw stream.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.interface import QMaxBase
 from repro.core.sliding import default_block_factory
@@ -123,6 +123,36 @@ class HierarchicalSlidingQMax(QMaxBase):
                 level.slot(t).reset()  # recycle the expired slot
             level.slot(t).add(item_id, val)
         self._t = t + 1
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: chunk to finest-block boundaries.
+
+        Coarser block sizes are exact multiples of the finest, so no
+        level's reset point or slot rotation falls strictly inside a
+        chunk — resets happen only at chunk starts, exactly as the
+        item-at-a-time loop would schedule them.
+        """
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        fs = self._finest.block_size
+        t = self._t
+        pos = 0
+        while pos < n:
+            take = fs - t % fs
+            if take > n - pos:
+                take = n - pos
+            chunk_ids = ids[pos : pos + take]
+            chunk_vals = vals[pos : pos + take]
+            for level in self._levels:
+                if t % level.block_size == 0:
+                    level.slot(t).reset()
+                level.slot(t).add_many(chunk_ids, chunk_vals)
+            t += take
+            pos += take
+        self._t = t
 
     # ------------------------------------------------------------------
     # Queries: greedy disjoint cover, coarsest-first.
@@ -237,6 +267,27 @@ class BufferedSlidingQMax(QMaxBase):
         self._in_block += 1
         if self._in_block == self._block_items:
             self._forward_block()
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: fill the front buffer in block-sized chunks,
+        forwarding representatives at each finest-block boundary."""
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        front = self._front
+        block_items = self._block_items
+        pos = 0
+        while pos < n:
+            take = block_items - self._in_block
+            if take > n - pos:
+                take = n - pos
+            front.add_many(ids[pos : pos + take], vals[pos : pos + take])
+            self._in_block += take
+            pos += take
+            if self._in_block == block_items:
+                self._forward_block()
 
     def _forward_block(self) -> None:
         """Flush the finished block's top q into every level."""

@@ -21,8 +21,9 @@ from __future__ import annotations
 import heapq
 from abc import ABC, abstractmethod
 from operator import itemgetter
-from typing import Iterable, Iterator, List
+from typing import Iterable, Iterator, List, Sequence
 
+from repro.errors import ConfigurationError
 from repro.types import Item, ItemId, TopItems, Value
 
 #: Sort key extracting the value from an ``(id, value)`` item.
@@ -66,6 +67,30 @@ class QMaxBase(ABC):
         """
         return heapq.nlargest(self.q, self.items(), key=_BY_VALUE)
 
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Process a batch of stream items.
+
+        Semantically identical to ``for i, v in zip(ids, vals): add(i, v)``
+        — same retained set, same multiset of evictions — but
+        implementations may (and the fast backends do) amortize
+        per-item interpreter overhead across the batch: filter the
+        whole batch against the admission threshold in one pass,
+        bulk-write survivors, and drive deamortized maintenance with a
+        budget proportional to the number of admissions.  Values must
+        be ordinary comparable floats (NaN is unsupported on the batch
+        path).
+
+        The default implementation is a correct, allocation-light loop;
+        override it only with a *genuinely* faster path.
+        """
+        if len(ids) != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {len(ids)} ids vs {len(vals)} vals"
+            )
+        add = self.add
+        for item_id, val in zip(ids, vals):
+            add(item_id, val)
+
     def extend(self, stream: Iterable[Item]) -> None:
         """Feed every ``(id, value)`` pair of ``stream`` through ``add``."""
         add = self.add
@@ -79,6 +104,12 @@ class QMaxBase(ABC):
         tracking enabled; the default implementation returns an empty
         list.  An item appears here at most once, after the structure
         has determined it can never be among the top q.
+
+        Ordering is **unspecified**: batched paths (:meth:`add_many`)
+        may discover evictions in a different order than item-at-a-time
+        processing would, so callers must treat the drained list as a
+        multiset.  Within one drain no ordering relation — arrival
+        order, value order, or otherwise — is guaranteed.
         """
         return []
 

@@ -40,8 +40,9 @@ Deviations from the paper (documented in DESIGN.md §5):
 
 from __future__ import annotations
 
-from typing import Generator, Iterator, List, Optional
+from typing import Generator, Iterator, List, Optional, Sequence
 
+from repro._compat import HAVE_NUMPY, np
 from repro.core.interface import QMaxBase
 from repro.core.select import (
     partition_top,
@@ -66,6 +67,10 @@ _BFPRT_BUDGET_FACTOR = 36
 
 #: The pivot is a single Dutch-national-flag pass (exactly n ops).
 _PIVOT_BUDGET_FACTOR = 2
+
+#: Below this batch size the ndarray round-trip costs more than the
+#: tight pure-Python loop saves, so auto mode stays pure.
+_NUMPY_MIN_BATCH = 32
 
 
 class QMax(QMaxBase):
@@ -94,6 +99,14 @@ class QMax(QMaxBase):
         [21]) instead of quickselect.  Gives a *deterministic*
         worst-case O(1/γ) update bound at ~5-8× the expected operation
         count — pick it when the value stream may be adversarial.
+    use_numpy:
+        Controls the :meth:`add_many` batch filter.  ``None`` (default)
+        auto-selects: NumPy when installed and the batch is large
+        enough to amortize the ndarray round-trip, pure Python
+        otherwise.  ``False`` forces the pure-Python path; ``True``
+        requires NumPy (``ConfigurationError`` if missing) and engages
+        it for every batch size.  Retained-set semantics are identical
+        on all paths.
     """
 
     __slots__ = (
@@ -113,6 +126,8 @@ class QMax(QMaxBase):
         "_select",
         "_select_factor",
         "_track_evictions",
+        "_use_numpy",
+        "_np_min_batch",
         "_instrument",
         "_evicted",
         "maintenance_ops",
@@ -129,6 +144,7 @@ class QMax(QMaxBase):
         step_batch: int = 8,
         instrument: bool = False,
         deterministic_select: bool = False,
+        use_numpy: Optional[bool] = None,
     ) -> None:
         if q < 1:
             raise ConfigurationError(f"q must be >= 1, got {q}")
@@ -146,6 +162,13 @@ class QMax(QMaxBase):
         else:
             self._select = stepwise_select
             self._select_factor = _SELECT_BUDGET_FACTOR
+        if use_numpy and not HAVE_NUMPY:
+            raise ConfigurationError(
+                "use_numpy=True but numpy is not installed "
+                "(pip install .[fast])"
+            )
+        self._use_numpy = HAVE_NUMPY if use_numpy is None else use_numpy
+        self._np_min_batch = 1 if use_numpy else _NUMPY_MIN_BATCH
         self._g = max(1, int(q * gamma / 2))
         self._n = q + 2 * self._g
         self._batch = min(step_batch, self._g)
@@ -242,6 +265,135 @@ class QMax(QMaxBase):
         self.admitted += 1
         if steps % self._batch == 0 or steps >= self._g:
             self._drive(steps)
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update with the same retained-set semantics as ``add``.
+
+        The batch is filtered against Ψ in chunks bounded by the next
+        maintenance drive point, so the drive schedule — and therefore
+        the retained set — is *identical* to calling :meth:`add` once
+        per item.  Whenever a drive tightens Ψ, the not-yet-consumed
+        remainder of the batch is re-filtered against the new
+        threshold, exactly as sequential processing would reject those
+        items later.  The speedup comes from hoisting attribute lookups
+        out of the loop (pure path) or vectorizing the common
+        ``val <= Ψ`` discard (NumPy path), not from schedule changes.
+        """
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        # Eviction tracking needs per-reject bookkeeping, which the
+        # vectorized filter skips; route tracked structures through the
+        # pure path (ordering is unspecified anyway, see QMaxBase).
+        if (
+            self._use_numpy
+            and n >= self._np_min_batch
+            and not self._track_evictions
+        ):
+            self._add_many_numpy(ids, vals)
+        else:
+            self._add_many_python(ids, vals)
+
+    def _add_many_python(
+        self, ids: Sequence[ItemId], vals: Sequence[Value]
+    ) -> None:
+        n = len(ids)
+        track = self._track_evictions
+        # Common-discard shortcut: one C-level max() rejects the whole
+        # burst when nothing beats the admission threshold — the
+        # line-rate case once Ψ has converged.  (Tracked structures
+        # need per-item eviction records, so they take the loop.)
+        if n and not track and max(vals) <= self._psi:
+            self.rejected += n
+            return
+        vals_a = self._vals
+        ids_a = self._ids
+        g = self._g
+        batch = self._batch
+        evicted = self._evicted
+        admitted = 0
+        i = 0
+        while i < n:
+            # Ψ, the write cursor, and the insert base are constant
+            # between drives; re-read them per chunk only.
+            psi = self._psi
+            steps = self._steps
+            base = self._insert_base
+            room = batch - steps % batch
+            if steps + room > g:
+                room = g - steps
+            while i < n:
+                val = vals[i]
+                if val <= psi:
+                    if track:
+                        item_id = ids[i]
+                        if item_id is not _EMPTY:
+                            evicted.append((item_id, val))
+                    i += 1
+                    continue
+                pos = base + steps
+                vals_a[pos] = val
+                ids_a[pos] = ids[i]
+                steps += 1
+                admitted += 1
+                i += 1
+                room -= 1
+                if not room:
+                    break
+            self._steps = steps
+            if not room:
+                self._drive(steps)
+        self.admitted += admitted
+        self.rejected += n - admitted
+
+    def _add_many_numpy(
+        self, ids: Sequence[ItemId], vals: Sequence[Value]
+    ) -> None:
+        varr = np.asarray(vals, dtype=np.float64)
+        n = varr.shape[0]
+        vals_a = self._vals
+        ids_a = self._ids
+        g = self._g
+        batch = self._batch
+        admitted = 0
+        # One vectorized pass rejects everything at-or-below the current
+        # Ψ (the common case); survivors are admitted chunk by chunk.
+        cand = np.flatnonzero(varr > self._psi)
+        k = 0
+        m = cand.shape[0]
+        while k < m:
+            steps = self._steps
+            room = batch - steps % batch
+            if steps + room > g:
+                room = g - steps
+            take = m - k
+            if take > room:
+                take = room
+            sel = cand[k : k + take]
+            pos = self._insert_base + steps
+            vals_a[pos : pos + take] = varr[sel].tolist()
+            off = pos
+            for j in sel.tolist():
+                ids_a[off] = ids[j]
+                off += 1
+            steps += take
+            k += take
+            admitted += take
+            self._steps = steps
+            if steps % batch == 0 or steps >= g:
+                old_psi = self._psi
+                self._drive(steps)
+                if k < m and self._psi > old_psi:
+                    # Ψ tightened: re-filter the unconsumed remainder,
+                    # just as sequential adds would reject them now.
+                    rest = cand[k:]
+                    cand = rest[varr[rest] > self._psi]
+                    k = 0
+                    m = cand.shape[0]
+        self.admitted += admitted
+        self.rejected += n - admitted
 
     def _drive(self, steps: int) -> None:
         """Advance maintenance by one micro-batch; flip at the boundary."""

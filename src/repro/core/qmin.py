@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 from operator import itemgetter
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Sequence
 
 from repro.core.interface import QMaxBase
 from repro.core.qmax import QMax
@@ -43,6 +43,10 @@ class QMin(QMaxBase):
 
     def add(self, item_id: ItemId, val: Value) -> None:
         self._inner.add(item_id, -val)
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: negate once, then ride the backend's fast path."""
+        self._inner.add_many(ids, [-v for v in vals])
 
     def items(self) -> Iterator[Item]:
         for item_id, neg_val in self._inner.items():

@@ -15,7 +15,7 @@ top-q of every retained block (O(q·τ⁻¹) time, Theorem 5).
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterator, List
+from typing import Callable, Iterator, List, Sequence
 
 from repro.core.amortized import AmortizedQMax
 from repro.core.interface import QMaxBase
@@ -85,6 +85,34 @@ class SlidingQMax(QMaxBase):
         if i % self._block_size == 0:
             # The block about to receive items is the oldest: reset it.
             self._blocks[i // self._block_size].reset()
+        self._i = i
+
+    def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
+        """Batch update: split at block boundaries, delegate each run to
+        the owning block's ``add_many`` so its fast path engages."""
+        n = len(ids)
+        if n != len(vals):
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        blocks = self._blocks
+        bs = self._block_size
+        total = self._n_blocks * bs
+        i = self._i
+        pos = 0
+        while pos < n:
+            take = bs - i % bs
+            if take > n - pos:
+                take = n - pos
+            blocks[i // bs].add_many(
+                ids[pos : pos + take], vals[pos : pos + take]
+            )
+            pos += take
+            i += take
+            if i >= total:
+                i = 0
+            if i % bs == 0:
+                blocks[i // bs].reset()
         self._i = i
 
     # ------------------------------------------------------------------

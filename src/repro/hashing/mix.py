@@ -29,6 +29,21 @@ def mix64(z: int) -> int:
     return (z ^ (z >> 31)) & _MASK64
 
 
+def mix64_many(z: "object") -> "object":
+    """Vectorized :func:`mix64` over a ``uint64`` ndarray.
+
+    Requires NumPy (callers gate on ``repro._compat.HAVE_NUMPY``).
+    Unsigned 64-bit arithmetic wraps exactly like the masked Python
+    version, so each element is bit-identical to ``mix64``.
+    """
+    import numpy as np
+
+    z = np.asarray(z).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_MIX_A)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_MIX_B)
+    return z ^ (z >> np.uint64(31))
+
+
 def splitmix64(seed: int, index: int) -> int:
     """Return the ``index``-th output of a splitmix64 stream seeded by ``seed``.
 

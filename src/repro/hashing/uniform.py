@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.hashing.mix import key_to_u64, mix64
+from repro._compat import HAVE_NUMPY, np
+from repro.hashing.mix import key_to_u64, mix64, mix64_many
 
 #: 2**-64, for converting a 64-bit integer to [0, 1).
 _U64_TO_UNIT = 2.0 ** -64
@@ -40,3 +41,29 @@ class UniformHasher:
     def unit_open(self, key: Hashable) -> float:
         """Uniform value in ``(0, 1]`` for ``key`` (never exactly zero)."""
         return (self.raw(key) + 1) * _U64_TO_UNIT
+
+    # ------------------------------------------------------------------
+    # Vectorized variants over integer-key arrays (burst processing).
+    # Each is bit-identical to its scalar counterpart per element.
+    # ------------------------------------------------------------------
+
+    def raw_many(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`raw` over an integer-key ndarray."""
+        if not HAVE_NUMPY:
+            raise RuntimeError("raw_many requires numpy")
+        base = np.asarray(keys).astype(np.uint64)
+        return mix64_many(base ^ np.uint64(mix64(self._seed_mix)))
+
+    def unit_many(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`unit` over an integer-key ndarray."""
+        return self.raw_many(keys).astype(np.float64) * _U64_TO_UNIT
+
+    def unit_open_many(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`unit_open` over an integer-key ndarray."""
+        raw = self.raw_many(keys) + np.uint64(1)
+        out = raw.astype(np.float64) * _U64_TO_UNIT
+        if not raw.all():
+            # raw wrapped to 0 where the 64-bit hash was all-ones; the
+            # scalar path returns exactly 1.0 there.
+            out[raw == 0] = 1.0
+        return out

@@ -14,7 +14,7 @@ original heap for q-MAX here.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.apps.reservoirs import make_reservoir
 from repro.core.qmin import QMin
@@ -63,6 +63,15 @@ class MeasurementPoint:
         # needs the flow for HH counting and the id for deduplication.
         self._reservoir.add((pkt.src_ip, pkt.packet_id), value)
         self.observed += 1
+
+    def observe_many(self, pkts: Sequence[Packet]) -> None:
+        """Process a burst of packets with one batched reservoir call."""
+        unit_open = self._uniform.unit_open
+        self._reservoir.add_many(
+            [(pkt.src_ip, pkt.packet_id) for pkt in pkts],
+            [unit_open(pkt.packet_id) for pkt in pkts],
+        )
+        self.observed += len(pkts)
 
     def report(self) -> List[Tuple[Tuple[int, int], float]]:
         """The q minimal (record, hash) pairs, ascending by hash."""

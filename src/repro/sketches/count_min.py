@@ -12,8 +12,7 @@ from __future__ import annotations
 import math
 from typing import Hashable
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError
 from repro.hashing.mix import key_to_u64
 from repro.hashing.multiply_shift import MultiplyShiftHash
@@ -31,7 +30,12 @@ class CountMinSketch:
             )
         self.width = width
         self.depth = depth
-        self._rows = np.zeros((depth, width), dtype=np.int64)
+        # int64 counter matrix with NumPy, list-of-lists without; all
+        # per-item access below uses rows[r][c], valid for both.
+        if HAVE_NUMPY:
+            self._rows = np.zeros((depth, width), dtype=np.int64)
+        else:
+            self._rows = [[0] * width for _ in range(depth)]
         self._hashes = [
             MultiplyShiftHash(out_bits=64, seed=seed * 917 + r)
             for r in range(depth)
@@ -54,7 +58,7 @@ class CountMinSketch:
         k = key_to_u64(key)
         rows = self._rows
         for row in range(self.depth):
-            rows[row, self._hashes[row].hash_u64(k) % self.width] += count
+            rows[row][self._hashes[row].hash_u64(k) % self.width] += count
         self.total += count
 
     def estimate(self, key: Hashable) -> int:
@@ -63,7 +67,7 @@ class CountMinSketch:
         rows = self._rows
         return int(
             min(
-                rows[row, self._hashes[row].hash_u64(k) % self.width]
+                rows[row][self._hashes[row].hash_u64(k) % self.width]
                 for row in range(self.depth)
             )
         )
@@ -72,11 +76,19 @@ class CountMinSketch:
         """Merge another sketch built with identical parameters/seed."""
         if (self.width, self.depth) != (other.width, other.depth):
             raise ConfigurationError("cannot merge differently-sized sketches")
-        self._rows += other._rows
+        if HAVE_NUMPY:
+            self._rows += other._rows
+        else:
+            for mine, theirs in zip(self._rows, other._rows):
+                for i, v in enumerate(theirs):
+                    mine[i] += v
         self.total += other.total
 
     def reset(self) -> None:
-        self._rows.fill(0)
+        if HAVE_NUMPY:
+            self._rows.fill(0)
+        else:
+            self._rows = [[0] * self.width for _ in range(self.depth)]
         self.total = 0
 
     @property

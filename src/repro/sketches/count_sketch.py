@@ -12,11 +12,11 @@ G-sum estimation.
 
 from __future__ import annotations
 
+import math
 import statistics
 from typing import Hashable, List
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError
 from repro.hashing.mix import key_to_u64
 from repro.hashing.multiply_shift import MultiplyShiftHash
@@ -34,7 +34,12 @@ class CountSketch:
             )
         self.width = width
         self.depth = depth
-        self._rows = np.zeros((depth, width), dtype=np.int64)
+        # int64 counter matrix with NumPy, list-of-lists without; all
+        # per-item access below uses rows[r][c], valid for both.
+        if HAVE_NUMPY:
+            self._rows = np.zeros((depth, width), dtype=np.int64)
+        else:
+            self._rows = [[0] * width for _ in range(depth)]
         self._bucket_hashes = [
             MultiplyShiftHash(out_bits=64, seed=seed * 1000 + 2 * r)
             for r in range(depth)
@@ -55,31 +60,47 @@ class CountSketch:
         """Add ``count`` occurrences of ``key``."""
         rows = self._rows
         for row, bucket, sign in self._coords(key):
-            rows[row, bucket] += sign * count
+            rows[row][bucket] += sign * count
 
     def estimate(self, key: Hashable) -> int:
         """Unbiased point estimate of ``key``'s frequency (median row)."""
         rows = self._rows
         return int(
             statistics.median(
-                sign * rows[row, bucket]
+                sign * rows[row][bucket]
                 for row, bucket, sign in self._coords(key)
             )
         )
 
     def l2_estimate(self) -> float:
         """Estimate of the stream's L2 norm (median of row norms)."""
-        norms = np.sqrt((self._rows.astype(np.float64) ** 2).sum(axis=1))
-        return float(np.median(norms))
+        if HAVE_NUMPY:
+            norms = np.sqrt(
+                (self._rows.astype(np.float64) ** 2).sum(axis=1)
+            )
+            return float(np.median(norms))
+        norms = [
+            math.sqrt(sum(float(c) * c for c in row))
+            for row in self._rows
+        ]
+        return float(statistics.median(norms))
 
     def merge(self, other: "CountSketch") -> None:
         """Merge another sketch built with identical parameters/seed."""
         if (self.width, self.depth) != (other.width, other.depth):
             raise ConfigurationError("cannot merge differently-sized sketches")
-        self._rows += other._rows
+        if HAVE_NUMPY:
+            self._rows += other._rows
+        else:
+            for mine, theirs in zip(self._rows, other._rows):
+                for i, v in enumerate(theirs):
+                    mine[i] += v
 
     def reset(self) -> None:
-        self._rows.fill(0)
+        if HAVE_NUMPY:
+            self._rows.fill(0)
+        else:
+            self._rows = [[0] * self.width for _ in range(self.depth)]
 
     @property
     def counters(self) -> int:

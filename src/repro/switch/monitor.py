@@ -8,7 +8,7 @@ differentiates q-MAX from Heap/SkipList in Figures 12–17.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.apps.priority_sampling import PrioritySampler
 from repro.apps.reservoirs import make_reservoir
@@ -27,6 +27,14 @@ class MonitorHook:
     def on_packet(self, pkt: Packet) -> None:
         raise NotImplementedError
 
+    def on_batch(self, pkts: Sequence[Packet]) -> None:
+        """Process one forwarded burst; equivalent to per-packet
+        :meth:`on_packet` calls in order.  Subclasses override this to
+        amortize hashing and reservoir dispatch across the burst."""
+        on_packet = self.on_packet
+        for pkt in pkts:
+            on_packet(pkt)
+
 
 class NullMonitor(MonitorHook):
     """Vanilla OVS: no measurement (the baseline curve)."""
@@ -34,6 +42,9 @@ class NullMonitor(MonitorHook):
     name = "vanilla"
 
     def on_packet(self, pkt: Packet) -> None:
+        return None
+
+    def on_batch(self, pkts: Sequence[Packet]) -> None:
         return None
 
 
@@ -60,6 +71,13 @@ class QMaxMonitor(MonitorHook):
         value = self._uniform.unit(pkt.packet_id)
         self._reservoir.add((pkt.src_ip, pkt.packet_id, pkt.size), value)
 
+    def on_batch(self, pkts: Sequence[Packet]) -> None:
+        unit = self._uniform.unit
+        self._reservoir.add_many(
+            [(pkt.src_ip, pkt.packet_id, pkt.size) for pkt in pkts],
+            [unit(pkt.packet_id) for pkt in pkts],
+        )
+
     @property
     def reservoir(self) -> QMaxBase:
         return self._reservoir
@@ -84,6 +102,11 @@ class PrioritySamplingMonitor(MonitorHook):
         # weight by packet size — the byte-volume sample.
         self._sampler.update(pkt.packet_id, pkt.size)
 
+    def on_batch(self, pkts: Sequence[Packet]) -> None:
+        self._sampler.update_many(
+            [pkt.packet_id for pkt in pkts], [pkt.size for pkt in pkts]
+        )
+
     @property
     def sampler(self) -> PrioritySampler:
         return self._sampler
@@ -105,6 +128,9 @@ class NetworkWideMonitor(MonitorHook):
 
     def on_packet(self, pkt: Packet) -> None:
         self._nmp.observe(pkt)
+
+    def on_batch(self, pkts: Sequence[Packet]) -> None:
+        self._nmp.observe_many(pkts)
 
     @property
     def nmp(self) -> MeasurementPoint:

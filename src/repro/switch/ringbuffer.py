@@ -106,6 +106,16 @@ def decode_record(data: bytes) -> PacketRecord:
     return RECORD.unpack(data)
 
 
+def decode_records(records: Sequence[bytes]) -> List[PacketRecord]:
+    """Decode a burst of records with a single C-level struct pass."""
+    joined = b"".join(records)
+    if len(joined) % RECORD.size:
+        raise ConfigurationError(
+            f"burst length {len(joined)} not a multiple of {RECORD.size}"
+        )
+    return list(RECORD.iter_unpack(joined))
+
+
 class RecordingMonitor(MonitorHook):
     """Datapath-side hook: serialise records into a ring, nothing else.
 
@@ -120,6 +130,16 @@ class RecordingMonitor(MonitorHook):
 
     def on_packet(self, pkt: Packet) -> None:
         self.ring.push(encode_record(pkt))
+
+    def on_batch(self, pkts: Sequence[Packet]) -> None:
+        push = self.ring.push
+        pack = RECORD.pack
+        for pkt in pkts:
+            push(pack(
+                pkt.src_ip & 0xFFFFFFFF,
+                pkt.packet_id & 0xFFFFFFFFFFFFFFFF,
+                pkt.size & 0xFFFFFFFF,
+            ))
 
 
 class MeasurementProcess:

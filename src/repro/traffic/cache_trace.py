@@ -15,12 +15,35 @@ proportions; the defaults produce hit-ratio orderings matching Table 2
 
 from __future__ import annotations
 
+import itertools
+import math
+import random
 from typing import List
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError
 from repro.traffic.synthetic import zipf_weights
+
+
+class _PyRng:
+    """Adapter giving ``random.Random`` the Generator calls used here."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+        self._hot_cum = None
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def geometric(self, p: float) -> int:
+        return max(1, math.ceil(math.log(self._rng.random())
+                                / math.log(1.0 - p)))
+
+    def choice(self, n: int, size: int, p) -> List[int]:
+        if self._hot_cum is None:
+            self._hot_cum = list(itertools.accumulate(p))
+        return self._rng.choices(range(n), cum_weights=self._hot_cum,
+                                 k=size)
 
 
 def generate_cache_trace(
@@ -57,7 +80,7 @@ def generate_cache_trace(
     if not 0.0 <= scan_fraction < 1.0:
         raise ConfigurationError("scan_fraction must be in [0, 1)")
 
-    rng = np.random.default_rng(seed)
+    rng = np.random.default_rng(seed) if HAVE_NUMPY else _PyRng(seed)
     hot_size = max(1, n_keys // 10)
     probs = zipf_weights(hot_size, zipf_alpha)
 

@@ -10,13 +10,13 @@ traces.
 
 from __future__ import annotations
 
+import bisect
 import collections
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError
 from repro.traffic.packet import Packet
 
@@ -63,10 +63,19 @@ def fit_zipf_alpha(counts: Sequence[int]) -> float:
             "need at least 3 distinct flows to fit a Zipf exponent"
         )
     head = ranked[: max(10, len(ranked) // 10)]
-    log_rank = np.log(np.arange(1, len(head) + 1, dtype=np.float64))
-    log_freq = np.log(np.asarray(head, dtype=np.float64))
-    slope, _intercept = np.polyfit(log_rank, log_freq, 1)
-    return float(-slope)
+    if HAVE_NUMPY:
+        log_rank = np.log(np.arange(1, len(head) + 1, dtype=np.float64))
+        log_freq = np.log(np.asarray(head, dtype=np.float64))
+        slope, _intercept = np.polyfit(log_rank, log_freq, 1)
+        return float(-slope)
+    xs = [math.log(r) for r in range(1, len(head) + 1)]
+    ys = [math.log(c) for c in head]
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    var = sum((x - mx) ** 2 for x in xs)
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    return -(cov / var)
 
 
 def burst_run_fraction(packets: Sequence[Packet]) -> float:
@@ -131,14 +140,23 @@ def flow_size_ccdf(
 ) -> List[Tuple[int, float]]:
     """CCDF of flow sizes: (size s, fraction of flows with >= s pkts)."""
     flow_counts = collections.Counter(p.five_tuple for p in packets)
-    sizes = np.asarray(sorted(flow_counts.values()))
-    if sizes.size == 0:
+    sizes = sorted(flow_counts.values())
+    if not sizes:
         raise ConfigurationError("empty trace")
-    thresholds = np.unique(
-        np.geomspace(1, sizes.max(), num=min(points, sizes.max()))
-        .astype(int)
-    )
-    n = sizes.size
-    return [
-        (int(t), float((sizes >= t).sum()) / n) for t in thresholds
-    ]
+    top = sizes[-1]
+    num = min(points, top)
+    if num < 2:
+        thresholds = [1]
+    else:
+        # Geometric spacing from 1 to the largest flow, deduplicated.
+        step = math.log(top) / (num - 1)
+        thresholds = sorted({
+            int(math.exp(k * step)) for k in range(num)
+        })
+    n = len(sizes)
+    out = []
+    for t in thresholds:
+        # sizes is sorted ascending: count of flows >= t.
+        lo = bisect.bisect_left(sizes, t)
+        out.append((t, (n - lo) / n))
+    return out

@@ -18,22 +18,32 @@ stream of numbers" used by Figures 4–7 and 10–16.
 
 from __future__ import annotations
 
+import itertools
+import math
+import random
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
-import numpy as np
-
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError
 from repro.traffic.packet import PROTO_TCP, PROTO_UDP, Packet
 
 
-def zipf_weights(n: int, alpha: float) -> np.ndarray:
-    """Normalized Zipf(α) probabilities over ranks ``1..n``."""
+def zipf_weights(n: int, alpha: float):
+    """Normalized Zipf(α) probabilities over ranks ``1..n``.
+
+    Returns an ndarray when NumPy is installed, a plain list otherwise
+    (both deterministic and numerically equivalent).
+    """
     if n < 1:
         raise ConfigurationError(f"need at least one rank, got {n}")
-    ranks = np.arange(1, n + 1, dtype=np.float64)
-    weights = ranks ** -alpha
-    return weights / weights.sum()
+    if HAVE_NUMPY:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** -alpha
+        return weights / weights.sum()
+    weights = [float(r) ** -alpha for r in range(1, n + 1)]
+    total = sum(weights)
+    return [w / total for w in weights]
 
 
 @dataclass(frozen=True)
@@ -107,9 +117,7 @@ UNIV1 = TraceProfile(
 PROFILES = {p.name: p for p in (CAIDA16, CAIDA18, UNIV1)}
 
 
-def _flow_endpoints(
-    n_flows: int, rng: np.random.Generator
-) -> Tuple[np.ndarray, ...]:
+def _flow_endpoints(n_flows: int, rng):
     """Random but deterministic five-tuple components per flow."""
     src = rng.integers(0x0A000000, 0x0AFFFFFF, size=n_flows, dtype=np.int64)
     dst = rng.integers(0xC0A80000, 0xC0A8FFFF, size=n_flows, dtype=np.int64)
@@ -136,12 +144,19 @@ def generate_packets(
 
     ``n_flows`` overrides the profile's flow count (benchmarks scale it
     with the stream length to keep the new-flow rate realistic).
+
+    With NumPy installed the trace is drawn vectorized; without it a
+    ``random.Random`` fallback draws a trace with the same statistical
+    profile (both deterministic per seed, but the two paths produce
+    different packet sequences).
     """
     if n_packets < 0:
         raise ConfigurationError("n_packets must be >= 0")
-    rng = np.random.default_rng(seed)
     flows = min(n_flows or profile.n_flows, max(1, n_packets))
     probs = zipf_weights(flows, profile.alpha)
+    if not HAVE_NUMPY:
+        return _generate_packets_py(profile, n_packets, seed, flows, probs)
+    rng = np.random.default_rng(seed)
 
     if profile.burst > 1:
         # Draw bursts: fewer draws, each repeated Geometric(1/burst).
@@ -180,14 +195,68 @@ def generate_packets(
     return packets
 
 
+def _generate_packets_py(
+    profile: TraceProfile,
+    n_packets: int,
+    seed: int,
+    flows: int,
+    probs: Sequence[float],
+) -> List[Packet]:
+    """Pure-Python trace generator (same profile, different draws)."""
+    rng = random.Random(seed)
+    cum = list(itertools.accumulate(probs))
+    population = range(flows)
+
+    if profile.burst > 1:
+        # Draw bursts: each flow draw repeats Geometric(1/burst) times.
+        log_q = math.log(1.0 - 1.0 / profile.burst)
+        flow_of: List[int] = []
+        while len(flow_of) < n_packets:
+            f = rng.choices(population, cum_weights=cum)[0]
+            length = max(1, math.ceil(math.log(rng.random()) / log_q))
+            flow_of.extend([f] * length)
+        del flow_of[n_packets:]
+    else:
+        flow_of = rng.choices(population, cum_weights=cum, k=n_packets)
+
+    src = [rng.randrange(0x0A000000, 0x0AFFFFFF) for _ in range(flows)]
+    dst = [rng.randrange(0xC0A80000, 0xC0A8FFFF) for _ in range(flows)]
+    sport = [rng.randrange(1024, 65535) for _ in range(flows)]
+    dport = rng.choices((80, 443, 53, 22, 8080, 3306), k=flows)
+    proto = rng.choices(
+        (PROTO_TCP, PROTO_UDP), weights=(0.8, 0.2), k=flows
+    )
+    sizes = rng.choices(
+        profile.size_points, weights=profile.size_probs, k=n_packets
+    )
+    now = 0.0
+    packets = []
+    expovariate = rng.expovariate
+    for i, f in enumerate(flow_of):
+        now += expovariate(profile.mean_rate_pps)
+        packets.append(Packet(
+            src_ip=src[f],
+            dst_ip=dst[f],
+            src_port=sport[f],
+            dst_port=dport[f],
+            proto=proto[f],
+            size=sizes[i],
+            timestamp=now,
+            packet_id=i,
+        ))
+    return packets
+
+
 def generate_value_stream(
     n: int, seed: int = 0
 ) -> List[Tuple[int, float]]:
     """The paper's synthetic workload: uniform random values with
     sequential ids (Figures 4–7, 10–13, 15–16)."""
-    rng = np.random.default_rng(seed)
-    values = rng.random(n)
-    return list(enumerate(values.tolist()))
+    if HAVE_NUMPY:
+        rng = np.random.default_rng(seed)
+        return list(enumerate(rng.random(n).tolist()))
+    rng = random.Random(seed)
+    return [(i, rng.random()) for i in range(n)]
 
 
 def packets_to_weighted_stream(

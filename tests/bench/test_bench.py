@@ -5,7 +5,6 @@ from __future__ import annotations
 import math
 
 import pytest
-from scipy import stats as scipy_stats
 
 from repro.bench.reporting import print_series, print_table
 from repro.bench.runner import Measurement, measure_callable, measure_throughput, mpps
@@ -16,6 +15,7 @@ from repro.errors import ConfigurationError
 
 class TestStats:
     def test_t_interval_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
         samples = [1.0, 1.2, 0.9, 1.1, 1.05]
         mean, half = confidence_interval(samples, 0.99)
         low, high = scipy_stats.t.interval(
@@ -26,6 +26,19 @@ class TestStats:
         )
         assert mean - half == pytest.approx(low)
         assert mean + half == pytest.approx(high)
+
+    def test_pure_t_quantile_matches_table(self, monkeypatch):
+        """The scipy-free fallback must agree with the t table."""
+        import repro.bench.stats as stats_mod
+
+        monkeypatch.setattr(stats_mod, "HAVE_SCIPY", False)
+        samples = [1.0, 1.2, 0.9, 1.1, 1.05]
+        n = len(samples)
+        mean, half = confidence_interval(samples, 0.95)
+        variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+        sem = math.sqrt(variance / n)
+        # t_{0.975, df=4} from the standard table.
+        assert half == pytest.approx(2.7764451052 * sem, rel=1e-6)
 
     def test_wider_confidence_wider_interval(self):
         samples = [0.8, 1.0, 1.2]

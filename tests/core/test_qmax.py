@@ -8,16 +8,20 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro._compat import HAVE_NUMPY
 from repro.core.amortized import AmortizedQMax, VectorQMax
 from repro.core.qmax import QMax
 from repro.errors import ConfigurationError
 
 from tests.conftest import top_values, value_multiset
 
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="needs numpy")
+
 ALL_VARIANTS = [
     pytest.param(lambda q, g: QMax(q, g), id="deamortized"),
     pytest.param(lambda q, g: AmortizedQMax(q, g), id="amortized"),
-    pytest.param(lambda q, g: VectorQMax(q, g), id="numpy"),
+    pytest.param(lambda q, g: VectorQMax(q, g), id="numpy",
+                 marks=needs_numpy),
 ]
 
 
@@ -224,6 +228,7 @@ class TestAmortizedSpecific:
         assert 1 <= qmax.compactions < 10000 / 50
 
 
+@needs_numpy
 class TestVectorSpecific:
     def test_add_batch_matches_scalar(self, rng):
         import numpy as np
@@ -247,6 +252,52 @@ class TestVectorSpecific:
         qmax = VectorQMax(5)
         with pytest.raises(ConfigurationError):
             qmax.add_batch([1, 2], np.array([1.0]))
+
+
+class TestBatchEvictionDraining:
+    """take_evicted across add_many batch boundaries (satellite of the
+    batch-first update path): draining mid-stream must neither lose nor
+    duplicate evictions, and the multiset must match per-item adds."""
+
+    N = 1000
+    BATCH = 37  # deliberately misaligned with q, g and step_batch
+
+    def _stream(self):
+        rng = random.Random(42)
+        ids = list(range(self.N))
+        vals = [rng.random() for _ in range(self.N)]
+        return ids, vals
+
+    def test_drains_partition_the_stream(self):
+        ids, vals = self._stream()
+        qmax = QMax(16, 0.25, track_evictions=True)
+        drained = []
+        for start in range(0, self.N, self.BATCH):
+            qmax.add_many(ids[start:start + self.BATCH],
+                          vals[start:start + self.BATCH])
+            # Drain between every burst: each eviction must surface in
+            # exactly one drain.
+            drained.extend(qmax.take_evicted())
+        drained.extend(qmax.take_evicted())
+        retained = list(qmax.items())
+        # Every added item is either still retained or was drained
+        # exactly once — together they partition the input stream.
+        assert sorted(drained + retained) == sorted(zip(ids, vals))
+
+    def test_drained_multiset_matches_per_item_adds(self):
+        ids, vals = self._stream()
+        batched = QMax(16, 0.25, track_evictions=True)
+        drained = []
+        for start in range(0, self.N, self.BATCH):
+            batched.add_many(ids[start:start + self.BATCH],
+                             vals[start:start + self.BATCH])
+            drained.extend(batched.take_evicted())
+        drained.extend(batched.take_evicted())
+
+        reference = QMax(16, 0.25, track_evictions=True)
+        for item_id, val in zip(ids, vals):
+            reference.add(item_id, val)
+        assert sorted(drained) == sorted(reference.take_evicted())
 
 
 @settings(max_examples=100, deadline=None)

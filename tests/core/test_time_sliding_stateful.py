@@ -67,8 +67,11 @@ class _TimeMachineBase(RuleBasedStateMachine):
             reverse=True,
         )[:6]
         # Probe every epoch-aligned boundary the structure may use.
+        # Structures cut at *absolute* multiples of the finest block, so
+        # the probe grid must be anchored at 0, not at ``now``.
         finest = self.window * self.tau
-        boundary = self.now - self.window - finest
+        step = finest / 4
+        boundary = math.floor((self.now - self.window - finest) / step) * step
         while boundary <= self.now + 1e-9:
             suffix = sorted(
                 (v for t, v in self.history if t >= boundary - 1e-9),
