@@ -1,0 +1,221 @@
+"""Ablation: shard-count scaling of the sharded q-MAX engine.
+
+The paper's deployment runs one measurement instance per PMD core, with
+NIC RSS sharding flows in hardware.  This benchmark reproduces that
+cores-vs-throughput curve for :class:`repro.parallel.engine.
+ShardedQMaxEngine`: the stream is hash-partitioned into per-shard
+sub-streams *outside* the timed region (RSS dispatch — same convention
+as ``measure_throughput_batched``'s pre-split bursts), each shard's
+service time is measured independently, and the aggregate throughput of
+an ``s``-core deployment is ``N / max_s(t_s)`` — every core runs its
+shard concurrently, so the slowest shard gates the aggregate.
+
+Two value regimes, because q-MAX's per-item work is admission-driven:
+
+* **admission-heavy** (recency-growing priorities, the PBA/LRFU shape):
+  every item beats Ψ, so maintenance work is linear in items and
+  sharding divides it — near-linear scaling.  This is the regime the
+  ≥2×@4-shards acceptance gate runs on.
+* **iid-uniform**: a single structure admits only ~(q+g)·ln(n) items;
+  splitting into ``s`` shards multiplies total admissions by ~s (each
+  shard re-pays the convergence of its own Ψ), so per-shard-core
+  scaling is sublinear — reported, not gated, with the admission counts
+  that explain it.
+
+Wall-clock rows for the actual worker-process engine are also recorded
+(producer-side push rate with a final barrier).  On a single-core host
+those cannot beat inline — the JSON notes the host's CPU count so
+readers can interpret them.
+
+Results land in ``BENCH_shard_scaling.json`` (repo root) and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from conftest import max_shards, repeats, scaled
+
+from repro._compat import HAVE_NUMPY
+from repro.bench.reporting import print_table
+from repro.core.qmax import QMax
+from repro.parallel.engine import ShardedQMaxEngine, partition_stream
+from repro.parallel.worker import build_backend
+from repro.traffic.synthetic import PROFILES, generate_packets
+
+Q = 512
+GAMMA = 0.25
+BURST = 512
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
+
+
+def _skewed_ids(n: int, seed: int = 7):
+    """Flow ids from the skewed CAIDA'16-style profile (heavy flows
+    dominate, like real traces — stresses shard balance)."""
+    packets = generate_packets(
+        PROFILES["caida16"], n, seed=seed, n_flows=max(64, n // 20)
+    )
+    return [p.src_ip for p in packets]
+
+
+def _streams(n: int):
+    ids = _skewed_ids(n)
+    rnd = __import__("random").Random(11)
+    return {
+        # Recency-growing priorities: strictly advancing values defeat
+        # the admission filter (PBA/LRFU-style), work ∝ items.
+        "admission-heavy": (ids, [i + rnd.random() for i in range(n)]),
+        # iid values: admissions collapse to ~(q+g)·ln(n) per shard.
+        "iid-uniform": (ids, [rnd.random() * 1e6 for _ in range(n)]),
+    }
+
+
+def _chunks(ids, vals, burst):
+    return [
+        (ids[lo : lo + burst], vals[lo : lo + burst])
+        for lo in range(0, len(ids), burst)
+    ]
+
+
+def _shard_service_seconds(parts, spec, n_repeats):
+    """Per-shard best-of service time: one fresh backend per shard fed
+    its pre-partitioned sub-stream in BURST-sized batches."""
+    per_shard = []
+    admitted = 0
+    for part_ids, part_vals in parts:
+        batches = _chunks(part_ids, part_vals, BURST)
+        best = float("inf")
+        for _ in range(n_repeats):
+            backend = build_backend(spec)
+            start = time.perf_counter()
+            for bids, bvals in batches:
+                backend.add_many(bids, bvals)
+            best = min(best, time.perf_counter() - start)
+        admitted += getattr(backend, "admitted", 0)
+        per_shard.append(best)
+    return per_shard, admitted
+
+
+def test_ablation_shard_scaling(benchmark):
+    n = scaled(120_000, minimum=30_000)
+    shard_counts = sorted({1, 2, 4, max_shards()})
+    spec = {"backend": "qmax", "q": Q, "gamma": GAMMA, "kwargs": {}}
+    n_repeats = repeats()
+
+    rows = []
+    results = []
+    aggregate = {}
+    for regime, (ids, vals) in _streams(n).items():
+        for s in shard_counts:
+            parts = partition_stream(ids, vals, s)
+            per_shard, admitted = _shard_service_seconds(
+                parts, spec, n_repeats
+            )
+            bottleneck = max(per_shard)
+            mpps = n / bottleneck / 1e6
+            aggregate[(regime, s)] = mpps
+            speedup = mpps / aggregate[(regime, 1)]
+            rows.append([regime, s, round(mpps, 3), f"{speedup:.2f}x",
+                         admitted])
+            results.append({
+                "regime": regime,
+                "shards": s,
+                "mode": "per-shard-core",
+                "items": n,
+                "per_shard_seconds": [round(t, 6) for t in per_shard],
+                "bottleneck_seconds": round(bottleneck, 6),
+                "aggregate_mpps": round(mpps, 4),
+                "speedup_vs_1": round(speedup, 4),
+                "total_admitted": admitted,
+            })
+
+    # Honest wall-clock rows: the real worker-process engine on this
+    # host (producer push rate, barrier included).  Bounded by the
+    # host's core count — see "machine" in the JSON.
+    wall_ids, wall_vals = _streams(n)["admission-heavy"]
+    wall_batches = _chunks(wall_ids, wall_vals, BURST)
+    for s in shard_counts:
+        best = float("inf")
+        mode = "inline"
+        for _ in range(max(1, n_repeats - 1)):
+            engine = ShardedQMaxEngine(
+                Q, n_shards=s, gamma=GAMMA, mode="auto", burst=BURST
+            )
+            try:
+                start = time.perf_counter()
+                for bids, bvals in wall_batches:
+                    engine.add_many(bids, bvals)
+                engine.sync()
+                best = min(best, time.perf_counter() - start)
+                mode = engine.mode
+            finally:
+                engine.close()
+        mpps = n / best / 1e6
+        rows.append([f"wall-clock/{mode}", s, round(mpps, 3), "-", "-"])
+        results.append({
+            "regime": "admission-heavy",
+            "shards": s,
+            "mode": f"wall-clock/{mode}",
+            "items": n,
+            "bottleneck_seconds": round(best, 6),
+            "aggregate_mpps": round(mpps, 4),
+        })
+
+    print_table(
+        f"Ablation: shard scaling (q={Q}, gamma={GAMMA}, n={n}, "
+        f"burst={BURST})",
+        ["regime", "shards", "aggregate MPPS", "speedup", "admitted"],
+        rows,
+    )
+
+    payload = {
+        "benchmark": "shard_scaling",
+        "config": {
+            "q": Q,
+            "gamma": GAMMA,
+            "burst": BURST,
+            "items": n,
+            "shard_counts": shard_counts,
+            "repeats": n_repeats,
+            "trace": "caida16-profile flow ids",
+        },
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "numpy": HAVE_NUMPY,
+        },
+        "metric": (
+            "per-shard-core rows: streams pre-partitioned outside the "
+            "timed region (NIC-RSS analogue); aggregate = items / "
+            "max(per-shard service time), the throughput of one core "
+            "per shard.  wall-clock rows: the worker-process engine "
+            "end-to-end on this host."
+        ),
+        "rows": results,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Gate (numpy stack): on the admission-heavy skewed trace the
+    # 4-shard per-core aggregate must be >= 2x the single-shard one.
+    if HAVE_NUMPY and 4 in shard_counts:
+        assert aggregate[("admission-heavy", 4)] >= 2.0 * aggregate[
+            ("admission-heavy", 1)
+        ], aggregate
+    # The iid regime documents admission inflation; no scaling gate.
+
+    def run():
+        ids, vals = _streams(n)["admission-heavy"]
+        parts = partition_stream(ids, vals, max(shard_counts))
+        for part_ids, part_vals in parts:
+            backend = QMax(Q, GAMMA)
+            for bids, bvals in _chunks(part_ids, part_vals, BURST):
+                backend.add_many(bids, bvals)
+
+    benchmark(run)

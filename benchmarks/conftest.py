@@ -39,6 +39,10 @@ from repro.core.qmax import QMax
 #: ``REPRO_BATCH`` environment variable.
 _BATCH_SIZE = int(os.environ.get("REPRO_BATCH", "0"))
 
+#: Shard count for the scaling benchmark's widest point: settable via
+#: ``--shards`` or the ``REPRO_SHARDS`` environment variable.
+_SHARDS = int(os.environ.get("REPRO_SHARDS", "4"))
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -50,18 +54,35 @@ def pytest_addoption(parser):
         help="Drive backends through add_many() in batches of this "
         "size instead of per-item add() (also via REPRO_BATCH).",
     )
+    parser.addoption(
+        "--shards",
+        action="store",
+        type=int,
+        default=None,
+        dest="shards",
+        help="Maximum shard count for the shard-scaling benchmark "
+        "(also via REPRO_SHARDS; default 4).",
+    )
 
 
 def pytest_configure(config):
-    global _BATCH_SIZE
+    global _BATCH_SIZE, _SHARDS
     opt = config.getoption("batch_size", default=None)
     if opt is not None:
         _BATCH_SIZE = opt
+    opt = config.getoption("shards", default=None)
+    if opt is not None:
+        _SHARDS = opt
 
 
 def batch_size() -> int:
     """The active --batch-size / REPRO_BATCH (0/1 = per-item mode)."""
     return _BATCH_SIZE
+
+
+def max_shards() -> int:
+    """The active --shards / REPRO_SHARDS ceiling (>= 1)."""
+    return max(1, _SHARDS)
 
 #: The γ grid of Figure 4 / Table 1.
 GAMMA_GRID = (0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0)

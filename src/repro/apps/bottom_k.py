@@ -42,14 +42,32 @@ class BottomKSketch:
         backend: str = "qmax",
         gamma: float = 0.25,
         seed: int = 0,
+        shards: int = 1,
+        shard_mode: str = "auto",
     ) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = k
         self.seed = seed
-        self._reservoir = QMin(
-            k + 1, backend=lambda n: make_reservoir(backend, n, gamma)
-        )
+        if shards > 1:
+            # q-MIN over the sharded engine: one backend copy per core,
+            # bottom-k merged at query time via negation.
+            from repro.parallel.engine import ShardedQMaxEngine
+
+            def _sharded(n: int) -> ShardedQMaxEngine:
+                return ShardedQMaxEngine(
+                    q=n,
+                    n_shards=shards,
+                    backend=backend,
+                    gamma=gamma,
+                    mode=shard_mode,
+                )
+
+            self._reservoir = QMin(k + 1, backend=_sharded)
+        else:
+            self._reservoir = QMin(
+                k + 1, backend=lambda n: make_reservoir(backend, n, gamma)
+            )
         self._uniform = UniformHasher(seed)
         #: Upper bound on the threshold inherited through merges: ranks
         #: at or above it were unobservable in some merged part.
@@ -248,6 +266,13 @@ class BottomKSketch:
             merged._reservoir.add((key, weight), rank)
         merged.processed = self.processed + other.processed
         return merged
+
+    def close(self) -> None:
+        """Release the reservoir (stops a sharded reservoir's workers;
+        a no-op for in-process backends)."""
+        close = getattr(self._reservoir.inner, "close", None)
+        if close is not None:
+            close()
 
     @property
     def backend_name(self) -> str:

@@ -39,6 +39,13 @@ class PrioritySampler:
     seed:
         Seed of the per-key uniform hash (keys are deterministic:
         re-processing a stream reproduces the sample exactly).
+    shards:
+        When > 1, the reservoir is a
+        :class:`~repro.parallel.engine.ShardedQMaxEngine` over
+        ``shards`` copies of the chosen backend — one measurement
+        instance per core, merged at query time.
+    shard_mode:
+        Forwarded to the engine (``auto``/``process``/``inline``).
 
     Notes
     -----
@@ -53,12 +60,25 @@ class PrioritySampler:
         backend: str = "qmax",
         gamma: float = 0.25,
         seed: int = 0,
+        shards: int = 1,
+        shard_mode: str = "auto",
     ) -> None:
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         self.k = k
         # Reservoir keeps k+1 items: the extra one is the threshold.
-        self._reservoir: QMaxBase = make_reservoir(backend, k + 1, gamma)
+        if shards > 1:
+            from repro.parallel.engine import ShardedQMaxEngine
+
+            self._reservoir: QMaxBase = ShardedQMaxEngine(
+                q=k + 1,
+                n_shards=shards,
+                backend=backend,
+                gamma=gamma,
+                mode=shard_mode,
+            )
+        else:
+            self._reservoir = make_reservoir(backend, k + 1, gamma)
         self._uniform = UniformHasher(seed)
         self.processed = 0
 
@@ -130,6 +150,13 @@ class PrioritySampler:
     def estimate_total(self) -> float:
         """Estimate of the total weight of the whole stream."""
         return self.estimate_subset_sum(lambda _key: True)
+
+    def close(self) -> None:
+        """Release the reservoir (stops a sharded reservoir's workers;
+        a no-op for in-process backends)."""
+        close = getattr(self._reservoir, "close", None)
+        if close is not None:
+            close()
 
     @property
     def backend_name(self) -> str:

@@ -168,12 +168,15 @@ def _cmd_export_netflow(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.baselines.heap import HeapQMax
     from repro.baselines.skiplist import SkipListQMax
-    from repro.bench.runner import measure_throughput
+    from repro.bench.runner import (
+        measure_throughput,
+        measure_throughput_batched,
+    )
     from repro.core.qmax import QMax
     from repro.traffic import generate_value_stream
 
     stream = generate_value_stream(args.items, seed=args.seed)
-    print(f"{'structure':>22} {'MPPS':>8}")
+    print(f"{'structure':>26} {'MPPS':>8}")
     for label, factory in (
         (f"qmax(g={args.gamma:g})", lambda: QMax(args.q, args.gamma)),
         ("heap", lambda: HeapQMax(args.q)),
@@ -181,7 +184,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ):
         m = measure_throughput(label, lambda f=factory: f().add,
                                stream, repeats=args.repeats)
-        print(f"{label:>22} {m.mpps:>8.3f}")
+        print(f"{label:>26} {m.mpps:>8.3f}")
+    if args.shards > 1:
+        from repro.parallel.engine import ShardedQMaxEngine
+
+        engines = []
+
+        def make_sharded():
+            engine = ShardedQMaxEngine(
+                args.q, n_shards=args.shards, gamma=args.gamma,
+                mode=args.shard_mode,
+            )
+            engines.append(engine)
+            return engine.add_many
+
+        m = measure_throughput_batched(
+            f"sharded-{args.shards}x", make_sharded, stream,
+            batch_size=512, repeats=args.repeats,
+        )
+        label = f"sharded-{args.shards}x/{engines[-1].mode}"
+        for engine in engines:
+            engine.close()
+        print(f"{label:>26} {m.mpps:>8.3f}")
     return 0
 
 
@@ -271,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--items", type=int, default=100_000)
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="add a sharded-engine row with this many shards")
+    p.add_argument("--shard-mode", default="auto",
+                   choices=("auto", "process", "inline"),
+                   help="sharded engine execution mode")
     p.set_defaults(func=_cmd_bench)
 
     return parser

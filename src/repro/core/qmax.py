@@ -49,9 +49,10 @@ from repro.core.select import (
     stepwise_partition_top,
     stepwise_select,
     stepwise_select_deterministic,
+    stepwise_select_sampled,
 )
 from repro.errors import ConfigurationError, InvariantError
-from repro.types import Item, ItemId, Value
+from repro.types import Item, ItemId, TopItems, Value
 
 #: Sentinel stored in empty slots; never equal to a user id.
 _EMPTY = object()
@@ -99,6 +100,12 @@ class QMax(QMaxBase):
         [21]) instead of quickselect.  Gives a *deterministic*
         worst-case O(1/γ) update bound at ~5-8× the expected operation
         count — pick it when the value stream may be adversarial.
+    pivot_sample:
+        When > 0, use the SQUID-style sampled-pivot Select instead of
+        quickselect: each round draws the pivot from a ``pivot_sample``
+        element strided sample at the target's proportional rank (see
+        :func:`repro.core.select.stepwise_select_sampled`).  Mutually
+        exclusive with ``deterministic_select``.
     use_numpy:
         Controls the :meth:`add_many` batch filter.  ``None`` (default)
         auto-selects: NumPy when installed and the batch is large
@@ -145,6 +152,7 @@ class QMax(QMaxBase):
         instrument: bool = False,
         deterministic_select: bool = False,
         use_numpy: Optional[bool] = None,
+        pivot_sample: int = 0,
     ) -> None:
         if q < 1:
             raise ConfigurationError(f"q must be >= 1, got {q}")
@@ -154,11 +162,28 @@ class QMax(QMaxBase):
             raise ConfigurationError(
                 f"step_batch must be >= 1, got {step_batch}"
             )
+        if pivot_sample < 0:
+            raise ConfigurationError(
+                f"pivot_sample must be >= 0, got {pivot_sample}"
+            )
+        if pivot_sample and deterministic_select:
+            raise ConfigurationError(
+                "pivot_sample and deterministic_select are mutually "
+                "exclusive"
+            )
         self.q = q
         self.gamma = gamma
         if deterministic_select:
             self._select = stepwise_select_deterministic
             self._select_factor = _BFPRT_BUDGET_FACTOR
+        elif pivot_sample:
+            def _sampled(vals, ids, lo, hi, rank, ops, _k=pivot_sample):
+                return stepwise_select_sampled(
+                    vals, ids, lo, hi, rank, ops, sample_size=_k
+                )
+
+            self._select = _sampled
+            self._select_factor = _SELECT_BUDGET_FACTOR
         else:
             self._select = stepwise_select
             self._select_factor = _SELECT_BUDGET_FACTOR
@@ -450,6 +475,30 @@ class QMax(QMaxBase):
         base = self._insert_base
         for i in range(base, base + self._steps):
             yield ids[i], vals[i]
+
+    def query(self) -> TopItems:
+        """Top-q via a one-shot partition of a live-set snapshot.
+
+        Overrides the base class's heap scan: a single
+        :func:`partition_top` over a copy of the live set (which
+        engages the ``np.argpartition`` fast path on large regions)
+        followed by sorting just ``q`` survivors beats the O(n log q)
+        heap pass.  Ties at the threshold are broken arbitrarily, as
+        the contract allows.
+        """
+        vals: List[Value] = []
+        ids: List[ItemId] = []
+        for item_id, val in self.items():
+            ids.append(item_id)
+            vals.append(val)
+        n = len(vals)
+        if n <= self.q:
+            top = list(zip(ids, vals))
+        else:
+            partition_top(vals, ids, 0, n, self.q, side="right")
+            top = list(zip(ids[n - self.q :], vals[n - self.q :]))
+        top.sort(key=lambda item: item[1], reverse=True)
+        return top
 
     def take_evicted(self) -> List[Item]:
         """Drain items discarded since the last call (needs tracking)."""

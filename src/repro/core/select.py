@@ -23,11 +23,19 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple
 
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError
 from repro.types import ItemId, Value
 
 #: Below this size, quickselect finishes with insertion sort.
 _SMALL_CUTOFF = 16
+
+#: Below this region size the ndarray round-trip of the
+#: ``np.argpartition`` one-shot path costs more than it saves.
+_NP_PARTITION_MIN = 64
+
+#: Default sample size of the sampled-pivot Select (SQUID-style).
+_PIVOT_SAMPLE = 9
 
 #: Generator type for step-wise routines: yields op counts, returns a result.
 StepwiseResult = Generator[int, None, Value]
@@ -305,6 +313,78 @@ def stepwise_select_deterministic(
     return vals[target]
 
 
+def stepwise_select_sampled(
+    vals: List[Value],
+    ids: List[ItemId],
+    lo: int,
+    hi: int,
+    rank: int,
+    ops_per_step: int,
+    sample_size: int = _PIVOT_SAMPLE,
+) -> StepwiseResult:
+    """Resumable sampled-pivot selection (SQUID-style).
+
+    Same contract as :func:`stepwise_select`, but every round draws the
+    pivot from a small *k-sample* of the region instead of a
+    median-of-three: ``sample_size`` values at fixed strides are
+    sorted, and the sample element whose sample-rank is proportional to
+    the target's rank becomes the pivot.  Aiming the pivot at the
+    target's quantile (rather than the median) shrinks the active
+    region toward the target faster when the wanted rank is eccentric —
+    exactly q-MAX's case, where the Select always looks for the
+    ``g``-th smallest of ``q + g`` values.  This is the pivot
+    estimation SQUID (Ben Basat et al., 2022) uses to keep quantile
+    maintenance cheap per update; sampling is deterministic (strided)
+    so replays reproduce the schedule exactly.
+    """
+    if not lo <= lo + rank < hi:
+        raise ConfigurationError(
+            f"rank {rank} out of range for region [{lo}, {hi})"
+        )
+    if ops_per_step < 1:
+        raise ConfigurationError("ops_per_step must be >= 1")
+    if sample_size < 1:
+        raise ConfigurationError(
+            f"sample_size must be >= 1, got {sample_size}"
+        )
+
+    shared = [0]
+    left, right = lo, hi
+    target = lo + rank
+    while right - left > _SMALL_CUTOFF:
+        n = right - left
+        k = sample_size if sample_size < n else n
+        stride = n // k
+        sample = sorted(vals[left + i * stride] for i in range(k))
+        # Proportional-rank pivot: the sample's best guess at the
+        # target's quantile.
+        pos = (target - left) * (k - 1) // (n - 1)
+        pivot = sample[pos]
+        shared[0] += k
+        if shared[0] >= ops_per_step:
+            yield shared[0]
+            shared[0] = 0
+        # The pivot is a value drawn from the region, so the == block
+        # of the three-way partition is non-empty and the active region
+        # strictly shrinks every round (no sentinels needed).
+        lt, gt = yield from _stepwise_dnf(
+            vals, ids, left, right, pivot, ops_per_step, shared
+        )
+        if target < lt:
+            right = lt
+        elif target >= gt:
+            left = gt
+        else:
+            if shared[0]:
+                yield shared[0]
+            return pivot
+    _insertion_sort(vals, ids, left, right)
+    shared[0] += right - left
+    if shared[0]:
+        yield shared[0]
+    return vals[target]
+
+
 def quickselect(
     vals: List[Value], ids: List[ItemId], lo: int, hi: int, rank: int
 ) -> Value:
@@ -401,15 +481,64 @@ def partition_top(
     hi: int,
     q: int,
     side: str = "right",
+    use_numpy: Optional[bool] = None,
 ) -> Value:
     """One-shot select-and-pivot: move the top ``q`` items of the region
     to ``side`` and return the threshold value (the q-th largest).
 
     This is the amortized maintenance operation (one full Select plus
-    one full pivot), used by :class:`repro.core.amortized.AmortizedQMax`
-    and as the fallback when a deamortized iteration must be force
-    finished.
+    one full pivot), used by :class:`repro.core.amortized.AmortizedQMax`,
+    by query-time top-q extraction, and as the fallback when a
+    deamortized iteration must be force finished.
+
+    ``use_numpy`` selects the ``np.argpartition`` fast path: one
+    C-level introselect over the region's values, with the original
+    value/id *objects* permuted into place afterwards (so integer
+    values stay integers — only the comparisons run in float64, the
+    same contract as the vectorized ``add_many`` filter).  ``None``
+    auto-engages it when NumPy is installed and the region is large
+    enough to amortize the ndarray round-trip; the retained *set* is
+    identical on both paths (ordering within the two blocks — and the
+    choice among ties at the threshold — is unspecified on either).
     """
+    if use_numpy is None:
+        use_numpy = HAVE_NUMPY and hi - lo >= _NP_PARTITION_MIN
+    elif use_numpy and not HAVE_NUMPY:
+        raise ConfigurationError(
+            "use_numpy=True but numpy is not installed (pip install .[fast])"
+        )
+    if use_numpy:
+        return _partition_top_numpy(vals, ids, lo, hi, q, side)
     threshold = select_kth_largest(vals, ids, lo, hi, q)
     dnf_partition(vals, ids, lo, hi, threshold, side)
+    return threshold
+
+
+def _partition_top_numpy(
+    vals: List[Value],
+    ids: List[ItemId],
+    lo: int,
+    hi: int,
+    q: int,
+    side: str,
+) -> Value:
+    """``np.argpartition`` realization of :func:`partition_top`."""
+    if side not in ("left", "right"):
+        raise ConfigurationError(f"side must be 'left' or 'right', got {side!r}")
+    n = hi - lo
+    if not 1 <= q <= n:
+        raise ConfigurationError(f"k={q} out of range for region [{lo}, {hi})")
+    region_vals = vals[lo:hi]
+    region_ids = ids[lo:hi]
+    varr = np.asarray(region_vals, dtype=np.float64)
+    kth = n - q
+    order = np.argpartition(varr, kth)
+    threshold = region_vals[int(order[kth])]
+    perm = order.tolist()
+    if side == "left":
+        perm.reverse()
+    for i in range(n):
+        j = perm[i]
+        vals[lo + i] = region_vals[j]
+        ids[lo + i] = region_ids[j]
     return threshold

@@ -31,3 +31,12 @@ class InvariantError(ReproError, RuntimeError):
 
 class EmptyStructureError(ReproError, LookupError):
     """Raised when querying an element from an empty structure."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """Raised when the sharded engine's worker machinery fails.
+
+    Examples: a shard worker died or stopped answering, a shared-memory
+    ring could not be created, or a barrier (query / close) timed out.
+    The in-process fallback never raises this.
+    """

@@ -1,0 +1,30 @@
+"""Multi-core sharded q-MAX (docs/PARALLEL.md).
+
+The paper's headline deployment runs one measurement instance per PMD
+core and merges their state.  This package is that deployment as a
+library: :class:`ShardedQMaxEngine` hash-partitions flow ids across
+worker processes fed through shared-memory record rings, answers
+queries by merging per-shard retained sets, and degrades gracefully to
+an in-process sharded fallback wherever processes or shared memory are
+unavailable.
+"""
+
+from repro.parallel.engine import ShardedQMaxEngine, partition_stream
+from repro.parallel.merge import (
+    merge_bottom_items,
+    merge_top_items,
+    merge_top_records,
+)
+from repro.parallel.shm_ring import ShmRecordRing
+from repro.parallel.worker import SHARD_RECORD, shard_worker_main
+
+__all__ = [
+    "ShardedQMaxEngine",
+    "partition_stream",
+    "merge_top_items",
+    "merge_top_records",
+    "merge_bottom_items",
+    "ShmRecordRing",
+    "SHARD_RECORD",
+    "shard_worker_main",
+]

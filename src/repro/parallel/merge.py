@@ -1,0 +1,82 @@
+"""Merging per-shard retained sets into a global answer.
+
+The correctness argument (docs/PARALLEL.md) is the paper's §5.2
+mergeability story: when the stream is *partitioned by id* across
+shards and each shard retains its local top-q, the union of the
+retained sets contains the global top-q — an item missing from its
+shard's top-q is beaten by q items *of the same shard*, hence by q
+items globally.  Two reductions of the union live here, differing in
+what a duplicate id *means*:
+
+* :func:`merge_top_records` — duplicate ids are duplicate *records*
+  (the stream repeated the id); every record counts, exactly as a
+  single backend retains them.  Used by the sharded engine's query.
+* :func:`merge_top_items` / :func:`merge_bottom_items` — duplicate ids
+  are repeated *observations of one entity* (the same flow seen by
+  several network-wide measurement points), collapsed by a
+  caller-supplied ``merge`` via
+  :class:`repro.core.merging.MergingQMax`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, List, Sequence
+
+from repro.core.merging import MergingQMax
+from repro.types import Item, TopItems, Value
+
+
+def merge_top_records(
+    parts: Iterable[Sequence[Item]], q: int
+) -> TopItems:
+    """Global top-q over per-shard ``(id, value)`` lists **without** id
+    dedup, sorted descending.  This is the sharded engine's merge: the
+    shards partition the *record multiset*, so the same record never
+    appears in two parts, but one part may hold several records of one
+    id (the stream repeated it) — and a single backend would retain
+    each of them separately, so the merge must too."""
+    return heapq.nlargest(
+        q,
+        (rec for part in parts for rec in part),
+        key=lambda rec: rec[1],
+    )
+
+
+def merge_top_items(
+    parts: Iterable[Sequence[Item]],
+    q: int,
+    merge: Callable[[Value, Value], Value] = max,
+) -> TopItems:
+    """Global top-q over per-part ``(id, value)`` lists, sorted
+    descending, with duplicate ids across *and within* parts combined
+    by ``merge``.  This is the keyed merge for reports where one id is
+    one entity observed several times (network-wide measurement
+    points); for the sharded engine's record-level query use
+    :func:`merge_top_records` instead."""
+    merger = MergingQMax(q, merge=merge)
+    add = merger.add
+    for part in parts:
+        for item_id, val in part:
+            add(item_id, val)
+    return merger.query()
+
+
+def merge_bottom_items(
+    parts: Iterable[Sequence[Item]],
+    q: int,
+    merge: Callable[[Value, Value], Value] = min,
+) -> List[Item]:
+    """Global *bottom*-q (ascending) — the q-MIN mirror, used to merge
+    per-shard/per-NMP minimal-hash samples (KMV, network-wide NMP
+    reports).  Implemented by value negation over the same machinery,
+    like :class:`repro.core.qmin.QMin`."""
+    def neg_merge(a: Value, b: Value) -> Value:
+        return -merge(-a, -b)
+
+    merger = MergingQMax(q, merge=neg_merge)
+    add = merger.add
+    for part in parts:
+        for item_id, val in part:
+            add(item_id, -val)
+    return [(item_id, -val) for item_id, val in merger.query()]

@@ -1,0 +1,240 @@
+"""Shared-memory SPSC record ring: the engine → shard-worker channel.
+
+This is the cross-process sibling of :class:`repro.switch.ringbuffer.
+RingBuffer`: the same bounded single-producer/single-consumer framing of
+fixed-size records, but laid out in a ``multiprocessing.shared_memory``
+segment so a worker *process* can drain it without copying through a
+pipe.  Two deliberate differences from the datapath ring:
+
+* **Records are contiguous**, not one ``bytes`` object per slot: a
+  burst is pushed/popped as a single blob (``n × record_size`` bytes),
+  so both sides move data with at most two ``memoryview`` copies
+  (wrap-around) and the consumer can hand the blob straight to
+  ``np.frombuffer`` / ``struct.iter_unpack`` — the same zero-per-record
+  decode as :class:`~repro.switch.pmd.BurstMeasurementPipeline`.
+* **A full ring stalls the producer instead of dropping.**  The
+  datapath ring models a forwarding plane that must never block; this
+  ring carries *accepted* measurement updates, where dropping would
+  silently change the retained set.  ``push`` spins (with a tiny sleep)
+  until space frees up and counts the stalls.
+
+Layout: a 64-byte header (head and tail as monotonically increasing
+u64 record counters, each on its own cache line) followed by
+``capacity × record_size`` data bytes.  Monotonic counters make the
+empty/full distinction trivial (``head - tail``) and double as the
+pushed/consumed statistics.  The producer writes data *then* publishes
+``head``; the consumer reads data *then* publishes ``tail`` — on
+CPython each publish is one aligned 8-byte store, which is the usual
+SPSC ordering argument (and both sides tolerate stale reads by simply
+seeing less available space/data than there is).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, ParallelError
+
+try:  # pragma: no cover - exercised via the inline-fallback tests
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAVE_SHM = True
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+    HAVE_SHM = False
+
+#: Header: head (u64) at offset 0, tail (u64) at offset 32 — separate
+#: cache lines so producer and consumer stores don't false-share.
+_HEAD = struct.Struct("<Q")
+_HEAD_OFF = 0
+_TAIL_OFF = 32
+HEADER_BYTES = 64
+
+#: Producer back-off while the ring is full (seconds).
+_STALL_SLEEP = 0.0002
+
+#: How many spins between ``should_abort`` checks while stalled.
+_ABORT_CHECK_EVERY = 64
+
+
+class ShmRecordRing:
+    """Bounded SPSC ring of fixed-size records in shared memory.
+
+    Use :meth:`create` on the producer side and :meth:`attach` (with the
+    segment name) in the worker; both sides must agree on ``capacity``
+    and ``record_size``.  The creator owns the segment and must
+    eventually call :meth:`unlink`.
+    """
+
+    __slots__ = (
+        "capacity",
+        "record_size",
+        "stalls",
+        "_shm",
+        "_buf",
+        "_data",
+        "_owner",
+    )
+
+    def __init__(self, shm, capacity: int, record_size: int,
+                 owner: bool) -> None:
+        self.capacity = capacity
+        self.record_size = record_size
+        self.stalls = 0
+        self._shm = shm
+        self._buf = shm.buf
+        self._data = shm.buf[HEADER_BYTES:]
+        self._owner = owner
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity: int, record_size: int) -> "ShmRecordRing":
+        """Allocate a fresh shared segment (producer side)."""
+        if not HAVE_SHM:
+            raise ParallelError("multiprocessing.shared_memory unavailable")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if record_size < 1:
+            raise ConfigurationError(
+                f"record_size must be >= 1, got {record_size}"
+            )
+        size = HEADER_BYTES + capacity * record_size
+        shm = _shared_memory.SharedMemory(create=True, size=size)
+        shm.buf[:HEADER_BYTES] = bytes(HEADER_BYTES)
+        return cls(shm, capacity, record_size, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, capacity: int,
+               record_size: int) -> "ShmRecordRing":
+        """Map an existing segment by name (worker side)."""
+        if not HAVE_SHM:
+            raise ParallelError("multiprocessing.shared_memory unavailable")
+        shm = _shared_memory.SharedMemory(name=name)
+        return cls(shm, capacity, record_size, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # ------------------------------------------------------------------
+    # Counters.
+    # ------------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        """Total records ever pushed (producer-published)."""
+        return _HEAD.unpack_from(self._buf, _HEAD_OFF)[0]
+
+    @property
+    def tail(self) -> int:
+        """Total records ever consumed (consumer-published)."""
+        return _HEAD.unpack_from(self._buf, _TAIL_OFF)[0]
+
+    def __len__(self) -> int:
+        """Records currently queued (may be momentarily stale)."""
+        return self.head - self.tail
+
+    # ------------------------------------------------------------------
+    # Producer side.
+    # ------------------------------------------------------------------
+
+    def push(
+        self,
+        blob: bytes,
+        should_abort: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Append ``blob`` (a whole number of records); returns records.
+
+        Blocks while the ring is full.  Blobs larger than the ring are
+        written in capacity-sized chunks.  ``should_abort`` is polled
+        while stalled (the engine passes a worker-liveness probe so a
+        dead consumer surfaces as :class:`ParallelError` instead of an
+        infinite spin).
+        """
+        rec = self.record_size
+        n, rem = divmod(len(blob), rec)
+        if rem:
+            raise ConfigurationError(
+                f"blob of {len(blob)} bytes is not a whole number of "
+                f"{rec}-byte records"
+            )
+        view = memoryview(blob)
+        written = 0
+        while written < n:
+            head = self.head
+            free = self.capacity - (head - self.tail)
+            if free <= 0:
+                self.stalls += 1
+                spins = 0
+                while free <= 0:
+                    spins += 1
+                    if should_abort is not None and (
+                        spins % _ABORT_CHECK_EVERY == 0
+                    ) and should_abort():
+                        raise ParallelError(
+                            "ring consumer gone while producer stalled"
+                        )
+                    time.sleep(_STALL_SLEEP)
+                    free = self.capacity - (head - self.tail)
+            take = min(free, n - written)
+            slot = head % self.capacity
+            first = min(take, self.capacity - slot)
+            data = self._data
+            src = view[written * rec:(written + first) * rec]
+            data[slot * rec:(slot + first) * rec] = src
+            if first < take:
+                src = view[(written + first) * rec:(written + take) * rec]
+                data[0:(take - first) * rec] = src
+            written += take
+            _HEAD.pack_into(self._buf, _HEAD_OFF, head + take)
+        return n
+
+    # ------------------------------------------------------------------
+    # Consumer side.
+    # ------------------------------------------------------------------
+
+    def pop(self, max_records: int) -> bytes:
+        """Drain up to ``max_records`` records as one contiguous blob.
+
+        Returns ``b""`` when the ring is empty.
+        """
+        tail = self.tail
+        avail = self.head - tail
+        if avail <= 0:
+            return b""
+        take = min(avail, max_records)
+        rec = self.record_size
+        slot = tail % self.capacity
+        first = min(take, self.capacity - slot)
+        data = self._data
+        if first == take:
+            blob = bytes(data[slot * rec:(slot + take) * rec])
+        else:
+            blob = bytes(data[slot * rec:(slot + first) * rec]) + bytes(
+                data[0:(take - first) * rec]
+            )
+        _HEAD.pack_into(self._buf, _TAIL_OFF, tail + take)
+        return blob
+
+    # ------------------------------------------------------------------
+    # Teardown.
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (both sides)."""
+        self._data.release()
+        self._buf.release()
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; call after close)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass

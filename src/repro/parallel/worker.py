@@ -1,0 +1,196 @@
+"""Shard worker: the per-core measurement loop of the sharded engine.
+
+One worker process owns one q-MAX backend and one shared-memory record
+ring.  The engine pushes ``(id: u64, value: f64)`` records into the
+ring; the worker drains it in ``add_many``-sized bursts, decoding each
+burst with a single C-level pass (``np.frombuffer`` when NumPy is
+available, ``struct.iter_unpack`` otherwise) — the same burst discipline
+as :class:`repro.switch.pmd.BurstMeasurementPipeline`, applied to the
+measurement side itself.
+
+Control flows over a ``multiprocessing`` pipe.  Every command carries
+the *expected consumed count* (records pushed to this shard so far);
+the worker keeps draining until it has consumed that many records
+before acting, which gives the engine an exact per-shard barrier
+without sentinel records in the data stream:
+
+``("query", n)``         → top-q of the shard backend
+``("items", n)``         → all live items of the shard backend
+``("take_evicted", n)``  → drained eviction log
+``("stats", n)``         → counters (consumed, admitted, Ψ, ...)
+``("reset", n)``         → backend.reset()
+``("close", n)``         → final report: live items **and** the
+                           eviction-log remainder — nothing the backend
+                           still holds is silently dropped — then exit.
+
+A worker that hits an exception reports ``("error", repr)`` on the pipe
+and exits; the engine converts that into :class:`ParallelError`.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Any, Dict, Optional
+
+from repro._compat import HAVE_NUMPY, np
+from repro.apps.reservoirs import make_reservoir
+from repro.core.interface import QMaxBase
+from repro.parallel.shm_ring import ShmRecordRing
+
+#: One update record: (id: u64, value: f64), native byte order — both
+#: ends live on the same machine.
+SHARD_RECORD = struct.Struct("=Qd")
+
+#: Matching NumPy dtype for zero-copy burst decode.
+if HAVE_NUMPY:
+    SHARD_RECORD_DTYPE = np.dtype([("id", "u8"), ("val", "f8")])
+else:  # pragma: no cover - numpy-less stack
+    SHARD_RECORD_DTYPE = None
+
+#: Below this burst size the ndarray round-trip is not worth it.
+_VECTOR_MIN_BURST = 32
+
+#: Idle poll granularity for the control pipe (seconds); doubles as the
+#: worker's back-off when the ring is empty.
+_IDLE_POLL = 0.0005
+
+
+def build_backend(spec: Any) -> QMaxBase:
+    """Materialize a shard backend from its picklable spec.
+
+    ``spec`` is either a dict — ``{"backend": name, "q": int, "gamma":
+    float, "track_evictions": bool, "kwargs": {...}}`` with names from
+    :data:`repro.apps.reservoirs.BACKENDS` — or a zero-argument callable
+    (usable with the ``fork`` start method, where pickling is bypassed).
+    """
+    if callable(spec):
+        return spec()
+    kwargs = dict(spec.get("kwargs", ()))
+    backend = spec.get("backend", "qmax")
+    if backend == "qmax" and kwargs:
+        from repro.core.qmax import QMax
+
+        return QMax(
+            spec["q"],
+            spec.get("gamma", 0.25),
+            track_evictions=spec.get("track_evictions", False),
+            **kwargs,
+        )
+    return make_reservoir(
+        backend,
+        spec["q"],
+        gamma=spec.get("gamma", 0.25),
+        track_evictions=spec.get("track_evictions", False),
+    )
+
+
+def _decode_burst(blob: bytes, use_numpy: bool):
+    """One burst → (ids, vals) ready for ``add_many``."""
+    if (
+        use_numpy
+        and len(blob) >= _VECTOR_MIN_BURST * SHARD_RECORD.size
+    ):
+        arr = np.frombuffer(blob, dtype=SHARD_RECORD_DTYPE)
+        # ids become plain ints once (C-level tolist); values stay an
+        # ndarray so the backend's vectorized Ψ filter gets them as-is.
+        return arr["id"].tolist(), arr["val"]
+    pairs = list(SHARD_RECORD.iter_unpack(blob))
+    return [p[0] for p in pairs], [p[1] for p in pairs]
+
+
+def _shard_stats(backend: QMaxBase, consumed: int) -> Dict[str, Any]:
+    stats: Dict[str, Any] = {
+        "consumed": consumed,
+        "backend": backend.name,
+    }
+    for attr in ("admitted", "rejected", "compactions"):
+        value = getattr(backend, attr, None)
+        if value is not None:
+            stats[attr] = value
+    psi = getattr(backend, "_psi", None)
+    if psi is not None:
+        stats["psi"] = psi
+    return stats
+
+
+def shard_worker_main(
+    ring_name: str,
+    capacity: int,
+    conn,
+    spec: Any,
+    burst: int = 512,
+    use_numpy: Optional[bool] = None,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Attaches the ring, builds the backend, acknowledges readiness, then
+    alternates between draining record bursts and serving barrier
+    commands until ``close``.
+    """
+    ring = None
+    try:
+        ring = ShmRecordRing.attach(ring_name, capacity, SHARD_RECORD.size)
+        backend = build_backend(spec)
+        vectorize = HAVE_NUMPY if use_numpy is None else use_numpy
+        conn.send(("ready", backend.name))
+        consumed = 0
+        pending: Optional[tuple] = None
+        while True:
+            blob = ring.pop(burst)
+            if blob:
+                ids, vals = _decode_burst(blob, vectorize)
+                backend.add_many(ids, vals)
+                consumed += len(ids)
+            if pending is None:
+                # Drain eagerly; only look at the pipe when idle (or
+                # between bursts, which conn.poll(0) makes free-ish).
+                if blob:
+                    if not conn.poll(0):
+                        continue
+                elif not conn.poll(_IDLE_POLL):
+                    continue
+                pending = conn.recv()
+            op, expected = pending
+            if consumed < expected:
+                if not blob:
+                    # Barrier records not visible yet (producer is
+                    # mid-push); don't spin hot on an empty ring.
+                    time.sleep(_IDLE_POLL)
+                continue  # keep draining up to the barrier
+            pending = None
+            if op == "query":
+                conn.send(backend.query())
+            elif op == "items":
+                conn.send(list(backend.items()))
+            elif op == "take_evicted":
+                conn.send(backend.take_evicted())
+            elif op == "stats":
+                conn.send(_shard_stats(backend, consumed))
+            elif op == "reset":
+                backend.reset()
+                conn.send(("reset", consumed))
+            elif op == "close":
+                conn.send({
+                    "items": list(backend.items()),
+                    "evicted": backend.take_evicted(),
+                    "stats": _shard_stats(backend, consumed),
+                })
+                return
+            else:  # pragma: no cover - engine never sends unknown ops
+                conn.send(("error", f"unknown op {op!r}"))
+                return
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass  # engine went away; nothing to report to
+    except Exception as exc:  # pragma: no cover - surfaced engine-side
+        try:
+            conn.send(("error", repr(exc)))
+        except (OSError, ValueError):
+            pass
+    finally:
+        if ring is not None:
+            ring.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

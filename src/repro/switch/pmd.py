@@ -107,18 +107,26 @@ class MultiPMDDatapath:
         return [dp.packets_forwarded for dp in self.pmds]
 
     def merged_network_wide_sample(self, q: int):
-        """Merge per-PMD NMP samples (requires NetworkWideMonitor)."""
-        from repro.netwide.controller import Controller
+        """Merge per-PMD NMP samples (requires NetworkWideMonitor).
 
-        nmps = []
+        Per-PMD reports are bottom-q (record, hash) lists; the merge is
+        the sharded engine's bottom-q merge
+        (:func:`repro.parallel.merge.merge_bottom_items`): duplicate
+        observations of one record carry identical hashes and collapse,
+        and the result is the q globally minimal pairs, ascending —
+        exactly the controller's KMV sample format.
+        """
+        from repro.parallel.merge import merge_bottom_items
+
+        reports = []
         for monitor in self.monitors:
             if not isinstance(monitor, NetworkWideMonitor):
                 raise ConfigurationError(
                     "merged_network_wide_sample needs NetworkWideMonitor "
                     f"per PMD, found {type(monitor).__name__}"
                 )
-            nmps.append(monitor.nmp)
-        return Controller(q).merge_reports(nmps)
+            reports.append(monitor.nmp.report())
+        return merge_bottom_items(reports, q)
 
 
 class _RecordIds:
@@ -172,6 +180,16 @@ class BurstMeasurementPipeline:
         ``rx_burst`` analogue).
     seed:
         Seed of the per-packet uniform hash.
+    shards:
+        When > 1, the measurement reservoir becomes a
+        :class:`~repro.parallel.engine.ShardedQMaxEngine` over
+        ``shards`` copies of ``reservoir_factory`` — the paper's
+        one-measurement-instance-per-core deployment.  Record ids are
+        tuples, so per-record Python dispatch replaces the vectorized
+        single-reservoir path; use it for core scaling, not for
+        single-core burst throughput.
+    shard_mode:
+        Forwarded to the engine (``auto``/``process``/``inline``).
     """
 
     def __init__(
@@ -183,6 +201,8 @@ class BurstMeasurementPipeline:
         seed: int = 0,
         rss_seed: int = 0,
         use_numpy: Optional[bool] = None,
+        shards: int = 1,
+        shard_mode: str = "auto",
     ) -> None:
         if burst < 1:
             raise ConfigurationError(f"burst must be >= 1, got {burst}")
@@ -191,12 +211,25 @@ class BurstMeasurementPipeline:
                 "use_numpy=True but numpy is not installed "
                 "(pip install .[fast])"
             )
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
         self.datapath = MultiPMDDatapath(
             n_pmds,
             lambda _i: RecordingMonitor(ring_capacity),
             rss_seed=rss_seed,
         )
-        self.reservoir = reservoir_factory()
+        if shards > 1:
+            from repro.parallel.engine import ShardedQMaxEngine
+
+            self.reservoir: QMaxBase = ShardedQMaxEngine(
+                n_shards=shards,
+                mode=shard_mode,
+                backend_factory=reservoir_factory,
+                use_numpy=use_numpy,
+            )
+        else:
+            self.reservoir = reservoir_factory()
+        self.shards = shards
         self.burst = burst
         self.consumed = 0
         self._uniform = UniformHasher(seed)
@@ -232,6 +265,14 @@ class BurstMeasurementPipeline:
             if consumed == 0:
                 return total
             total += consumed
+
+    def close(self) -> None:
+        """Drain outstanding records and release the reservoir (a
+        sharded reservoir stops its workers; plain ones are no-ops)."""
+        self.drain()
+        close = getattr(self.reservoir, "close", None)
+        if close is not None:
+            close()
 
     def _consume_burst(self, records: List[bytes]) -> None:
         if self._use_numpy and len(records) >= self._min_burst:

@@ -300,6 +300,52 @@ class TestBatchEvictionDraining:
         assert sorted(drained) == sorted(reference.take_evicted())
 
 
+class TestSampledPivotSelect:
+    """The SQUID-style ``pivot_sample`` Select variant must be a drop-in
+    replacement for quickselect inside Algorithm 1."""
+
+    @pytest.mark.parametrize("sample", [1, 5, 9])
+    @pytest.mark.parametrize("gamma", [0.05, 0.25, 1.0])
+    def test_random_stream(self, sample, gamma, rng):
+        q = 64
+        qmax = QMax(q, gamma, pivot_sample=sample)
+        values = [rng.random() for _ in range(5000)]
+        for i, v in enumerate(values):
+            qmax.add(i, v)
+        assert value_multiset(qmax.query()) == top_values(values, q)
+        qmax.check_invariants()
+
+    def test_ascending_adversary(self):
+        qmax = QMax(32, 0.25, pivot_sample=9)
+        for i in range(3000):
+            qmax.add(i, float(i))
+        assert value_multiset(qmax.query()) == [
+            float(v) for v in range(2999, 2967, -1)
+        ]
+
+    def test_add_many_path(self, rng):
+        q = 48
+        qmax = QMax(q, 0.5, pivot_sample=9)
+        values = [rng.random() for _ in range(8000)]
+        qmax.add_many(list(range(len(values))), values)
+        assert value_multiset(qmax.query()) == top_values(values, q)
+
+    def test_eviction_conservation(self, rng):
+        qmax = QMax(16, 0.25, pivot_sample=7, track_evictions=True)
+        stream = [(i, rng.random()) for i in range(1500)]
+        for item_id, val in stream:
+            qmax.add(item_id, val)
+        assert sorted(qmax.take_evicted() + list(qmax.items())) == sorted(
+            stream
+        )
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            QMax(10, pivot_sample=-1)
+        with pytest.raises(ConfigurationError):
+            QMax(10, pivot_sample=5, deterministic_select=True)
+
+
 @settings(max_examples=100, deadline=None)
 @given(
     values=st.lists(

@@ -8,12 +8,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro._compat import HAVE_NUMPY
 from repro.core.select import (
     partition_top,
     run_to_completion,
     select_kth_largest,
     stepwise_partition_top,
     stepwise_select,
+    stepwise_select_sampled,
 )
 from repro.errors import ConfigurationError
 
@@ -126,6 +128,150 @@ class TestPartitionTop:
         gen = stepwise_partition_top([1.0], [0], 0, 1, 1.0, "up", 4)
         with pytest.raises(ConfigurationError):
             next(gen)
+
+    def test_numpy_without_numpy_rejected(self):
+        if HAVE_NUMPY:
+            pytest.skip("numpy installed")
+        with pytest.raises(ConfigurationError):
+            partition_top([2.0, 1.0], [0, 1], 0, 2, 1, use_numpy=True)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+class TestPartitionTopNumpy:
+    """Differential: the np.argpartition one-shot path produces the
+    same retained multiset and threshold as the pure path."""
+
+    @pytest.mark.parametrize("side", ["left", "right"])
+    def test_matches_pure_path(self, rng, side):
+        for trial in range(40):
+            n = rng.randint(1, 300)
+            q = rng.randint(1, n)
+            vals = [rng.uniform(-100, 100) for _ in range(n)]
+            ids = list(range(n))
+            v_np, i_np = list(vals), list(ids)
+            v_py, i_py = list(vals), list(ids)
+            t_np = partition_top(v_np, i_np, 0, n, q, side, use_numpy=True)
+            t_py = partition_top(v_py, i_py, 0, n, q, side, use_numpy=False)
+            assert t_np == t_py
+            top_np = v_np[:q] if side == "left" else v_np[n - q:]
+            top_py = v_py[:q] if side == "left" else v_py[n - q:]
+            assert sorted(top_np) == sorted(top_py)
+            assert sorted(v_np) == sorted(vals)  # permutation preserved
+            assert sorted(i_np) == ids
+
+    def test_value_objects_preserved(self, rng):
+        # Integer values must come back as Python ints: only the
+        # comparisons run in float64, the objects are permuted.
+        n = 200
+        vals = [rng.randint(-50, 50) for _ in range(n)]
+        ids = list(range(n))
+        partition_top(vals, ids, 0, n, 10, use_numpy=True)
+        assert all(type(v) is int for v in vals)
+
+    def test_ids_follow_values(self, rng):
+        n = 150
+        vals = [float(i) for i in range(n)]
+        rng.shuffle(vals)
+        ids = [f"id-{v}" for v in vals]
+        partition_top(vals, ids, 0, n, 40, use_numpy=True)
+        assert all(ids[i] == f"id-{vals[i]}" for i in range(n))
+
+    def test_subregion_only_is_touched(self, rng):
+        vals = [rng.uniform(-100, 100) for _ in range(110)]
+        ids = list(range(110))
+        before_lo, before_hi = vals[:5].copy(), vals[-5:].copy()
+        partition_top(vals, ids, 5, 105, 20, use_numpy=True)
+        assert vals[:5] == before_lo
+        assert vals[-5:] == before_hi
+
+    def test_auto_engages_on_large_regions(self, rng):
+        # Auto mode must stay correct whichever path it picks.
+        for n in (8, 63, 64, 500):
+            vals = [rng.uniform(-100, 100) for _ in range(n)]
+            ids = list(range(n))
+            q = max(1, n // 3)
+            expected = sorted(vals, reverse=True)[:q]
+            threshold = partition_top(vals, ids, 0, n, q)
+            assert sorted(vals[n - q:], reverse=True) == expected
+            assert threshold == expected[-1]
+
+
+class TestStepwiseSelectSampled:
+    def test_matches_sorted_reference(self, rng):
+        for trial in range(40):
+            n = rng.randint(1, 250)
+            rank = rng.randint(0, n - 1)
+            vals = [rng.uniform(-100, 100) for _ in range(n)]
+            ids = list(range(n))
+            expected = sorted(vals)[rank]
+            gen = stepwise_select_sampled(
+                vals, ids, 0, n, rank,
+                ops_per_step=rng.randint(1, 12),
+                sample_size=rng.randint(1, 15),
+            )
+            assert run_to_completion(gen) == expected
+            assert sorted(ids) == list(range(n))
+
+    def test_yields_bounded_ops(self, rng):
+        n = 600
+        vals = [rng.uniform(-100, 100) for _ in range(n)]
+        ids = list(range(n))
+        gen = stepwise_select_sampled(
+            vals, ids, 0, n, n // 5, ops_per_step=16, sample_size=9
+        )
+        max_chunk = 0
+        try:
+            while True:
+                max_chunk = max(max_chunk, next(gen))
+        except StopIteration as stop:
+            result = stop.value
+        # budget + sample sort (<= 9) + insertion-sort tail (<= 16)
+        assert max_chunk <= 16 + 9 + 16
+        assert result == sorted(vals)[n // 5]
+
+    def test_duplicates_converge(self):
+        # Heavy ties: the == block guarantees strict shrinkage.
+        vals = [3.0] * 40 + [1.0] * 40
+        random.Random(5).shuffle(vals)
+        ids = list(range(80))
+        gen = stepwise_select_sampled(vals, ids, 0, 80, 40, ops_per_step=8)
+        assert run_to_completion(gen) == 3.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            list(stepwise_select_sampled([1.0], [0], 0, 1, 1, 4))
+        with pytest.raises(ConfigurationError):
+            list(stepwise_select_sampled([1.0], [0], 0, 1, 0, 0))
+        with pytest.raises(ConfigurationError):
+            list(
+                stepwise_select_sampled([1.0], [0], 0, 1, 0, 4, sample_size=0)
+            )
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        min_size=1,
+        max_size=80,
+    ),
+    k_seed=st.integers(min_value=0, max_value=10**6),
+    budget=st.integers(min_value=1, max_value=64),
+    sample=st.integers(min_value=1, max_value=13),
+)
+def test_stepwise_select_sampled_matches_sorting(
+    values, k_seed, budget, sample
+):
+    """Property: the sampled-pivot select equals the sorted reference
+    for any list, rank, op budget, and sample size."""
+    n = len(values)
+    k = (k_seed % n) + 1
+    vals = list(values)
+    ids = list(range(n))
+    gen = stepwise_select_sampled(vals, ids, 0, n, n - k, budget, sample)
+    result = run_to_completion(gen)
+    assert result == sorted(values, reverse=True)[k - 1]
+    assert sorted(vals) == sorted(values)
 
 
 @settings(max_examples=200, deadline=None)

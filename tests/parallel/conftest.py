@@ -1,0 +1,43 @@
+"""Fixtures for the sharded-engine tests.
+
+Worker-process tests can wedge the whole suite if a worker hangs (a
+stalled producer spins forever against a dead ring, a barrier waits on
+a worker that never drained).  CI runs this directory under
+``pytest-timeout``; for plain local runs the autouse fixture below arms
+a SIGALRM watchdog around every ``@pytest.mark.parallel`` test so a
+hang fails loudly after ``_TEST_TIMEOUT`` seconds instead of blocking
+the run.  (No new dependency: SIGALRM ships with CPython on POSIX; on
+platforms without it the guard degrades to a no-op.)
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: Per-test watchdog for worker-process tests (seconds).
+_TEST_TIMEOUT = 90
+
+
+@pytest.fixture(autouse=True)
+def _hung_worker_guard(request):
+    """SIGALRM per-test timeout for tests marked ``parallel``."""
+    if request.node.get_closest_marker("parallel") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"parallel test exceeded {_TEST_TIMEOUT}s (hung shard worker?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

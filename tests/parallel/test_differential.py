@@ -1,0 +1,160 @@
+"""Differential: sharded engine ≡ single q-MAX on the same stream.
+
+The contract (docs/PARALLEL.md): for any shard count, the engine's
+top-q over a stream equals a single backend's top-q over the
+concatenated stream **as a value multiset**.  Tie *ordering* is the one
+deliberate difference — when several ids share the q-th value, which of
+them is reported depends on arrival order within each shard, and the
+hash partition changes that order.  All tests therefore compare sorted
+value lists (and id sets where values are unique), exactly the
+equivalence class ``QMaxBase.query`` promises ("ties at the q-th value
+are broken arbitrarily").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qmax import QMax
+from repro.parallel.engine import ShardedQMaxEngine
+
+from tests.conftest import top_values, value_multiset
+
+SHARD_COUNTS = [1, 2, 3, 5, 8]
+
+MODES = [
+    pytest.param("inline", id="inline"),
+    pytest.param("process", id="process", marks=pytest.mark.parallel),
+]
+
+
+def _reference(ids, vals, q):
+    ref = QMax(q, 0.25)
+    ref.add_many(ids, vals)
+    return ref
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+@pytest.mark.parametrize("mode", MODES)
+def test_sharded_equals_single_random(n_shards, mode, rng):
+    q = 64
+    ids = list(range(12_000))
+    vals = [rng.random() * 1e6 for _ in ids]
+    with ShardedQMaxEngine(q, n_shards=n_shards, mode=mode) as engine:
+        engine.add_many(ids, vals)
+        got = engine.query()
+    ref = _reference(ids, vals, q).query()
+    assert value_multiset(got) == value_multiset(ref)
+    # Values are distinct with overwhelming probability, so the id
+    # sets must agree too.
+    assert {i for i, _ in got} == {i for i, _ in ref}
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_sharded_equals_single_skewed(n_shards, rng):
+    # Admission-heavy regime: ascending values defeat the Ψ filter in
+    # every shard (the paper's worst case).
+    q = 32
+    n = 8000
+    ids = list(range(n))
+    vals = [float(i) + rng.random() * 0.5 for i in range(n)]
+    with ShardedQMaxEngine(q, n_shards=n_shards, mode="inline") as engine:
+        engine.add_many(ids, vals)
+        assert value_multiset(engine.query()) == value_multiset(
+            _reference(ids, vals, q).query()
+        )
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_tie_heavy_values_agree_as_multiset(n_shards, rng):
+    # Many ties at the threshold: the value multiset must still match
+    # exactly even though the reported ids may differ (documented).
+    q = 48
+    n = 5000
+    ids = list(range(n))
+    vals = [float(rng.randint(0, 20)) for _ in ids]
+    with ShardedQMaxEngine(q, n_shards=n_shards, mode="inline") as engine:
+        engine.add_many(ids, vals)
+        assert value_multiset(engine.query()) == top_values(vals, q)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_per_item_add_equals_batched(mode, rng):
+    q = 32
+    ids = list(range(4000))
+    vals = [rng.random() for _ in ids]
+    with ShardedQMaxEngine(q, n_shards=3, mode=mode) as one:
+        for i, v in zip(ids, vals):
+            one.add(i, v)
+        per_item = one.query()
+    with ShardedQMaxEngine(q, n_shards=3, mode=mode) as many:
+        many.add_many(ids, vals)
+        batched = many.query()
+    assert value_multiset(per_item) == value_multiset(batched)
+
+
+@pytest.mark.parametrize("n_shards", [2, 5])
+@pytest.mark.parametrize("mode", MODES)
+def test_non_native_ids_match_reference(n_shards, mode, rng):
+    # String and tuple ids ride the interning codec; results must be
+    # identical to the single structure on the raw ids.
+    q = 40
+    ids = [f"flow-{i}" for i in range(3000)] + [
+        ("五", i) for i in range(1000)
+    ]
+    vals = [rng.random() for _ in ids]
+    with ShardedQMaxEngine(q, n_shards=n_shards, mode=mode) as engine:
+        engine.add_many(ids, vals)
+        got = engine.query()
+    ref = _reference(ids, vals, q).query()
+    assert value_multiset(got) == value_multiset(ref)
+    assert {i for i, _ in got} == {i for i, _ in ref}
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 5])
+@pytest.mark.parametrize("mode", MODES)
+def test_duplicate_ids_are_duplicate_records(n_shards, mode, rng):
+    # A repeated id is several records, and a single backend retains
+    # each separately — the shard merge must not collapse them by id.
+    q = 50
+    ids = [f"flow-{rng.randrange(400)}" for _ in range(12_000)]
+    vals = [rng.random() * 1e3 for _ in ids]
+    with ShardedQMaxEngine(q, n_shards=n_shards, mode=mode) as engine:
+        engine.add_many(ids, vals)
+        got = engine.query()
+    ref = _reference(ids, vals, q).query()
+    assert len(got) == q
+    assert value_multiset(got) == value_multiset(ref)
+
+
+@pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+def test_eviction_multiset_conservation(n_shards, rng):
+    # Not only the retained set: retained + evicted must partition the
+    # stream for every shard count (no duplicated or lost records).
+    q = 16
+    ids = list(range(6000))
+    vals = [rng.random() for _ in ids]
+    engine = ShardedQMaxEngine(
+        q, n_shards=n_shards, mode="inline", track_evictions=True
+    )
+    engine.add_many(ids, vals)
+    engine.close()
+    drained = engine.take_evicted()
+    live = list(engine.items())
+    assert sorted(drained + live) == sorted(zip(ids, vals))
+
+
+@pytest.mark.parametrize("n_shards", [1, 3, 8])
+def test_mixed_chunked_feeding(n_shards, rng):
+    # Chunk boundaries must not affect the result (per-shard order is
+    # preserved across add_many calls).
+    q = 32
+    ids = list(range(9000))
+    vals = [rng.random() for _ in ids]
+    with ShardedQMaxEngine(q, n_shards=n_shards, mode="inline") as engine:
+        step = 257  # misaligned with everything
+        for lo in range(0, len(ids), step):
+            engine.add_many(ids[lo : lo + step], vals[lo : lo + step])
+        assert value_multiset(engine.query()) == value_multiset(
+            _reference(ids, vals, q).query()
+        )

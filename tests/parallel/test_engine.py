@@ -1,0 +1,267 @@
+"""Behavioral tests for :class:`ShardedQMaxEngine` (both modes)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.qmax import QMax
+from repro.errors import ConfigurationError, ParallelError
+from repro.parallel.engine import ShardedQMaxEngine, partition_stream
+from repro.parallel.merge import (
+    merge_bottom_items,
+    merge_top_items,
+    merge_top_records,
+)
+
+from tests.conftest import top_values, value_multiset
+
+MODES = [
+    pytest.param("inline", id="inline"),
+    pytest.param("process", id="process", marks=pytest.mark.parallel),
+]
+
+
+def _stream(rng, n):
+    return list(range(n)), [rng.random() * 1000 for _ in range(n)]
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestBasics:
+    def test_top_q_matches_reference(self, mode, rng):
+        ids, vals = _stream(rng, 20_000)
+        with ShardedQMaxEngine(64, n_shards=4, mode=mode) as engine:
+            assert engine.mode == mode
+            engine.add_many(ids, vals)
+            assert value_multiset(engine.query()) == top_values(vals, 64)
+
+    def test_per_item_add(self, mode, rng):
+        ids, vals = _stream(rng, 3000)
+        with ShardedQMaxEngine(32, n_shards=3, mode=mode) as engine:
+            for i, v in zip(ids, vals):
+                engine.add(i, v)
+            assert value_multiset(engine.query()) == top_values(vals, 32)
+
+    def test_interned_ids_roundtrip(self, mode, rng):
+        # Tuple ids exercise the token codec end to end.
+        ids = [("flow", i, i % 7) for i in range(4000)]
+        vals = [rng.random() for _ in ids]
+        with ShardedQMaxEngine(50, n_shards=3, mode=mode) as engine:
+            engine.add_many(ids, vals)
+            top = engine.query()
+            assert all(item_id in set(ids) for item_id, _ in top)
+            by_id = dict(zip(ids, vals))
+            assert all(by_id[item_id] == v for item_id, v in top)
+
+    def test_reset_forgets_everything(self, mode, rng):
+        ids, vals = _stream(rng, 5000)
+        with ShardedQMaxEngine(16, n_shards=2, mode=mode) as engine:
+            engine.add_many(ids, vals)
+            engine.reset()
+            assert list(engine.items()) == []
+            engine.add_many([1, 2], [5.0, 7.0])
+            assert value_multiset(engine.query()) == [7.0, 5.0]
+
+    def test_items_superset_of_query(self, mode, rng):
+        ids, vals = _stream(rng, 8000)
+        with ShardedQMaxEngine(32, n_shards=4, mode=mode) as engine:
+            engine.add_many(ids, vals)
+            live = list(engine.items())
+            top = engine.query()
+            assert set(top) <= set(live)
+            assert len(live) <= engine.space_slots
+
+    def test_take_evicted_partitions_stream(self, mode, rng):
+        ids, vals = _stream(rng, 6000)
+        with ShardedQMaxEngine(
+            16, n_shards=3, mode=mode, track_evictions=True
+        ) as engine:
+            engine.add_many(ids, vals)
+            drained = engine.take_evicted()
+            live = list(engine.items())
+            assert sorted(drained + live) == sorted(zip(ids, vals))
+
+    def test_shard_stats_and_stats(self, mode, rng):
+        ids, vals = _stream(rng, 2000)
+        with ShardedQMaxEngine(16, n_shards=2, mode=mode) as engine:
+            engine.add_many(ids, vals)
+            per_shard = engine.sync()
+            assert len(per_shard) == 2
+            stats = engine.stats()
+            assert stats["mode"] == mode
+            assert stats["n_shards"] == 2
+
+    def test_shard_of_is_flow_sticky(self, mode, rng):
+        engine = ShardedQMaxEngine(8, n_shards=5, mode=mode)
+        try:
+            for item_id in (0, 17, 2**62, "flow-a", ("t", 1)):
+                assert engine.shard_of(item_id) == engine.shard_of(item_id)
+                assert 0 <= engine.shard_of(item_id) < 5
+        finally:
+            engine.close()
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestCloseDrain:
+    """Satellite: ``close()`` must report, not drop, retained state."""
+
+    def test_close_preserves_final_items(self, mode, rng):
+        ids, vals = _stream(rng, 10_000)
+        engine = ShardedQMaxEngine(48, n_shards=4, mode=mode)
+        engine.add_many(ids, vals)
+        engine.close()
+        # Post-close queries serve the frozen final state.
+        assert value_multiset(engine.query()) == top_values(vals, 48)
+        assert len(list(engine.items())) <= engine.space_slots
+
+    def test_close_drains_eviction_remainder(self, mode, rng):
+        ids, vals = _stream(rng, 6000)
+        engine = ShardedQMaxEngine(
+            16, n_shards=3, mode=mode, track_evictions=True
+        )
+        engine.add_many(ids, vals)
+        mid_drain = engine.take_evicted()
+        engine.close()
+        final_drain = engine.take_evicted()  # the close-time report
+        live = list(engine.items())
+        # Conservation: every record is live or was drained exactly once.
+        assert sorted(mid_drain + final_drain + live) == sorted(
+            zip(ids, vals)
+        )
+
+    def test_close_is_idempotent_and_blocks_adds(self, mode, rng):
+        engine = ShardedQMaxEngine(8, n_shards=2, mode=mode)
+        engine.add_many([1, 2, 3], [1.0, 2.0, 3.0])
+        engine.close()
+        engine.close()
+        with pytest.raises(ParallelError):
+            engine.add(4, 4.0)
+        with pytest.raises(ParallelError):
+            engine.add_many([4], [4.0])
+
+
+class TestConfiguration:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            ShardedQMaxEngine(8, n_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedQMaxEngine(8, mode="threads")
+        with pytest.raises(ConfigurationError):
+            ShardedQMaxEngine(8, burst=0)
+        with pytest.raises(ConfigurationError):
+            ShardedQMaxEngine()  # q or backend_factory required
+        with pytest.raises(ConfigurationError):
+            ShardedQMaxEngine(8, backend="no-such-backend")
+
+    def test_backend_factory_probes_q(self):
+        with ShardedQMaxEngine(
+            backend_factory=lambda: QMax(24, 0.5), n_shards=2, mode="inline"
+        ) as engine:
+            assert engine.q == 24
+
+    def test_backend_kwargs_reach_qmax(self, rng):
+        ids, vals = _stream(rng, 4000)
+        with ShardedQMaxEngine(
+            32,
+            n_shards=2,
+            mode="inline",
+            backend_kwargs={"pivot_sample": 9},
+        ) as engine:
+            engine.add_many(ids, vals)
+            assert value_multiset(engine.query()) == top_values(vals, 32)
+
+    def test_repro_no_procs_forces_inline(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PROCS", "1")
+        with ShardedQMaxEngine(8, n_shards=2, mode="auto") as engine:
+            assert engine.mode == "inline"
+
+    def test_name_reports_topology(self):
+        with ShardedQMaxEngine(8, n_shards=3, mode="inline") as engine:
+            assert engine.name.startswith("sharded-3x[")
+            assert engine.name.endswith("/inline")
+
+
+@pytest.mark.parallel
+class TestProcessMode:
+    def test_worker_failure_falls_back_inline(self):
+        # A factory that explodes inside the worker process: auto mode
+        # must detect the failed handshake and fall back inline rather
+        # than hang on the barrier.
+        parent_pid = os.getpid()
+
+        def flaky():
+            if os.getpid() != parent_pid:
+                raise RuntimeError("boom in worker")
+            return QMax(8, 0.25)
+
+        engine = ShardedQMaxEngine(
+            backend_factory=flaky, n_shards=2, mode="auto"
+        )
+        try:
+            assert engine.mode == "inline"  # graceful fallback
+        finally:
+            engine.close()
+
+    def test_ring_backpressure_does_not_lose_records(self, rng):
+        # A tiny ring forces the producer to stall on worker speed;
+        # every record must still be accounted for.
+        ids, vals = _stream(rng, 20_000)
+        with ShardedQMaxEngine(
+            16,
+            n_shards=2,
+            mode="process",
+            ring_capacity=64,
+            track_evictions=True,
+        ) as engine:
+            engine.add_many(ids, vals)
+            stats = engine.stats()
+            assert sum(stats["pushed"]) == len(ids)
+            drained = engine.take_evicted()
+            live = list(engine.items())
+            assert sorted(drained + live) == sorted(zip(ids, vals))
+
+
+class TestPartitionStream:
+    def test_matches_engine_assignment(self, rng):
+        ids = [rng.randrange(2**40) for _ in range(2000)] + [
+            ("t", i) for i in range(50)
+        ]
+        vals = [rng.random() for _ in ids]
+        engine = ShardedQMaxEngine(8, n_shards=4, mode="inline")
+        try:
+            parts = partition_stream(ids, vals, 4)
+            for s, (part_ids, part_vals) in enumerate(parts):
+                assert all(engine.shard_of(i) == s for i in part_ids)
+                assert len(part_ids) == len(part_vals)
+            assert sum(len(p) for p, _ in parts) == len(ids)
+        finally:
+            engine.close()
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ConfigurationError):
+            partition_stream([1], [1.0], 0)
+
+
+class TestMergeHelpers:
+    def test_merge_top_items(self):
+        parts = [[(1, 5.0), (2, 3.0)], [(3, 9.0)], [(4, 1.0), (5, 7.0)]]
+        assert merge_top_items(parts, 3) == [(3, 9.0), (5, 7.0), (1, 5.0)]
+
+    def test_merge_top_duplicate_ids(self):
+        parts = [[(1, 5.0)], [(1, 8.0)]]
+        assert merge_top_items(parts, 2) == [(1, 8.0)]
+
+    def test_merge_top_records_keeps_duplicates(self):
+        # Record-level merge: same id twice = two records, both rank.
+        parts = [[(1, 5.0), (1, 4.0)], [(2, 3.0)]]
+        assert merge_top_records(parts, 3) == [(1, 5.0), (1, 4.0), (2, 3.0)]
+        assert merge_top_records(parts, 2) == [(1, 5.0), (1, 4.0)]
+
+    def test_merge_bottom_items(self):
+        parts = [[(1, 5.0), (2, 3.0)], [(3, 9.0)], [(4, 1.0)]]
+        assert merge_bottom_items(parts, 2) == [(4, 1.0), (2, 3.0)]
+
+    def test_merge_bottom_duplicate_ids(self):
+        parts = [[(1, 5.0)], [(1, 2.0)], [(2, 4.0)]]
+        assert merge_bottom_items(parts, 2) == [(1, 2.0), (2, 4.0)]

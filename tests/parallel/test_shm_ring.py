@@ -1,0 +1,202 @@
+"""Tests for the shared-memory SPSC record ring."""
+
+from __future__ import annotations
+
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, ParallelError
+from repro.parallel.shm_ring import HAVE_SHM, ShmRecordRing
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHM, reason="multiprocessing.shared_memory unavailable"
+)
+
+REC = struct.Struct("=Qd")
+
+
+def _records(start, n):
+    return b"".join(REC.pack(start + i, float(start + i)) for i in range(n))
+
+
+def _decode(blob):
+    return list(REC.iter_unpack(blob))
+
+
+@needs_shm
+class TestFraming:
+    def test_push_pop_roundtrip(self):
+        ring = ShmRecordRing.create(64, REC.size)
+        try:
+            assert ring.push(_records(0, 10)) == 10
+            assert len(ring) == 10
+            assert _decode(ring.pop(100)) == [
+                (i, float(i)) for i in range(10)
+            ]
+            assert len(ring) == 0
+            assert ring.pop(10) == b""
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_pop_respects_max_records(self):
+        ring = ShmRecordRing.create(64, REC.size)
+        try:
+            ring.push(_records(0, 20))
+            assert len(_decode(ring.pop(7))) == 7
+            assert len(_decode(ring.pop(7))) == 7
+            assert len(_decode(ring.pop(100))) == 6
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_counters_are_monotonic(self):
+        ring = ShmRecordRing.create(16, REC.size)
+        try:
+            for round_no in range(10):
+                ring.push(_records(round_no * 8, 8))
+                ring.pop(8)
+            assert ring.head == ring.tail == 80
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_rejects_partial_records(self):
+        ring = ShmRecordRing.create(8, REC.size)
+        try:
+            with pytest.raises(ConfigurationError):
+                ring.push(b"\x00" * (REC.size + 1))
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            ShmRecordRing.create(0, REC.size)
+        with pytest.raises(ConfigurationError):
+            ShmRecordRing.create(8, 0)
+
+
+@needs_shm
+class TestWraparound:
+    def test_wrapping_preserves_order(self):
+        # Capacity 8: repeatedly push 5 / pop 5 so every slot offset is
+        # exercised and blobs regularly split across the wrap point.
+        ring = ShmRecordRing.create(8, REC.size)
+        try:
+            expect = 0
+            for round_no in range(50):
+                ring.push(_records(round_no * 5, 5))
+                for rec_id, val in _decode(ring.pop(5)):
+                    assert rec_id == expect
+                    assert val == float(expect)
+                    expect += 1
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_blob_larger_than_ring_chunks(self):
+        # A blob bigger than the whole ring must arrive intact; the
+        # producer writes it in capacity-sized chunks while a consumer
+        # thread drains (single-threaded it would deadlock by design —
+        # the ring stalls rather than drops).
+        ring = ShmRecordRing.create(16, REC.size)
+        total = 100
+        seen = []
+
+        def consume():
+            while len(seen) < total:
+                blob = ring.pop(8)
+                if blob:
+                    seen.extend(_decode(blob))
+
+        try:
+            t = threading.Thread(target=consume, daemon=True)
+            t.start()
+            ring.push(_records(0, total))
+            t.join(timeout=30)
+            assert not t.is_alive()
+            assert seen == [(i, float(i)) for i in range(total)]
+            assert ring.stalls > 0  # the producer stalled at least once
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_full_ring_stalls_then_resumes(self):
+        ring = ShmRecordRing.create(4, REC.size)
+        try:
+            ring.push(_records(0, 4))
+            released = threading.Event()
+
+            def drain_later():
+                released.wait(10)
+                ring.pop(2)
+
+            t = threading.Thread(target=drain_later, daemon=True)
+            t.start()
+            released.set()
+            ring.push(_records(4, 2))  # blocks until the pop frees space
+            t.join(timeout=10)
+            got = _decode(ring.pop(10))
+            assert [r for r, _ in got] == [2, 3, 4, 5]
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_abort_probe_breaks_stall(self):
+        ring = ShmRecordRing.create(2, REC.size)
+        try:
+            ring.push(_records(0, 2))
+            with pytest.raises(ParallelError):
+                ring.push(_records(2, 1), should_abort=lambda: True)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+@needs_shm
+@pytest.mark.parallel
+class TestCrossProcess:
+    def test_worker_process_echo(self):
+        """A child process attaches by name and echoes what it pops."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        ring = ShmRecordRing.create(32, REC.size)
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_echo_worker,
+            args=(ring.name, 32, child, 200),
+            daemon=True,
+        )
+        try:
+            proc.start()
+            child.close()
+            ring.push(_records(0, 200))
+            assert parent.poll(30), "echo worker never answered"
+            got = parent.recv()
+            assert got == [(i, float(i)) for i in range(200)]
+        finally:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+            ring.close()
+            ring.unlink()
+
+
+def _echo_worker(name, capacity, conn, expected):
+    ring = ShmRecordRing.attach(name, capacity, REC.size)
+    try:
+        out = []
+        while len(out) < expected:
+            blob = ring.pop(64)
+            if blob:
+                out.extend(_decode(blob))
+        conn.send(out)
+    finally:
+        ring.close()
+        conn.close()
