@@ -2,7 +2,7 @@
 
 PYTEST ?= python -m pytest
 
-.PHONY: test bench bench-fast examples lint all outputs
+.PHONY: test bench bench-fast examples serve-demo lint all outputs
 
 test:
 	$(PYTEST) tests/
@@ -18,6 +18,9 @@ examples:
 		echo "== $$script"; \
 		python $$script > /dev/null || exit 1; \
 	done; echo "all examples ran"
+
+serve-demo:  ## start a daemon, replay a synthetic trace at it, query it
+	PYTHONPATH=src python examples/serve_demo.py
 
 outputs:  ## the deliverable transcripts
 	$(PYTEST) tests/ 2>&1 | tee test_output.txt

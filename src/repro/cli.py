@@ -11,6 +11,9 @@ network operator would actually run:
 * ``distinct``    — KMV estimate of distinct sources in a pcap.
 * ``cache-sim``   — LRFU hit-ratio simulation on a synthetic trace.
 * ``bench``       — a quick q-MAX vs heap vs skip-list sweep.
+* ``serve``       — run the live measurement daemon (UDP NetFlow +
+  TCP report ingest, JSON query RPC, snapshots); see docs/SERVICE.md.
+* ``query``       — query a running daemon over its RPC port.
 
 Every command prints a small table to stdout and exits 0 on success;
 argument errors exit 2 (argparse) and data errors exit 1 with a message
@@ -23,6 +26,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro import __version__
 from repro.errors import ReproError
 
 
@@ -209,11 +213,69 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.config import ServiceConfig
+    from repro.service.daemon import serve
+
+    config = ServiceConfig(
+        q=args.q,
+        gamma=args.gamma,
+        backend=args.backend,
+        window=args.window,
+        tau=args.tau,
+        shards=args.shards,
+        shard_mode=args.shard_mode,
+        host=args.host,
+        udp_port=args.udp_port,
+        tcp_port=args.tcp_port,
+        rpc_port=args.rpc_port,
+        batch_max=args.batch_max,
+        flush_interval=args.flush_interval,
+        snapshot_dir=args.snapshot_dir,
+        snapshot_interval=args.snapshot_interval,
+        recover=not args.no_recover,
+        track_evictions=args.track_evictions,
+    )
+
+    def _ready(daemon) -> None:
+        print(
+            f"repro.service up: backend={daemon.engine.name} "
+            f"udp={daemon.udp.port} tcp={daemon.tcp.port} "
+            f"rpc={daemon.rpc.port}"
+            + (f" recovered seq={daemon.snapshot_seq}"
+               if daemon.recovered else ""),
+            flush=True,
+        )
+
+    asyncio.run(serve(config, ready=_ready))
+    print("repro.service drained and stopped")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.rpc import rpc_call
+
+    params = {}
+    if args.op == "top" and args.q:
+        params["q"] = args.q
+    result = rpc_call(args.host, args.port, args.op,
+                      timeout=args.timeout, **params)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="q-MAX network-measurement toolkit (IMC'19 repro)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -301,6 +363,51 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("auto", "process", "inline"),
                    help="sharded engine execution mode")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("serve",
+                       help="run the live measurement daemon")
+    p.add_argument("-q", type=int, default=1_000)
+    p.add_argument("--gamma", type=float, default=0.25)
+    p.add_argument("--backend", default="qmax",
+                   choices=("qmax", "sliding"))
+    p.add_argument("--window", type=int, default=100_000,
+                   help="sliding backend: window size in records")
+    p.add_argument("--tau", type=float, default=0.25,
+                   help="sliding backend: slack parameter")
+    p.add_argument("--shards", type=int, default=1,
+                   help=">1 runs the sharded multi-core engine")
+    p.add_argument("--shard-mode", default="auto",
+                   choices=("auto", "process", "inline"))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--udp-port", type=int, default=9995,
+                   help="NetFlow v5 ingest port (0 = ephemeral)")
+    p.add_argument("--tcp-port", type=int, default=9996,
+                   help="wire-report frame ingest port (0 = ephemeral)")
+    p.add_argument("--rpc-port", type=int, default=9997,
+                   help="JSON query RPC port (0 = ephemeral)")
+    p.add_argument("--batch-max", type=int, default=512)
+    p.add_argument("--flush-interval", type=float, default=0.05)
+    p.add_argument("--snapshot-dir", default=None,
+                   help="checkpoint directory (unset = no snapshots)")
+    p.add_argument("--snapshot-interval", type=float, default=30.0)
+    p.add_argument("--no-recover", action="store_true",
+                   help="ignore an existing snapshot at startup")
+    p.add_argument("--track-evictions", action="store_true",
+                   help="carry the eviction log in snapshots")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("query",
+                       help="query a running daemon's RPC port")
+    p.add_argument("op",
+                   choices=("top", "stats", "snapshot", "reset",
+                            "health"))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the daemon's RPC port")
+    p.add_argument("-q", type=int, default=0,
+                   help="top: how many items (0 = the engine's q)")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(func=_cmd_query)
 
     return parser
 

@@ -40,3 +40,33 @@ class ParallelError(ReproError, RuntimeError):
     ring could not be created, or a barrier (query / close) timed out.
     The in-process fallback never raises this.
     """
+
+
+class WireFormatError(ConfigurationError):
+    """Raised when bytes received off the wire do not decode.
+
+    Covers every external encoding the library parses — NetFlow v5
+    export packets, binary/JSON NMP reports — so a collector can catch
+    one type to count-and-drop malformed input from a misbehaving peer.
+    Subclasses :class:`ConfigurationError` because historically the
+    codecs raised that type; existing callers keep working.
+    """
+
+
+class NetFlowDecodeError(WireFormatError):
+    """Raised when a NetFlow v5 export datagram is malformed.
+
+    Examples: a truncated header, a record area shorter than the
+    header's record count promises, or an unsupported version field.
+    Never a bare ``struct.error``: the daemon's ingest path relies on
+    this type to count-and-drop instead of crashing.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Raised by the measurement daemon (:mod:`repro.service`).
+
+    Examples: an RPC request for an unknown operation, a corrupt
+    snapshot file at recovery time, or a daemon that failed to come up
+    within its startup timeout.
+    """

@@ -23,7 +23,7 @@ import struct
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, WireFormatError
 
 #: Sample record: ((flow, packet_id), hash_value) — matches
 #: MeasurementPoint.report() entries.
@@ -46,10 +46,21 @@ class Report:
     entries: Tuple[ReportEntry, ...]
 
     def __post_init__(self) -> None:
-        if self.observed < 0:
-            raise ConfigurationError("observed must be >= 0")
-        values = [value for _record, value in self.entries]
-        if values != sorted(values):
+        if not isinstance(self.observed, int) or self.observed < 0:
+            raise ConfigurationError("observed must be an int >= 0")
+        try:
+            values = [value for _record, value in self.entries]
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"entries must be ((flow, packet_id), hash) pairs: {exc}"
+            ) from exc
+        try:
+            is_sorted = values == sorted(values)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"entry hash values must be mutually comparable: {exc}"
+            ) from exc
+        if not is_sorted:
             raise ConfigurationError(
                 "report entries must be sorted by ascending hash"
             )
@@ -85,15 +96,18 @@ def to_json(report: Report) -> str:
 
 
 def from_json(text: str) -> Report:
-    """Decode and validate a JSON report."""
+    """Decode and validate a JSON report.
+
+    Malformed input raises :class:`WireFormatError`.
+    """
     try:
         doc = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"malformed JSON report: {exc}") from exc
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise WireFormatError(f"malformed JSON report: {exc}") from exc
     if not isinstance(doc, dict) or doc.get("format") != "qmax-report":
-        raise ConfigurationError("not a qmax-report document")
+        raise WireFormatError("not a qmax-report document")
     if doc.get("version") != _VERSION:
-        raise ConfigurationError(
+        raise WireFormatError(
             f"unsupported report version {doc.get('version')!r}"
         )
     try:
@@ -107,7 +121,7 @@ def from_json(text: str) -> Report:
             entries=entries,
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise ConfigurationError(f"malformed report fields: {exc}") from exc
+        raise WireFormatError(f"malformed report fields: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -126,41 +140,65 @@ def to_bytes(report: Report) -> bytes:
         _COUNT.pack(len(report.entries)),
     ]
     for (flow, pid), value in report.entries:
+        if not isinstance(flow, int) or not isinstance(pid, int):
+            raise ConfigurationError(
+                f"record ids must be ints: flow={flow!r}, "
+                f"packet_id={pid!r}"
+            )
         if not 0 <= flow < 2**32 or not 0 <= pid < 2**64:
             raise ConfigurationError(
                 f"record out of range: flow={flow}, packet_id={pid}"
             )
-        parts.append(_RECORD.pack(flow, pid, value))
+        try:
+            parts.append(_RECORD.pack(flow, pid, value))
+        except struct.error as exc:
+            raise ConfigurationError(
+                f"unencodable record value {value!r}: {exc}"
+            ) from exc
     return b"".join(parts)
 
 
 def from_bytes(data: bytes) -> Report:
-    """Decode and validate a binary report."""
+    """Decode and validate a binary report.
+
+    Malformed input — bad magic, adversarial length prefixes, records
+    that stop mid-stream, an undecodable name — raises
+    :class:`WireFormatError`; decoding never reads past ``len(data)``
+    and never allocates proportionally to an unvalidated length field.
+    """
     if len(data) < _HEADER.size:
-        raise ConfigurationError("truncated report header")
+        raise WireFormatError("truncated report header")
     magic, version, name_len = _HEADER.unpack_from(data)
     if magic != _MAGIC:
-        raise ConfigurationError(f"bad report magic {magic!r}")
+        raise WireFormatError(f"bad report magic {magic!r}")
     if version != _VERSION:
-        raise ConfigurationError(f"unsupported report version {version}")
+        raise WireFormatError(f"unsupported report version {version}")
     offset = _HEADER.size
     if offset + name_len + 8 + _COUNT.size > len(data):
-        raise ConfigurationError("truncated report body")
-    name = data[offset:offset + name_len].decode("utf-8")
+        raise WireFormatError("truncated report body")
+    try:
+        name = data[offset:offset + name_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireFormatError(f"undecodable NMP name: {exc}") from exc
     offset += name_len
     (observed,) = struct.unpack_from("!Q", data, offset)
     offset += 8
     (count,) = _COUNT.unpack_from(data, offset)
     offset += _COUNT.size
     if offset + count * _RECORD.size > len(data):
-        raise ConfigurationError("truncated report records")
+        raise WireFormatError("truncated report records")
     entries: List[ReportEntry] = []
     for _ in range(count):
         flow, pid, value = _RECORD.unpack_from(data, offset)
         offset += _RECORD.size
         entries.append(((flow, pid), value))
-    return Report(nmp_name=name, observed=observed,
-                  entries=tuple(entries))
+    try:
+        return Report(nmp_name=name, observed=observed,
+                      entries=tuple(entries))
+    except ConfigurationError as exc:
+        # Bit-flipped records can decode into an invalid Report (e.g.
+        # hashes out of ascending order); that's still wire garbage.
+        raise WireFormatError(f"invalid decoded report: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,155 @@
+"""Daemon configuration and the pluggable measurement backend.
+
+:class:`ServiceConfig` is a plain dataclass so it can be built from CLI
+flags, test fixtures, or embedding code alike; validation happens at
+construction (:class:`~repro.errors.ConfigurationError`) so a daemon
+never comes up half-configured.  :meth:`ServiceConfig.build_engine`
+is the backend plug: the daemon only ever talks to the
+:class:`~repro.core.interface.QMaxBase` surface (``add_many`` /
+``items`` / ``query`` / ``reset`` and, where present, ``close`` /
+``take_evicted``), so anything implementing it slots in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.interface import QMaxBase
+from repro.errors import ConfigurationError
+
+#: Backends the daemon knows how to build.
+BACKENDS = ("qmax", "sliding")
+
+#: Port 0 means "let the kernel pick" — how the tests get ephemeral
+#: ports; the bound port is reported by the daemon after startup.
+EPHEMERAL = 0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the daemon needs, with production-shaped defaults.
+
+    Parameters
+    ----------
+    q, gamma:
+        The engine's top-q target and the q-MAX slack parameter.
+    backend:
+        ``"qmax"`` (interval top-q) or ``"sliding"`` (count-based
+        slack window over the last ``window`` records, slack ``tau``).
+    shards:
+        ``<= 1`` builds a single in-process backend; ``> 1`` builds a
+        :class:`~repro.parallel.engine.ShardedQMaxEngine` with that
+        many shards (``shard_mode`` as in the parallel subsystem).
+        Sharding currently requires the ``qmax`` backend.
+    host, udp_port, tcp_port, rpc_port:
+        Listen addresses: NetFlow v5 datagrams (UDP), length-prefixed
+        wire report frames (TCP), and the JSON query RPC (TCP).  Use
+        port 0 for an ephemeral port.
+    batch_max, flush_interval:
+        Ingested records are coalesced until ``batch_max`` records are
+        pending or ``flush_interval`` seconds have passed, then fed to
+        the engine via one ``add_many`` call.
+    queue_capacity:
+        Pending-record bound.  At capacity, ingest *stalls* (UDP stops
+        reading, datagrams queue in the kernel buffer; TCP stops
+        reading, peers block on flow control) — records are never
+        dropped for backpressure, matching the parallel subsystem's
+        ring semantics.  Only malformed input is dropped, counted.
+    snapshot_dir, snapshot_interval, recover:
+        When ``snapshot_dir`` is set, retained + evicted state is
+        checkpointed there every ``snapshot_interval`` seconds (and on
+        graceful shutdown) with an atomic rename; ``recover=True``
+        replays the latest snapshot at startup.
+    track_evictions:
+        Build the engine with eviction tracking so snapshots carry the
+        eviction log (capped at ``evicted_cap`` entries, oldest first).
+    """
+
+    q: int = 1000
+    gamma: float = 0.25
+    backend: str = "qmax"
+    window: int = 100_000
+    tau: float = 0.25
+    shards: int = 1
+    shard_mode: str = "auto"
+    host: str = "127.0.0.1"
+    udp_port: int = 9995
+    tcp_port: int = 9996
+    rpc_port: int = 9997
+    batch_max: int = 512
+    flush_interval: float = 0.05
+    queue_capacity: int = 1 << 16
+    snapshot_dir: Optional[str] = None
+    snapshot_interval: float = 30.0
+    recover: bool = True
+    track_evictions: bool = False
+    evicted_cap: int = 1 << 17
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {self.q}")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"shards must be >= 0, got {self.shards}"
+            )
+        if self.shards > 1 and self.backend != "qmax":
+            raise ConfigurationError(
+                "sharding requires the 'qmax' backend "
+                f"(got {self.backend!r})"
+            )
+        if self.batch_max < 1:
+            raise ConfigurationError(
+                f"batch_max must be >= 1, got {self.batch_max}"
+            )
+        if self.flush_interval <= 0:
+            raise ConfigurationError(
+                f"flush_interval must be > 0, got {self.flush_interval}"
+            )
+        if self.queue_capacity < self.batch_max:
+            raise ConfigurationError(
+                f"queue_capacity ({self.queue_capacity}) must be >= "
+                f"batch_max ({self.batch_max})"
+            )
+        if self.snapshot_interval <= 0:
+            raise ConfigurationError(
+                f"snapshot_interval must be > 0, got "
+                f"{self.snapshot_interval}"
+            )
+        if self.evicted_cap < 0:
+            raise ConfigurationError(
+                f"evicted_cap must be >= 0, got {self.evicted_cap}"
+            )
+        for name in ("udp_port", "tcp_port", "rpc_port"):
+            port = getattr(self, name)
+            if not 0 <= port < 65536:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 65536), got {port}"
+                )
+
+    def build_engine(self) -> QMaxBase:
+        """Build the measurement backend this config describes."""
+        if self.shards > 1:
+            from repro.parallel.engine import ShardedQMaxEngine
+
+            return ShardedQMaxEngine(
+                self.q,
+                n_shards=self.shards,
+                gamma=self.gamma,
+                mode=self.shard_mode,
+                track_evictions=self.track_evictions,
+            )
+        if self.backend == "sliding":
+            from repro.core.sliding import SlidingQMax
+
+            return SlidingQMax(self.q, window=self.window, tau=self.tau)
+        from repro.core.qmax import QMax
+
+        return QMax(
+            self.q, self.gamma, track_evictions=self.track_evictions
+        )

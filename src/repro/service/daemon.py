@@ -1,0 +1,422 @@
+"""The measurement daemon: ingest, query, checkpoint, recover.
+
+:class:`MeasurementDaemon` owns one engine (built from
+:class:`~repro.service.config.ServiceConfig`), the ingest sources, the
+RPC server, and the snapshot schedule, all on one asyncio event loop.
+The engine is only ever touched from that loop — ingest batches, RPC
+handlers, and snapshots are serialized by construction, which is what
+lets the daemon sit on top of *any* ``QMaxBase`` backend, including
+the sharded engine whose barriers must not interleave.
+
+Lifecycle::
+
+    daemon = MeasurementDaemon(config)
+    await daemon.start()         # recover, bind, listen
+    ...                          # traffic flows, RPC answers
+    await daemon.stop()          # stall ingest, drain, snapshot,
+                                 # engine.close()
+
+``stop`` is what SIGTERM triggers via :func:`serve`: sources stop
+reading, the feeder drains pending records through ``add_many``, a
+final snapshot is written, and a closeable engine (the sharded one) is
+drained via ``close()`` so nothing in flight is silently dropped.
+:meth:`MeasurementDaemon.kill` is the crash path — no drain, no final
+snapshot — used by fault-injection tests to prove recovery works.
+
+:class:`DaemonThread` runs the whole daemon on a private loop in a
+background thread: the harness for tests, the demo, and embedding in
+synchronous programs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.parallel.merge import merge_top_items
+from repro.service import snapshot as snap
+from repro.service.config import ServiceConfig
+from repro.service.ingest import (
+    BatchFeeder,
+    NetFlowUdpSource,
+    ReportTcpSource,
+)
+from repro.service.rpc import RpcServer
+from repro.types import Item
+
+
+class MeasurementDaemon:
+    """One live measurement process: see the module docstring."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.engine = None  # type: ignore[assignment]
+        self.feeder: BatchFeeder = None  # type: ignore[assignment]
+        self.udp: NetFlowUdpSource = None  # type: ignore[assignment]
+        self.tcp: ReportTcpSource = None  # type: ignore[assignment]
+        self.rpc: RpcServer = None  # type: ignore[assignment]
+        self.started_at: Optional[float] = None
+        self.recovered = False
+        self.snapshot_seq = 0
+        self.snapshots_written = 0
+        self.snapshot_errors = 0
+        self._evicted_log: List[Item] = []
+        self._evicted_dropped = 0
+        self._snapshot_task: Optional[asyncio.Task] = None
+        self._stop_requested: asyncio.Event = None  # type: ignore
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Recover (if configured), bind every listener, go live."""
+        cfg = self.config
+        self._stop_requested = asyncio.Event()
+        self.engine = cfg.build_engine()
+        if cfg.snapshot_dir and cfg.recover:
+            self._recover()
+        self.feeder = BatchFeeder(
+            self.engine,
+            batch_max=cfg.batch_max,
+            flush_interval=cfg.flush_interval,
+            capacity=cfg.queue_capacity,
+        )
+        self.feeder.start()
+        self.udp = NetFlowUdpSource(cfg.host, cfg.udp_port, self.feeder)
+        self.udp.open()
+        self.udp.start()
+        self.tcp = ReportTcpSource(cfg.host, cfg.tcp_port, self.feeder)
+        await self.tcp.start()
+        self.rpc = RpcServer(self.handle_rpc, cfg.host, cfg.rpc_port)
+        await self.rpc.start()
+        if cfg.snapshot_dir:
+            self._snapshot_task = asyncio.get_running_loop().create_task(
+                self._snapshot_loop(), name="repro-snapshot"
+            )
+        self.started_at = time.time()
+
+    def _recover(self) -> None:
+        doc = snap.load_snapshot(self.config.snapshot_dir)
+        if doc is None:
+            return
+        retained, evicted, dropped, seq = snap.restore_items(doc)
+        if retained:
+            ids = [item_id for item_id, _val in retained]
+            vals = [val for _item_id, val in retained]
+            self.engine.add_many(ids, vals)
+        self._evicted_log = evicted
+        self._evicted_dropped = dropped
+        self.snapshot_seq = seq
+        self.recovered = True
+
+    async def _snapshot_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.snapshot_interval)
+            try:
+                self.write_snapshot()
+            except OSError:
+                self.snapshot_errors += 1
+
+    def request_stop(self) -> None:
+        """Signal-handler-safe: ask the daemon to shut down."""
+        self._stop_requested.set()
+
+    async def wait_for_stop_request(self) -> None:
+        await self._stop_requested.wait()
+
+    async def stop(self, final_snapshot: bool = True) -> None:
+        """Graceful shutdown: stall ingest, drain, checkpoint, close."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._snapshot_task
+        self.udp.close()
+        await self.tcp.close()
+        await self.feeder.stop()
+        if final_snapshot and self.config.snapshot_dir:
+            try:
+                self.write_snapshot()
+            except OSError:
+                self.snapshot_errors += 1
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
+        await self.rpc.close()
+
+    def kill(self) -> None:
+        """Crash simulation: tear everything down with NO drain and NO
+        final snapshot.  What recovery then restores is exactly what
+        the last periodic/explicit snapshot captured."""
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+        if self.udp is not None:
+            self.udp.close()
+        if self.tcp is not None and self.tcp._server is not None:
+            self.tcp._server.close()
+        if self.rpc is not None and self.rpc._server is not None:
+            self.rpc._server.close()
+        if self.feeder is not None:
+            self.feeder.abort()
+        # Still reap worker processes / shared memory: the crash being
+        # simulated is the daemon's, not the host kernel's.
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            with contextlib.suppress(Exception):
+                close()
+
+    # ------------------------------------------------------------------
+    # Snapshots.
+    # ------------------------------------------------------------------
+
+    def _drain_evictions(self) -> None:
+        take = getattr(self.engine, "take_evicted", None)
+        if take is None:
+            return
+        self._evicted_log.extend(take())
+        cap = self.config.evicted_cap
+        if len(self._evicted_log) > cap:
+            overflow = len(self._evicted_log) - cap
+            del self._evicted_log[:overflow]
+            self._evicted_dropped += overflow
+
+    def write_snapshot(self) -> Dict[str, Any]:
+        """Checkpoint retained + evicted state; returns a summary."""
+        if not self.config.snapshot_dir:
+            raise ServiceError("no snapshot_dir configured")
+        self.feeder.flush_now()
+        self._drain_evictions()
+        retained = list(self.engine.items())
+        self.snapshot_seq += 1
+        state = snap.build_state(
+            backend_name=self.engine.name,
+            q=self.engine.q,
+            seq=self.snapshot_seq,
+            retained=retained,
+            evicted=self._evicted_log,
+            evicted_dropped=self._evicted_dropped,
+            counters=self.stats(),
+        )
+        path = snap.write_snapshot(self.config.snapshot_dir, state)
+        self.snapshots_written += 1
+        return {
+            "path": path,
+            "seq": self.snapshot_seq,
+            "retained": len(retained),
+            "evicted": len(self._evicted_log),
+        }
+
+    # ------------------------------------------------------------------
+    # RPC operations.
+    # ------------------------------------------------------------------
+
+    def handle_rpc(self, op: str, request: Dict[str, Any]) -> Any:
+        if op == "top":
+            return self._rpc_top(request)
+        if op == "stats":
+            self.feeder.flush_now()
+            return self.stats()
+        if op == "snapshot":
+            return self.write_snapshot()
+        if op == "reset":
+            return self._rpc_reset()
+        if op == "health":
+            return self._rpc_health()
+        raise ServiceError(f"unknown op {op!r}")
+
+    def _rpc_top(self, request: Dict[str, Any]) -> List[List[Any]]:
+        k = request.get("q", self.engine.q)
+        if not isinstance(k, int) or k < 1:
+            raise ServiceError(f"q must be a positive int, got {k!r}")
+        # Query-time barrier so the answer covers everything ingested.
+        self.feeder.flush_now()
+        top = merge_top_items([self.engine.query()], k)
+        return [[snap.encode_id(item_id), val] for item_id, val in top]
+
+    def _rpc_reset(self) -> Dict[str, Any]:
+        # Flush first so pending records don't leak into the new epoch.
+        self.feeder.flush_now()
+        self.engine.reset()
+        self._evicted_log = []
+        self._evicted_dropped = 0
+        return {"reset": True}
+
+    def _rpc_health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "backend": self.engine.name,
+            "q": self.engine.q,
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "recovered": self.recovered,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        engine_stats = getattr(self.engine, "stats", None)
+        dropped = self.udp.malformed + self.tcp.malformed
+        return {
+            "backend": self.engine.name,
+            "q": self.engine.q,
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "udp": self.udp.stats(),
+            "tcp": self.tcp.stats(),
+            "feeder": self.feeder.stats(),
+            "dropped_malformed": dropped,
+            "engine": engine_stats() if callable(engine_stats) else {},
+            "snapshot": {
+                "dir": self.config.snapshot_dir,
+                "seq": self.snapshot_seq,
+                "written": self.snapshots_written,
+                "errors": self.snapshot_errors,
+                "evicted_logged": len(self._evicted_log),
+                "evicted_dropped": self._evicted_dropped,
+            },
+            "recovered": self.recovered,
+        }
+
+
+# ----------------------------------------------------------------------
+# Entry points.
+# ----------------------------------------------------------------------
+
+async def serve(
+    config: ServiceConfig,
+    ready: Optional[Callable[["MeasurementDaemon"], None]] = None,
+) -> None:
+    """Run a daemon until SIGTERM/SIGINT, then drain cleanly.
+
+    ``ready`` (if given) is called with the live daemon right after
+    startup — the CLI uses it to print the bound ports.
+    """
+    daemon = MeasurementDaemon(config)
+    await daemon.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, daemon.request_stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loops: Ctrl-C still raises KeyboardInterrupt
+    if ready is not None:
+        ready(daemon)
+    try:
+        await daemon.wait_for_stop_request()
+    finally:
+        await daemon.stop()
+
+
+class DaemonThread:
+    """A daemon on a private event loop in a background thread.
+
+    The constructor blocks until the daemon is listening (so the
+    resolved ephemeral ports are immediately available) and raises
+    :class:`~repro.errors.ServiceError` if it fails to come up.  Use
+    as a context manager for a guaranteed graceful stop, or call
+    :meth:`abort` to simulate a crash (no drain, no final snapshot).
+    """
+
+    def __init__(
+        self, config: ServiceConfig, start_timeout: float = 15.0
+    ) -> None:
+        self.config = config
+        self.daemon: MeasurementDaemon = None  # type: ignore[assignment]
+        self._loop: asyncio.AbstractEventLoop = None  # type: ignore
+        self._ready = threading.Event()
+        self._finish: asyncio.Event = None  # type: ignore[assignment]
+        self._mode = "stop"
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-daemon", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(start_timeout):
+            raise ServiceError(
+                f"daemon did not start within {start_timeout:g}s"
+            )
+        if self._startup_error is not None:
+            raise ServiceError(
+                f"daemon failed to start: {self._startup_error!r}"
+            ) from self._startup_error
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._finish = asyncio.Event()
+        self.daemon = MeasurementDaemon(self.config)
+        try:
+            await self.daemon.start()
+        except BaseException as exc:  # startup failures surface in ctor
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._finish.wait()
+        if self._mode == "stop":
+            await self.daemon.stop()
+        else:
+            self.daemon.kill()
+
+    # ------------------------------------------------------------------
+    # Cross-thread controls.
+    # ------------------------------------------------------------------
+
+    def _shutdown(self, mode: str, timeout: float) -> None:
+        if not self._thread.is_alive():
+            return
+        def _trigger() -> None:
+            self._mode = mode
+            self._finish.set()
+        self._loop.call_soon_threadsafe(_trigger)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog path
+            raise ServiceError(f"daemon did not {mode} within {timeout:g}s")
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, final snapshot, engine close."""
+        self._shutdown("stop", timeout)
+
+    def abort(self, timeout: float = 30.0) -> None:
+        """Simulated crash: everything not yet snapshotted is lost."""
+        self._shutdown("abort", timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def udp_port(self) -> int:
+        return self.daemon.udp.port
+
+    @property
+    def tcp_port(self) -> int:
+        return self.daemon.tcp.port
+
+    @property
+    def rpc_port(self) -> int:
+        return self.daemon.rpc.port
+
+    def __enter__(self) -> "DaemonThread":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

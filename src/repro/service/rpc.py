@@ -1,0 +1,171 @@
+"""The query RPC: newline-delimited JSON over TCP.
+
+One request per line, one response per line, several requests per
+connection.  Requests are objects with an ``"op"`` field plus
+op-specific parameters; responses are ``{"ok": true, "result": ...}``
+or ``{"ok": false, "error": "..."}``.  The protocol is deliberately
+curl-able::
+
+    printf '{"op": "top", "q": 5}\n' | nc 127.0.0.1 9997
+
+Handlers run on the daemon's event loop, which is also the only place
+the engine is touched — the RPC layer is what keeps engine access
+single-threaded while clients connect from anywhere.
+
+:func:`rpc_call` is the blocking client used by ``repro query``, the
+tests, and the demo; it needs nothing beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Callable, Dict
+
+from repro.errors import ReproError, ServiceError
+
+#: Operations the daemon serves (documented in docs/SERVICE.md).
+OPS = ("top", "stats", "snapshot", "reset", "health")
+
+#: Longest accepted request line, bytes.
+MAX_REQUEST_BYTES = 1 << 20
+
+#: A handler takes (op, request-dict) and returns a JSON-safe result.
+Handler = Callable[[str, Dict[str, Any]], Any]
+
+
+class RpcServer:
+    """Serve the JSON RPC on a TCP port."""
+
+    def __init__(self, handler: Handler, host: str, port: int) -> None:
+        self._handler = handler
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer = None  # type: ignore
+        self.port = port
+        self.requests = 0
+        self.errors = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle,
+            self._host,
+            self._requested_port,
+            limit=MAX_REQUEST_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self._respond(writer, error="request line too long")
+                    break
+                if not line:
+                    break
+                self.requests += 1
+                try:
+                    request = json.loads(line)
+                except ValueError:
+                    self._respond(writer, error="malformed JSON request")
+                    break
+                op = (
+                    request.get("op")
+                    if isinstance(request, dict)
+                    else None
+                )
+                if not isinstance(op, str):
+                    self._respond(
+                        writer, error="request must be {'op': ..., ...}"
+                    )
+                    break
+                try:
+                    result = self._handler(op, request)
+                except ReproError as exc:
+                    self._respond(writer, error=str(exc))
+                    continue
+                self._respond(writer, result=result)
+                await writer.drain()
+        except ConnectionError:  # pragma: no cover - peer vanished
+            pass
+        except asyncio.CancelledError:
+            pass  # daemon shutting down: drop the connection quietly
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        result: Any = None,
+        error: str = None,
+    ) -> None:
+        if error is not None:
+            self.errors += 1
+            doc: Dict[str, Any] = {"ok": False, "error": error}
+        else:
+            doc = {"ok": True, "result": result}
+        writer.write(json.dumps(doc).encode("utf-8") + b"\n")
+
+    async def close(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None  # type: ignore[assignment]
+
+
+def rpc_call(
+    host: str,
+    port: int,
+    op: str,
+    timeout: float = 10.0,
+    **params: Any,
+) -> Any:
+    """Blocking client: send one request, return the decoded result.
+
+    Raises :class:`~repro.errors.ServiceError` on an error response,
+    a malformed response, or a connection/timeout failure.
+    """
+    request = dict(params)
+    request["op"] = op
+    payload = json.dumps(request).encode("utf-8") + b"\n"
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(payload)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+    except OSError as exc:
+        raise ServiceError(
+            f"RPC to {host}:{port} failed: {exc}"
+        ) from exc
+    raw = b"".join(chunks)
+    if not raw:
+        raise ServiceError(f"RPC to {host}:{port}: empty response")
+    try:
+        doc = json.loads(raw)
+    except ValueError as exc:
+        raise ServiceError(
+            f"RPC to {host}:{port}: malformed response: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ServiceError(
+            f"RPC to {host}:{port}: unexpected response {doc!r}"
+        )
+    if not doc["ok"]:
+        raise ServiceError(doc.get("error", "unknown RPC error"))
+    return doc.get("result")

@@ -16,7 +16,7 @@ import struct
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NetFlowDecodeError
 
 #: NetFlow v5 constants.
 VERSION = 5
@@ -109,27 +109,54 @@ def encode_packets(
 
 
 def decode_packet(data: bytes) -> List[FlowRecord]:
-    """Decode one v5 export packet into flow records."""
+    """Decode one v5 export packet into flow records.
+
+    Any malformation — truncated header, wrong version, a record count
+    exceeding the v5 maximum, or a record area shorter than the count
+    promises — raises :class:`NetFlowDecodeError` (never a bare
+    ``struct.error``), so a collector can count-and-drop garbage
+    datagrams instead of crashing.
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise NetFlowDecodeError(
+            f"expected bytes, got {type(data).__name__}"
+        )
     if len(data) < _HEADER.size:
-        raise ConfigurationError("truncated NetFlow header")
-    (version, count, _uptime, _secs, _nsecs, _seq, _etype, _eid,
-     _sampling) = _HEADER.unpack_from(data)
+        raise NetFlowDecodeError(
+            f"truncated NetFlow header: need {_HEADER.size} bytes, "
+            f"got {len(data)}"
+        )
+    try:
+        (version, count, _uptime, _secs, _nsecs, _seq, _etype, _eid,
+         _sampling) = _HEADER.unpack_from(data)
+    except struct.error as exc:  # pragma: no cover - length checked
+        raise NetFlowDecodeError(f"undecodable NetFlow header: {exc}") from exc
     if version != VERSION:
-        raise ConfigurationError(
+        raise NetFlowDecodeError(
             f"unsupported NetFlow version {version}"
+        )
+    if count > MAX_RECORDS_PER_PACKET:
+        raise NetFlowDecodeError(
+            f"record count {count} exceeds the v5 maximum of "
+            f"{MAX_RECORDS_PER_PACKET}"
         )
     needed = _HEADER.size + count * _RECORD.size
     if len(data) < needed:
-        raise ConfigurationError(
+        raise NetFlowDecodeError(
             f"truncated NetFlow packet: need {needed} bytes, "
             f"got {len(data)}"
         )
     records = []
     offset = _HEADER.size
     for _ in range(count):
-        (src, dst, _nh, _inif, _outif, pkts, octets, first, last,
-         sport, dport, _pad, _flags, proto, _tos, _sas, _das, _smask,
-         _dmask, _pad2) = _RECORD.unpack_from(data, offset)
+        try:
+            (src, dst, _nh, _inif, _outif, pkts, octets, first, last,
+             sport, dport, _pad, _flags, proto, _tos, _sas, _das, _smask,
+             _dmask, _pad2) = _RECORD.unpack_from(data, offset)
+        except struct.error as exc:  # pragma: no cover - length checked
+            raise NetFlowDecodeError(
+                f"undecodable NetFlow record at offset {offset}: {exc}"
+            ) from exc
         offset += _RECORD.size
         records.append(
             FlowRecord(

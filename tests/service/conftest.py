@@ -1,0 +1,41 @@
+"""Fixtures for the measurement-daemon tests.
+
+Daemon tests run real sockets and a background event-loop thread; a
+wedged daemon (a feeder that never drains, an RPC server that never
+answers) must fail loudly instead of hanging the suite.  Same scheme
+as ``tests/parallel/conftest.py``: CI runs this directory under
+``pytest-timeout``; locally an autouse SIGALRM watchdog arms around
+every ``@pytest.mark.service`` test (no-op where SIGALRM is missing).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: Per-test watchdog for daemon tests (seconds).
+_TEST_TIMEOUT = 120
+
+
+@pytest.fixture(autouse=True)
+def _hung_daemon_guard(request):
+    """SIGALRM per-test timeout for tests marked ``service``."""
+    if request.node.get_closest_marker("service") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"service test exceeded {_TEST_TIMEOUT}s (wedged daemon?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

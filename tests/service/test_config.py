@@ -1,0 +1,67 @@
+"""ServiceConfig validation and the backend factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qmax import QMax
+from repro.core.sliding import SlidingQMax
+from repro.errors import ConfigurationError
+from repro.parallel.engine import ShardedQMaxEngine
+from repro.service.config import ServiceConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        ServiceConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"q": 0},
+            {"backend": "mystery"},
+            {"shards": -1},
+            {"backend": "sliding", "shards": 4},
+            {"batch_max": 0},
+            {"flush_interval": 0.0},
+            {"queue_capacity": 10, "batch_max": 100},
+            {"snapshot_interval": 0.0},
+            {"evicted_cap": -1},
+            {"udp_port": 70000},
+            {"rpc_port": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)
+
+
+class TestBuildEngine:
+    def test_default_is_plain_qmax(self):
+        engine = ServiceConfig(q=32).build_engine()
+        assert isinstance(engine, QMax)
+        assert engine.q == 32
+
+    def test_sliding_backend(self):
+        engine = ServiceConfig(
+            q=8, backend="sliding", window=1000, tau=0.5
+        ).build_engine()
+        assert isinstance(engine, SlidingQMax)
+        assert engine.window == 1000
+
+    def test_sharded_backend(self):
+        engine = ServiceConfig(
+            q=16, shards=3, shard_mode="inline"
+        ).build_engine()
+        try:
+            assert isinstance(engine, ShardedQMaxEngine)
+            assert engine.n_shards == 3
+        finally:
+            engine.close()
+
+    def test_track_evictions_plumbed(self):
+        engine = ServiceConfig(
+            q=8, track_evictions=True
+        ).build_engine()
+        engine.add_many(list(range(100)), [float(i) for i in range(100)])
+        assert engine.take_evicted()

@@ -1,0 +1,281 @@
+"""End-to-end acceptance tests for the measurement daemon.
+
+The contracts proven here are the ones docs/SERVICE.md advertises:
+
+* **Differential**: stream ≥10k NetFlow records over UDP plus a wire
+  report over TCP at a live daemon; the RPC ``top`` equals a reference
+  :class:`~repro.core.qmax.QMax` fed the same records — value-multiset
+  contract, as in ``tests/parallel/test_differential.py`` (ids also
+  compared here because the test values are unique by construction).
+* **Recovery**: kill the daemon mid-stream; a restart recovers from
+  the latest snapshot and no retained item predating the snapshot is
+  lost.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.core.qmax import QMax
+from repro.netwide.wire import Report, to_bytes
+from repro.parallel.merge import merge_top_items
+from repro.service.config import ServiceConfig
+from repro.service.daemon import DaemonThread
+from repro.service.rpc import rpc_call
+from repro.service.snapshot import decode_id
+from repro.traffic.netflow import FlowRecord, encode_packets
+
+from tests.conftest import value_multiset
+
+_POLL_DEADLINE = 60.0
+
+
+def _send_udp_records(host, port, records, pace_every=32, pace_s=0.002):
+    """Blast NetFlow packets at the daemon, lightly paced so localhost
+    UDP never outruns the (enlarged) kernel receive buffer."""
+    packets = encode_packets(records)
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        for i, packet in enumerate(packets):
+            sock.sendto(packet, (host, port))
+            if pace_every and (i + 1) % pace_every == 0:
+                time.sleep(pace_s)
+    finally:
+        sock.close()
+
+
+def _send_report(host, port, report):
+    blob = to_bytes(report)
+    with socket.create_connection((host, port), timeout=10) as sock:
+        sock.sendall(struct.pack("!I", len(blob)) + blob)
+
+
+def _wait_ingested(d, expected):
+    deadline = time.time() + _POLL_DEADLINE
+    while time.time() < deadline:
+        stats = rpc_call(d.host, d.rpc_port, "stats")
+        if stats["feeder"]["records_in"] >= expected:
+            return stats
+        time.sleep(0.02)
+    raise AssertionError(
+        f"daemon ingested {stats['feeder']['records_in']} of "
+        f"{expected} records within {_POLL_DEADLINE:g}s "
+        f"(udp={stats['udp']}, tcp={stats['tcp']})"
+    )
+
+
+def _decoded_top(d, k):
+    return [
+        (decode_id(item_id), val)
+        for item_id, val in rpc_call(d.host, d.rpc_port, "top", q=k)
+    ]
+
+
+def _unique_flow_records(n, seed):
+    """n flow records with distinct src_ips AND distinct octet values,
+    so the differential can compare ids, not just value multisets."""
+    rng = random.Random(seed)
+    values = rng.sample(range(1, 2**32), n)
+    return [
+        FlowRecord(src_ip=i, dst_ip=0, src_port=0, dst_port=0,
+                   proto=17, packets=1, octets=v)
+        for i, v in enumerate(values)
+    ]
+
+
+def _reference_top(items, q, k):
+    ref = QMax(q, 0.25)
+    ref.add_many([i for i, _ in items], [v for _, v in items])
+    return merge_top_items([ref.query()], k)
+
+
+@pytest.mark.service
+class TestDifferential:
+    def test_udp_netflow_plus_tcp_report_matches_reference(self):
+        q = 64
+        n_udp = 10_000
+        cfg = ServiceConfig(q=q, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        records = _unique_flow_records(n_udp, seed=0xF10)
+        report = Report(
+            "sw0", 64,
+            tuple(((flow, flow * 7), flow / 1000.0)
+                  for flow in range(64)),
+        )
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, records)
+            _send_report(d.host, d.tcp_port, report)
+            _wait_ingested(d, n_udp + len(report.entries))
+            got = _decoded_top(d, q)
+
+        items = [(r.src_ip, float(r.octets)) for r in records]
+        items += [((flow, pid), float(v))
+                  for (flow, pid), v in report.entries]
+        ref = _reference_top(items, q, q)
+        assert value_multiset(got) == value_multiset(ref)
+        # Values are unique by construction, so ids must agree too.
+        assert {i for i, _ in got} == {i for i, _ in ref}
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_sharded_engine_matches_reference(self, n_shards):
+        q = 48
+        n = 6_000
+        cfg = ServiceConfig(q=q, shards=n_shards, shard_mode="inline",
+                            udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        records = _unique_flow_records(n, seed=0x5A4D + n_shards)
+        with DaemonThread(cfg) as d:
+            assert f"sharded-{n_shards}x" in rpc_call(
+                d.host, d.rpc_port, "health"
+            )["backend"]
+            _send_udp_records(d.host, d.udp_port, records)
+            _wait_ingested(d, n)
+            got = _decoded_top(d, q)
+
+        items = [(r.src_ip, float(r.octets)) for r in records]
+        ref = _reference_top(items, q, q)
+        assert value_multiset(got) == value_multiset(ref)
+        assert {i for i, _ in got} == {i for i, _ in ref}
+
+    def test_sliding_backend_tracks_recent_window(self):
+        # Old heavy flows must age out of a sliding daemon's answer.
+        q = 8
+        window = 2_000
+        cfg = ServiceConfig(q=q, backend="sliding", window=window,
+                            tau=0.5, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        heavy = [FlowRecord(src_ip=1, dst_ip=0, src_port=0, dst_port=0,
+                            proto=17, packets=1, octets=10**9)
+                 for _ in range(30)]
+        light = [FlowRecord(src_ip=2 + i, dst_ip=0, src_port=0,
+                            dst_port=0, proto=17, packets=1,
+                            octets=100 + i)
+                 for i in range(3 * window)]
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, heavy)
+            _wait_ingested(d, len(heavy))
+            _send_udp_records(d.host, d.udp_port, light)
+            _wait_ingested(d, len(heavy) + len(light))
+            got = _decoded_top(d, q)
+        assert got  # window is non-empty
+        assert all(item_id != 1 for item_id, _ in got)
+
+
+@pytest.mark.service
+class TestCrashRecovery:
+    def test_restart_from_snapshot_loses_nothing_pre_snapshot(
+        self, tmp_path
+    ):
+        q = 32
+        cfg = ServiceConfig(q=q, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01,
+                            snapshot_dir=str(tmp_path),
+                            snapshot_interval=3600.0,
+                            track_evictions=True)
+        records = _unique_flow_records(2_000, seed=0xDEAD)
+        d = DaemonThread(cfg)
+        try:
+            _send_udp_records(d.host, d.udp_port, records)
+            _wait_ingested(d, len(records))
+            info = rpc_call(d.host, d.rpc_port, "snapshot")
+            assert info["seq"] == 1
+            assert info["retained"] >= q
+            top_at_snapshot = set(_decoded_top(d, q))
+            # Keep streaming past the snapshot, then crash mid-stream:
+            # everything after the checkpoint is legitimately lost.
+            post = _unique_flow_records(500, seed=0xBEEF)
+            post = [
+                FlowRecord(src_ip=10**6 + i, dst_ip=0, src_port=0,
+                           dst_port=0, proto=17, packets=1,
+                           octets=r.octets)
+                for i, r in enumerate(post)
+            ]
+            _send_udp_records(d.host, d.udp_port, post, pace_every=0)
+        finally:
+            d.abort()  # simulated crash: no drain, no final snapshot
+
+        d2 = DaemonThread(cfg)
+        try:
+            health = rpc_call(d2.host, d2.rpc_port, "health")
+            assert health["recovered"] is True
+            top_after = set(_decoded_top(d2, q))
+            # No retained item predating the snapshot is lost: nothing
+            # new arrived since recovery, so the recovered top-q is
+            # exactly the snapshot-time top-q.
+            assert top_after == top_at_snapshot
+            stats = rpc_call(d2.host, d2.rpc_port, "stats")
+            assert stats["snapshot"]["seq"] == 1
+        finally:
+            d2.stop()
+
+    def test_graceful_stop_writes_final_snapshot(self, tmp_path):
+        cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01,
+                            snapshot_dir=str(tmp_path),
+                            snapshot_interval=3600.0)
+        records = _unique_flow_records(200, seed=7)
+        d = DaemonThread(cfg)
+        _send_udp_records(d.host, d.udp_port, records)
+        _wait_ingested(d, len(records))
+        top_before = set(_decoded_top(d, 8))
+        d.stop()  # SIGTERM path: drain + final snapshot + close
+
+        d2 = DaemonThread(cfg)
+        try:
+            assert rpc_call(d2.host, d2.rpc_port, "health")["recovered"]
+            assert set(_decoded_top(d2, 8)) == top_before
+        finally:
+            d2.stop()
+
+    def test_no_recover_flag_starts_fresh(self, tmp_path):
+        cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01,
+                            snapshot_dir=str(tmp_path),
+                            snapshot_interval=3600.0)
+        d = DaemonThread(cfg)
+        _send_udp_records(d.host, d.udp_port,
+                          _unique_flow_records(100, seed=9))
+        _wait_ingested(d, 100)
+        d.stop()
+
+        fresh_cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0,
+                                  rpc_port=0, flush_interval=0.01,
+                                  snapshot_dir=str(tmp_path),
+                                  snapshot_interval=3600.0,
+                                  recover=False)
+        d2 = DaemonThread(fresh_cfg)
+        try:
+            assert not rpc_call(d2.host, d2.rpc_port, "health")[
+                "recovered"
+            ]
+            assert rpc_call(d2.host, d2.rpc_port, "top") == []
+        finally:
+            d2.stop()
+
+
+@pytest.mark.service
+class TestReset:
+    def test_reset_clears_state_but_keeps_serving(self):
+        cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port,
+                              _unique_flow_records(100, seed=3))
+            _wait_ingested(d, 100)
+            assert _decoded_top(d, 8)
+            rpc_call(d.host, d.rpc_port, "reset")
+            assert rpc_call(d.host, d.rpc_port, "top") == []
+            # Still ingesting after the reset.
+            _send_udp_records(d.host, d.udp_port,
+                              _unique_flow_records(50, seed=4))
+            deadline = time.time() + _POLL_DEADLINE
+            while time.time() < deadline:
+                if len(_decoded_top(d, 8)) == 8:
+                    break
+                time.sleep(0.02)
+            assert len(_decoded_top(d, 8)) == 8

@@ -1,0 +1,98 @@
+"""The query RPC: protocol behavior, op coverage, error paths."""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.daemon import DaemonThread
+from repro.service.rpc import rpc_call
+
+
+@pytest.fixture
+def daemon():
+    cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0, rpc_port=0,
+                        flush_interval=0.02)
+    with DaemonThread(cfg) as d:
+        yield d
+
+
+@pytest.mark.service
+class TestOps:
+    def test_health(self, daemon):
+        health = rpc_call(daemon.host, daemon.rpc_port, "health")
+        assert health["status"] == "ok"
+        assert health["q"] == 8
+        assert health["recovered"] is False
+
+    def test_stats_shape(self, daemon):
+        stats = rpc_call(daemon.host, daemon.rpc_port, "stats")
+        for section in ("udp", "tcp", "feeder", "snapshot"):
+            assert section in stats
+        assert stats["feeder"]["records_in"] == 0
+
+    def test_top_empty_engine(self, daemon):
+        assert rpc_call(daemon.host, daemon.rpc_port, "top") == []
+
+    def test_top_rejects_bad_q(self, daemon):
+        with pytest.raises(ServiceError):
+            rpc_call(daemon.host, daemon.rpc_port, "top", q=0)
+        with pytest.raises(ServiceError):
+            rpc_call(daemon.host, daemon.rpc_port, "top", q="ten")
+
+    def test_unknown_op_is_error_response(self, daemon):
+        with pytest.raises(ServiceError, match="unknown op"):
+            rpc_call(daemon.host, daemon.rpc_port, "mystery")
+
+    def test_snapshot_without_dir_is_error(self, daemon):
+        with pytest.raises(ServiceError, match="snapshot_dir"):
+            rpc_call(daemon.host, daemon.rpc_port, "snapshot")
+
+    def test_reset(self, daemon):
+        assert rpc_call(daemon.host, daemon.rpc_port, "reset") == {
+            "reset": True
+        }
+
+
+@pytest.mark.service
+class TestProtocol:
+    def test_multiple_requests_per_connection(self, daemon):
+        with socket.create_connection(
+            (daemon.host, daemon.rpc_port), timeout=10
+        ) as sock:
+            fh = sock.makefile("rwb")
+            for _ in range(3):
+                fh.write(json.dumps({"op": "health"}).encode() + b"\n")
+                fh.flush()
+                doc = json.loads(fh.readline())
+                assert doc["ok"] is True
+
+    def test_malformed_json_gets_error_response(self, daemon):
+        with socket.create_connection(
+            (daemon.host, daemon.rpc_port), timeout=10
+        ) as sock:
+            sock.sendall(b"{not json\n")
+            doc = json.loads(sock.makefile("rb").readline())
+            assert doc["ok"] is False
+            assert "malformed" in doc["error"]
+
+    def test_non_object_request_gets_error_response(self, daemon):
+        with socket.create_connection(
+            (daemon.host, daemon.rpc_port), timeout=10
+        ) as sock:
+            sock.sendall(b"[1, 2, 3]\n")
+            doc = json.loads(sock.makefile("rb").readline())
+            assert doc["ok"] is False
+
+    def test_rpc_call_to_dead_port_is_typed_error(self):
+        # Grab a port that is certainly closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ServiceError):
+            rpc_call("127.0.0.1", port, "health", timeout=2.0)

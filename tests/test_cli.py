@@ -28,6 +28,52 @@ class TestParser:
                 ["gen-trace", "x.pcap", "--profile", "mystery"]
             )
 
+    def test_serve_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "-q", "128", "--backend", "sliding",
+             "--udp-port", "0", "--snapshot-dir", "/tmp/snaps"]
+        )
+        assert args.q == 128
+        assert args.backend == "sliding"
+        assert args.snapshot_dir == "/tmp/snaps"
+
+    def test_query_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["query", "top", "--port", "9997", "-q", "5"]
+        )
+        assert args.op == "top"
+        assert args.port == 9997
+
+    def test_query_rejects_unknown_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "mystery", "--port", "1"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_matches_pyproject(self):
+        import os
+        import re
+
+        import repro
+
+        pyproject = os.path.join(
+            os.path.dirname(__file__), os.pardir, "pyproject.toml"
+        )
+        with open(pyproject, encoding="utf-8") as fh:
+            match = re.search(
+                r'^version\s*=\s*"([^"]+)"', fh.read(), re.MULTILINE
+            )
+        assert match is not None
+        assert repro.__version__ == match.group(1)
+
 
 class TestGenTrace:
     def test_writes_pcap(self, tmp_path, capsys):

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import NetFlowDecodeError, ReproError
 from repro.errors import ConfigurationError
 from repro.traffic.netflow import (
     MAX_RECORDS_PER_PACKET,
@@ -65,20 +66,58 @@ class TestRoundTrip:
 
 
 class TestDecodeValidation:
+    """decode_packet raises NetFlowDecodeError — which is-a
+    ConfigurationError, so pre-service callers keep working — for every
+    malformed shape the daemon's UDP listener counts and drops."""
+
     def test_truncated_header(self):
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(NetFlowDecodeError):
             decode_packet(b"\x00\x05")
+
+    def test_empty_datagram(self):
+        with pytest.raises(NetFlowDecodeError):
+            decode_packet(b"")
 
     def test_wrong_version(self):
         (packet,) = encode_packets([_record(1)])
         corrupted = b"\x00\x09" + packet[2:]
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(NetFlowDecodeError):
             decode_packet(corrupted)
 
     def test_truncated_body(self):
         (packet,) = encode_packets([_record(1), _record(2)])
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(NetFlowDecodeError):
             decode_packet(packet[:-10])
+
+    def test_count_beyond_protocol_limit(self):
+        (packet,) = encode_packets([_record(1)])
+        # Claim MAX+1 records in the header; pad so the length check
+        # alone wouldn't catch it.
+        bogus_count = MAX_RECORDS_PER_PACKET + 1
+        corrupted = (packet[:2] + bogus_count.to_bytes(2, "big")
+                     + packet[4:] + b"\x00" * 4096)
+        with pytest.raises(NetFlowDecodeError):
+            decode_packet(corrupted)
+
+    def test_non_bytes_input(self):
+        with pytest.raises(NetFlowDecodeError):
+            decode_packet("not bytes")  # type: ignore[arg-type]
+
+    def test_typed_error_is_backward_compatible(self):
+        assert issubclass(NetFlowDecodeError, ConfigurationError)
+        assert issubclass(NetFlowDecodeError, ReproError)
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.binary(max_size=512))
+    def test_garbage_never_escapes_typed_errors(self, data):
+        """Arbitrary bytes either decode or raise NetFlowDecodeError —
+        never a bare struct.error/ValueError that would kill the
+        daemon's read loop."""
+        try:
+            records = decode_packet(data)
+        except NetFlowDecodeError:
+            return
+        assert isinstance(records, list)
 
 
 class TestSampleExport:
