@@ -1,8 +1,18 @@
 # Convenience targets for the q-MAX reproduction.
 
 PYTEST ?= python -m pytest
+REPRO ?= PYTHONPATH=src python -m repro.cli
 
-.PHONY: test bench bench-fast examples serve-demo lint all outputs
+# The CI regression-gate subset: three scripts sharing one session
+# fixture (fast) plus the shard-scaling bench whose metric names line
+# up with the imported PR-2 baseline.  See docs/BENCHMARKS.md.
+BENCH_SUBSET = benchmarks/bench_fig04_gamma.py \
+               benchmarks/bench_fig05_vs_q.py \
+               benchmarks/bench_tab01_speedups.py \
+               benchmarks/bench_abl_shard_scaling.py
+
+.PHONY: test bench bench-fast bench-subset bench-report bench-gate \
+        examples serve-demo lint all outputs
 
 test:
 	$(PYTEST) tests/
@@ -12,6 +22,15 @@ bench:
 
 bench-fast:  ## benchmarks at a tenth of the default workload sizes
 	REPRO_SCALE=0.1 $(PYTEST) benchmarks/ --benchmark-only -s
+
+bench-subset:  ## the fast gate subset; records trajectory rows
+	REPRO_SCALE=0.1 $(PYTEST) $(BENCH_SUBSET) --benchmark-disable -s
+
+bench-report:  ## render the recorded MPPS-over-commits trajectory
+	$(REPRO) bench report
+
+bench-gate:  ## fail on recorded regressions vs the BASELINE commit
+	$(REPRO) bench gate --max-regress 10%
 
 examples:
 	@for script in examples/*.py; do \

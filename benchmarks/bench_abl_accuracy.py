@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import statistics
 
+from bench_common import emit_table
 from conftest import scaled
 
 from repro.apps.count_distinct import CountDistinct
 from repro.apps.priority_sampling import PrioritySampler
-from repro.bench.reporting import print_table
 from repro.bench.workloads import trace_streams
 from repro.netwide.nmp import MeasurementPoint
 from repro.netwide.controller import Controller
@@ -79,10 +79,13 @@ def test_ablation_accuracy_vs_q(benchmark):
             rows.append(
                 [estimator, q, statistics.mean(errors), max(errors)]
             )
-    print_table(
+    emit_table(
         "Ablation: relative estimation error vs reservoir size q",
         ["estimator", "q", "mean rel. error", "max rel. error"],
         rows,
+        value_columns={"mean rel. error": "rel_error",
+                       "max rel. error": "rel_error"},
+        config={"qs": QS, "seeds": len(SEEDS), "trace": "caida16"},
     )
 
     # Shape: error shrinks with q for every estimator (~1/sqrt(q):

@@ -17,10 +17,10 @@ large bursts, while the pure path already wins at DPDK-like bursts of
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import measure_backend, repeats, scaled
 
 from repro._compat import HAVE_NUMPY
-from repro.bench.reporting import print_table
 from repro.bench.runner import measure_throughput, measure_throughput_batched
 from repro.bench.workloads import trace_streams
 from repro.core.qmax import QMax
@@ -68,11 +68,14 @@ def test_ablation_batch_size(benchmark):
             rows.append(
                 ["add_many/numpy", batch, m.mpps, numpy_speedup[batch]]
             )
-    print_table(
+    emit_table(
         f"Ablation: add_many burst size (q={q}, gamma={GAMMA}, "
         f"trace={TRACE})",
         ["path", "batch", "MPPS", "vs per-item"],
         rows,
+        value_columns={"MPPS": "mpps", "vs per-item": "ratio"},
+        config={"q": q, "gamma": GAMMA, "trace": TRACE, "items": n,
+                "batches": BATCHES},
     )
 
     # Shape: batch=1 through the batch API costs extra dispatch (the

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from bench_common import emit_table
 from conftest import bench_stream, measure_backend, repeats, scaled
 
-from repro.bench.reporting import print_table
 from repro.bench.runner import measure_callable
 from repro.core.amortized import AmortizedQMax, VectorQMax
 from repro.core.qmax import QMax
@@ -57,10 +57,11 @@ def test_ablation_deamortization(benchmark):
     vector = measure_callable("numpy-batched", lambda: batched_run,
                               repeats=repeats())
     rows.append(["qmax (numpy, 4096-batches)", vector.mpps])
-    print_table(
+    emit_table(
         f"Ablation: q-MAX maintenance strategies (q={q}, gamma={GAMMA})",
         ["variant", "MPPS"],
         rows,
+        config={"q": q, "gamma": GAMMA, "items": len(stream)},
     )
 
     # Worst-case maintenance burst comparison.
@@ -71,10 +72,13 @@ def test_ablation_deamortization(benchmark):
         ["deamortized max ops per update", inst.max_step_ops],
         ["amortized burst (one compaction)", int(q * (1 + GAMMA)) * 3],
     ]
-    print_table(
+    emit_table(
         "Ablation: worst-case maintenance burst (ops)",
         ["quantity", "ops"],
         burst_rows,
+        benchmark="abl_deamortization/burst",
+        value_columns={"ops": "ops"},
+        config={"q": q, "gamma": GAMMA},
     )
 
     # The deamortized worst case must be far below one full compaction.

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import math
 
+from bench_common import emit_table
 from conftest import repeats, scaled
 
-from repro.bench.reporting import print_table
 from repro.bench.runner import measure_throughput
 from repro.bench.workloads import value_stream
 from repro.core.merging import MergingQMax
@@ -55,10 +55,11 @@ def test_ablation_merging_cost(benchmark):
         "plain qmax", lambda: QMax(q, 0.25).add, base, repeats=repeats()
     )
     rows.append(["unique keys", "plain qmax (no merging)", plain.mpps])
-    print_table(
+    emit_table(
         f"Ablation: MergingQMax cost (q={q}, gamma=0.25)",
         ["duplicate rate", "merge fn", "MPPS"],
         rows,
+        config={"q": q, "gamma": 0.25, "items": n},
     )
 
     # Shape: the plain structure (with its admission filter) is faster

@@ -11,9 +11,9 @@ target's quantile from a strided k-sample instead of a median-of-three.
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import bench_stream, measure_backend, scaled
 
-from repro.bench.reporting import print_table
 from repro.core.qmax import QMax
 
 GAMMA = 0.5
@@ -44,17 +44,28 @@ def test_ablation_select_strategy(benchmark):
             rows.append([stream_name, label, m.mpps])
 
     # Worst-case per-update burst on the adversary.
+    worst_ops = {}
     for label, kwargs in variants:
         inst = QMax(q, GAMMA, instrument=True, **kwargs)
         for item_id, val in ascending:
             inst.add(item_id, val)
+        worst_ops[label] = inst.max_step_ops
         rows.append(
             [f"adversary worst ops/update", label, inst.max_step_ops]
         )
-    print_table(
+    emit_table(
         f"Ablation: Select strategy in QMax (q={q}, gamma={GAMMA})",
         ["workload", "select", "MPPS / ops"],
         rows,
+        config={"q": q, "gamma": GAMMA},
+        metrics=(
+            [{"name": f"{stream_name}/{label}", "value": value,
+              "unit": "mpps"}
+             for (stream_name, label), value in results.items()]
+            + [{"name": f"adversary-worst-ops/{label}",
+                "value": float(ops), "unit": "ops"}
+               for label, ops in worst_ops.items()]
+        ),
     )
 
     # Shape: quickselect is faster on random data; BFPRT stays within

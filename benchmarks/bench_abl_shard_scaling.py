@@ -24,25 +24,22 @@ Two value regimes, because q-MAX's per-item work is admission-driven:
 
 Wall-clock rows for the actual worker-process engine are also recorded
 (producer-side push rate with a final barrier).  On a single-core host
-those cannot beat inline — the JSON notes the host's CPU count so
-readers can interpret them.
+those cannot beat inline — the machine fingerprint stored with each row
+notes the host's CPU count so readers can interpret them.
 
-Results land in ``BENCH_shard_scaling.json`` (repo root) and
-EXPERIMENTS.md.
+Results land in the ``bench_trajectory/`` store (metric names match the
+rows imported from the frozen PR-2 artifact ``BENCH_shard_scaling.json``,
+which stays in the repo root as a compatibility stub for old doc links).
 """
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import time
-from pathlib import Path
 
+from bench_common import emit_table
 from conftest import max_shards, repeats, scaled
 
 from repro._compat import HAVE_NUMPY
-from repro.bench.reporting import print_table
 from repro.core.qmax import QMax
 from repro.parallel.engine import ShardedQMaxEngine, partition_stream
 from repro.parallel.worker import build_backend
@@ -51,8 +48,6 @@ from repro.traffic.synthetic import PROFILES, generate_packets
 Q = 512
 GAMMA = 0.25
 BURST = 512
-
-_OUT = Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
 
 
 def _skewed_ids(n: int, seed: int = 7):
@@ -167,16 +162,19 @@ def test_ablation_shard_scaling(benchmark):
             "aggregate_mpps": round(mpps, 4),
         })
 
-    print_table(
+    emit_table(
         f"Ablation: shard scaling (q={Q}, gamma={GAMMA}, n={n}, "
         f"burst={BURST})",
         ["regime", "shards", "aggregate MPPS", "speedup", "admitted"],
         rows,
-    )
-
-    payload = {
-        "benchmark": "shard_scaling",
-        "config": {
+        # Metric names mirror import_legacy_bench_json so the PR-2
+        # baseline and fresh runs line up in `repro bench report`.
+        metrics=[
+            {"name": f"{r['regime']}/{r['mode']}/shards={r['shards']}",
+             "value": r["aggregate_mpps"], "unit": "mpps"}
+            for r in results
+        ],
+        config={
             "q": Q,
             "gamma": GAMMA,
             "burst": BURST,
@@ -184,23 +182,15 @@ def test_ablation_shard_scaling(benchmark):
             "shard_counts": shard_counts,
             "repeats": n_repeats,
             "trace": "caida16-profile flow ids",
+            "metric_note": (
+                "per-shard-core rows: streams pre-partitioned outside "
+                "the timed region (NIC-RSS analogue); aggregate = items "
+                "/ max(per-shard service time), the throughput of one "
+                "core per shard.  wall-clock rows: the worker-process "
+                "engine end-to-end on this host."
+            ),
         },
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "numpy": HAVE_NUMPY,
-        },
-        "metric": (
-            "per-shard-core rows: streams pre-partitioned outside the "
-            "timed region (NIC-RSS analogue); aggregate = items / "
-            "max(per-shard service time), the throughput of one core "
-            "per shard.  wall-clock rows: the worker-process engine "
-            "end-to-end on this host."
-        ),
-        "rows": results,
-    }
-    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    )
 
     # Gate (numpy stack): on the admission-heavy skewed trace the
     # 4-shard per-core aggregate must be >= 2x the single-shard one.

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import time
 
+from bench_common import emit_table
 from conftest import repeats, scaled
 
-from repro.bench.reporting import print_table
 from repro.bench.runner import measure_throughput
 from repro.bench.workloads import value_stream
 from repro.core.hierarchical import (
@@ -66,10 +66,13 @@ def test_ablation_sliding_variants(benchmark):
         update_mpps[name] = m.mpps
         query_qps[name] = qps
         rows.append([name, m.mpps, qps])
-    print_table(
+    emit_table(
         f"Ablation: sliding variants (q={q}, W={window}, tau={TAU})",
         ["variant", "update MPPS", "queries/sec"],
         rows,
+        value_columns={"update MPPS": "mpps", "queries/sec": "qps"},
+        config={"q": q, "window": window, "tau": TAU,
+                "items": len(stream)},
     )
 
     # Shape: hierarchical queries beat the basic variant's; the

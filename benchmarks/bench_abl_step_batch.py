@@ -9,9 +9,9 @@ ablation quantifies both axes, justifying the default of 8.
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import bench_stream, measure_backend, scaled
 
-from repro.bench.reporting import print_table
 from repro.core.qmax import QMax
 
 BATCHES = (1, 2, 4, 8, 16, 64)
@@ -37,10 +37,12 @@ def test_ablation_step_batch(benchmark):
         mpps_of[batch] = m.mpps
         worst_of[batch] = inst.max_step_ops
         rows.append([batch, m.mpps, inst.max_step_ops])
-    print_table(
+    emit_table(
         f"Ablation: QMax step_batch (q={q}, gamma={GAMMA})",
         ["step_batch", "MPPS", "worst-case ops/update"],
         rows,
+        value_columns={"MPPS": "mpps", "worst-case ops/update": "ops"},
+        config={"q": q, "gamma": GAMMA, "batches": BATCHES},
     )
 
     # Shape: batching never hurts meaningfully (it buys 3-18% at high

@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import time
 
+from bench_common import emit_table
 from conftest import repeats, scaled
 
 from repro.apps.dbm import DynamicBucketMerge
 from repro.apps.univmon import UnivMon
-from repro.bench.reporting import print_table
 from repro.bench.workloads import trace_streams
 
 
@@ -59,10 +59,11 @@ def test_ablation_univmon_dbm(benchmark):
     for backend in ("qmax", "heap"):
         dbm[backend] = _dbm_rate(backend, stream, scaled(64, minimum=16))
         rows.append(["dbm", backend, dbm[backend]])
-    print_table(
+    emit_table(
         f"Ablation: UnivMon / DBM update MPPS by tracker backend (q={q})",
         ["application", "backend", "MPPS"],
         rows,
+        config={"q": q, "items": len(stream)},
     )
 
     # Shape: q-MAX tracker at least matches the O(q)-update heap

@@ -1,0 +1,106 @@
+"""The one output helper every benchmark script uses.
+
+``emit_table`` / ``emit_series`` wrap :func:`repro.bench.reporting.emit`
+with the two things every ``bench_*.py`` file used to repeat by hand:
+
+* the **benchmark id** — derived from the calling file's name
+  (``bench_fig04_gamma.py`` -> ``fig04_gamma``), overridable for
+  scripts that emit more than one table;
+* the **shared run configuration** — the active ``REPRO_SCALE``,
+  repeat count, and batch size from ``conftest.py``, merged under any
+  script-specific config (q, gamma, trace, ...).
+
+Printed output is unchanged from the old direct ``print_table`` /
+``print_series`` calls; in addition every call appends a schema-valid
+``TrajectoryRow`` to the append-only ``bench_trajectory/`` store keyed
+by the measured git SHA (disable with ``REPRO_TRAJECTORY=0``; redirect
+with ``REPRO_TRAJECTORY_DIR``).  A new benchmark is therefore ~20
+lines: build rows, call one emit helper, assert the paper's shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+from conftest import batch_size, repeats
+
+from repro.bench.reporting import emit, emit_series as _emit_series
+from repro.bench.trajectory import TrajectoryRow, machine_fingerprint
+from repro.bench.workloads import scale
+
+
+def _caller_benchmark_id(depth: int = 2) -> str:
+    """Benchmark id from the calling script's filename."""
+    frame = sys._getframe(depth)
+    stem = Path(frame.f_globals.get("__file__", "bench_unknown")).stem
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def _machine() -> Dict[str, object]:
+    """The host fingerprint, including the workload scale.
+
+    ``REPRO_SCALE`` changes what is measured (a 0.1-scale CI run is not
+    comparable with a full-scale run on the same host), so it is part
+    of the fingerprint id the gate matches on — exactly like the
+    NumPy/SciPy stack flags.
+    """
+    return machine_fingerprint(extra={"repro_scale": scale()})
+
+
+def shared_config(extra: Optional[Mapping[str, object]] = None
+                  ) -> Dict[str, object]:
+    """The harness knobs every row records, under script-specific keys."""
+    config: Dict[str, object] = {
+        "scale": scale(),
+        "repeats": repeats(),
+        "batch_size": batch_size(),
+    }
+    if extra:
+        config.update(extra)
+    return config
+
+
+def emit_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    benchmark: Optional[str] = None,
+    config: Optional[Mapping[str, object]] = None,
+    **kwargs,
+) -> TrajectoryRow:
+    """Print a paper-style table and record it in the trajectory store."""
+    return emit(
+        benchmark or _caller_benchmark_id(),
+        title,
+        columns,
+        rows,
+        config=shared_config(config),
+        machine=_machine(),
+        **kwargs,
+    )
+
+
+def emit_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence],
+    *,
+    benchmark: Optional[str] = None,
+    config: Optional[Mapping[str, object]] = None,
+    **kwargs,
+) -> TrajectoryRow:
+    """Print a figure-style series table and record it in the store."""
+    return _emit_series(
+        benchmark or _caller_benchmark_id(),
+        title,
+        x_label,
+        xs,
+        series,
+        config=shared_config(config),
+        machine=_machine(),
+        **kwargs,
+    )

@@ -7,9 +7,9 @@ Heap/SkipList sits around γ ≈ 0.025.
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import GAMMA_GRID, Q_GRID, bench_stream, measure_backend
 
-from repro.bench.reporting import print_series
 from repro.core.qmax import QMax
 
 
@@ -22,11 +22,12 @@ def test_fig04_gamma_sweep(benchmark, gamma_q_sweep):
         {f"heap q={q} (ref)": [heap_mpps[q]] * len(GAMMA_GRID)
          for q in Q_GRID}
     )
-    print_series(
+    emit_series(
         "Figure 4: q-MAX MPPS vs gamma (random stream)",
         "gamma",
         list(GAMMA_GRID),
         series,
+        config={"q_grid": Q_GRID, "gamma_grid": GAMMA_GRID},
     )
 
     # Shape assertions: more gamma never hurts much; the flat region is

@@ -8,10 +8,10 @@ constant-factor effects here).
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import Q_GRID, bench_stream, measure_backend
 
 from repro.baselines.skiplist import SkipListQMax
-from repro.bench.reporting import print_series
 
 SHOW_GAMMAS = (0.025, 0.05, 0.25, 1.0)
 
@@ -27,8 +27,9 @@ def test_fig05_backends_vs_q(benchmark, gamma_q_sweep):
     ]
     series["heap"] = [heap_mpps[q] for q in Q_GRID]
     series["skiplist"] = [skip_mpps[q] for q in Q_GRID]
-    print_series(
-        "Figure 5: MPPS vs q (random stream)", "q", list(Q_GRID), series
+    emit_series(
+        "Figure 5: MPPS vs q (random stream)", "q", list(Q_GRID), series,
+        config={"q_grid": Q_GRID, "gammas": SHOW_GAMMAS},
     )
 
     # Shape: with a healthy gamma, q-MAX beats the skip list at every q

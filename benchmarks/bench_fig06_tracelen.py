@@ -9,11 +9,11 @@ from __future__ import annotations
 
 import time
 
+from bench_common import emit_series
 from conftest import batch_size, repeats, scaled
 
 from repro.baselines.heap import HeapQMax
 from repro.baselines.skiplist import SkipListQMax
-from repro.bench.reporting import print_series
 from repro.bench.workloads import value_stream
 from repro.core.qmax import QMax
 
@@ -75,11 +75,13 @@ def test_fig06_throughput_along_trace(benchmark):
     xs = [
         (c + 1) * (len(stream) // CHECKPOINTS) for c in range(CHECKPOINTS)
     ]
-    print_series(
+    emit_series(
         "Figure 6: MPPS vs trace position (gamma=0.1)",
         "items",
         xs,
         series,
+        config={"gamma": 0.1, "qs": qs, "stream": len(stream),
+                "checkpoints": CHECKPOINTS},
     )
 
     # Shape: every structure speeds up from the first to the last

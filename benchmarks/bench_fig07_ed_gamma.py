@@ -7,11 +7,11 @@ transformation (a log) before hitting the admission filter.
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import bench_stream, measure_backend, scaled
 
 from repro.baselines.heap import HeapQMax
 from repro.baselines.skiplist import SkipListQMax
-from repro.bench.reporting import print_series
 from repro.core.exponential_decay import ExponentialDecayQMax
 from repro.core.qmax import QMax
 
@@ -50,11 +50,12 @@ def test_fig07_ed_gamma_sweep(benchmark):
                 stream,
             ).mpps
             series[f"ed-{name} q={q} (ref)"] = [ref] * len(GAMMAS)
-    print_series(
+    emit_series(
         f"Figure 7: Exponential-Decay q-MAX MPPS vs gamma (c={DECAY})",
         "gamma",
         list(GAMMAS),
         series,
+        config={"decay": DECAY, "qs": qs, "gammas": GAMMAS, "items": n},
     )
 
     # Shape: throughput grows with gamma; large gamma beats skiplist.

@@ -11,11 +11,11 @@ heap baseline pays O(q) per value update.
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import batch_size, repeats, scaled
 
 from repro.apps.pba import PriorityBasedAggregation
 from repro.apps.priority_sampling import PrioritySampler
-from repro.bench.reporting import print_table
 from repro.bench.runner import measure_throughput, measure_throughput_batched
 from repro.bench.workloads import trace_streams
 from repro.netwide.nmp import MeasurementPoint
@@ -157,11 +157,12 @@ def test_fig08_application_throughput(benchmark):
                     )
                 results[(app, trace, backend)] = m.mpps
                 rows.append([app, trace, backend, m.mpps])
-    print_table(
+    emit_table(
         f"Figure 8: application MPPS on three traces (q={q}, "
         f"gamma={GAMMA})",
         ["application", "trace", "backend", "MPPS"],
         rows,
+        config={"q": q, "gamma": GAMMA, "items": n, "traces": TRACES},
     )
 
     # Shape: q-MAX at least matches the skip list for every app and

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import time
 
+from bench_common import emit_series
 from conftest import repeats, scaled
 
 from repro.apps.lrfu import make_lrfu
-from repro.bench.reporting import print_series
 from repro.bench.workloads import cache_stream
 
 GAMMAS = (0.05, 0.25, 1.0)
@@ -50,11 +50,14 @@ def test_fig09_lrfu_throughput(benchmark):
         for backend in ("heap", "skiplist", "indexedheap"):
             rate = _mrps(lambda: make_lrfu(backend, q, DECAY), trace)
             series[f"{backend} q={q} (ref)"] = [rate] * len(GAMMAS)
-    print_series(
+    emit_series(
         f"Figure 9: LRFU throughput in MRPS (c={DECAY}, P1-style trace)",
         "gamma",
         list(GAMMAS),
         series,
+        unit="mrps",
+        config={"decay": DECAY, "qs": qs, "gammas": GAMMAS,
+                "trace_len": len(trace)},
     )
 
     # Shape: q-MAX LRFU beats the std-heap (O(q)) and skip-list

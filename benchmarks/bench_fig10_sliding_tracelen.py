@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import time
 
+from bench_common import emit_series
 from conftest import repeats, scaled
 
-from repro.bench.reporting import print_series
 from repro.bench.workloads import value_stream
 from repro.core.qmax import QMax
 from repro.core.sliding import SlidingQMax
@@ -49,12 +49,13 @@ def test_fig10_interval_vs_sliding(benchmark):
     xs = [
         (c + 1) * (len(stream) // CHECKPOINTS) for c in range(CHECKPOINTS)
     ]
-    print_series(
+    emit_series(
         "Figure 10: interval vs sliding q-MAX MPPS along the trace "
         f"(gamma=0.1, tau=1, W={window})",
         "items",
         xs,
         series,
+        config={"gamma": 0.1, "tau": 1.0, "window": window, "qs": qs},
     )
 
     # Shape: interval accelerates substantially; sliding stays flat

@@ -8,9 +8,9 @@ reservoir that fills more slowly).
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import repeats, scaled
 
-from repro.bench.reporting import print_series
 from repro.bench.runner import measure_throughput
 from repro.bench.workloads import value_stream
 from repro.core.amortized import AmortizedQMax
@@ -46,11 +46,13 @@ def test_fig11_sliding_tau_sweep(benchmark):
                 ).mpps
                 for tau in TAUS
             ]
-    print_series(
+    emit_series(
         f"Figure 11: sliding q-MAX MPPS vs tau (q={q})",
         "tau",
         list(TAUS),
         series,
+        config={"q": q, "taus": TAUS, "windows": windows,
+                "gammas": gammas},
     )
 
     # Shape: for each configuration, large tau is at least as fast as

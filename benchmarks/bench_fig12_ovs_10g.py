@@ -7,10 +7,10 @@ q-MAX stays near line rate until q = 1e7.
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import scaled
 from ovs_common import datapath_pps, min_size_trace, ovs_sweep
 
-from repro.bench.reporting import print_series
 from repro.switch.linerate import TEN_GBPS
 
 QS = (100, 1_000, 10_000)
@@ -24,12 +24,15 @@ def test_fig12_ovs_10g(benchmark):
     series = {"vanilla": [results["vanilla"]] * len(QS)}
     for backend in BACKENDS:
         series[backend] = [results[(backend, q)] for q in QS]
-    print_series(
+    emit_series(
         "Figure 12: OVS 10G throughput (Gbps) vs q, 64B packets "
         "(normalized to vanilla datapath)",
         "q",
         list(QS),
         series,
+        unit="gbps",
+        config={"qs": QS, "gamma": 1.0, "frame_bytes": 64,
+                "link": "10G", "backends": BACKENDS},
     )
 
     # Shape: q-MAX sustains more of the line rate than the skip list at

@@ -6,10 +6,10 @@ the largest q do small-γ configurations leave a visible gap.
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import scaled
 from ovs_common import datapath_pps, min_size_trace, ovs_sweep
 
-from repro.bench.reporting import print_series
 from repro.switch.linerate import TEN_GBPS
 
 QS = (100, 1_000, 10_000)
@@ -30,11 +30,14 @@ def test_fig13_ovs_10g_gamma(benchmark):
             results[(gamma, q)] = gbps
             row.append(gbps)
         series[f"qmax g={gamma}"] = row
-    print_series(
+    emit_series(
         "Figure 13: OVS 10G throughput (Gbps) for q-MAX, varying gamma",
         "q",
         list(QS),
         series,
+        unit="gbps",
+        config={"qs": QS, "gammas": GAMMAS, "frame_bytes": 64,
+                "link": "10G"},
     )
 
     # Shape: at small q the gamma choice is immaterial (all within a

@@ -11,10 +11,10 @@ q-MAX overhead vs vanilla stays within ~6%).
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import scaled
 from ovs_common import datapath_pps, ovs_sweep
 
-from repro.bench.reporting import print_table
 from repro.bench.workloads import packet_trace
 from repro.switch.linerate import TEN_GBPS
 
@@ -36,10 +36,13 @@ def test_fig14_ovs_applications(benchmark):
                 results[(kind, backend, q)] = gbps
                 rows.append([kind, backend, q, gbps])
         rows.append([kind, "vanilla", "-", sweep["vanilla"]])
-    print_table(
+    emit_table(
         "Figure 14: OVS 10G throughput (Gbps) with measurement apps",
         ["application", "backend", "q", "Gbps"],
         rows,
+        value_columns={"Gbps": "gbps"},
+        config={"qs": QS, "gamma": 0.25, "frame_bytes": FRAME,
+                "link": "10G", "backends": BACKENDS},
     )
 
     # Shape: q-MAX sustains at least as much throughput as the skip

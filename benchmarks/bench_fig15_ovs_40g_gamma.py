@@ -7,10 +7,10 @@ q = 1e7 doubling the space (γ = 1) recovers to within ~8% of vanilla.
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import scaled
 from ovs_common import datapath_pps, real_size_trace
 
-from repro.bench.reporting import print_series
 from repro.switch.linerate import FORTY_GBPS
 
 QS = (1_000, 10_000)
@@ -32,12 +32,15 @@ def test_fig15_ovs_40g_gamma(benchmark):
             results[(q, gamma)] = gbps
             row.append(gbps)
         series[f"qmax q={q}"] = row
-    print_series(
+    emit_series(
         "Figure 15: OVS 40G throughput (Gbps) for q-MAX vs gamma, "
         "real-size packets",
         "gamma",
         list(GAMMAS),
         series,
+        unit="gbps",
+        config={"qs": QS, "gammas": GAMMAS, "frame_bytes": FRAME,
+                "link": "40G"},
     )
 
     # Shape: larger gamma does not hurt; the large-q configuration

@@ -8,10 +8,10 @@ q-MAX (γ = 1) still reaches 36G.
 
 from __future__ import annotations
 
+from bench_common import emit_series
 from conftest import scaled
 from ovs_common import datapath_pps, ovs_sweep, real_size_trace
 
-from repro.bench.reporting import print_series
 from repro.switch.linerate import FORTY_GBPS
 
 QS = (100, 1_000, 5_000)
@@ -29,11 +29,14 @@ def test_fig16_ovs_40g(benchmark):
     series = {"vanilla": [results["vanilla"]] * len(QS)}
     for backend in BACKENDS:
         series[backend] = [results[(backend, q)] for q in QS]
-    print_series(
+    emit_series(
         "Figure 16: OVS 40G throughput (Gbps) vs q, real-size packets",
         "q",
         list(QS),
         series,
+        unit="gbps",
+        config={"qs": QS, "gamma": 1.0, "frame_bytes": FRAME,
+                "link": "40G", "backends": BACKENDS},
     )
 
     # Shape: q-MAX >= skiplist at every q and >= heap at the largest q.

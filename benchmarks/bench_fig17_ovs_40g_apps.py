@@ -7,10 +7,10 @@ Sampling and network-wide heavy hitters.
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import scaled
 from ovs_common import datapath_pps, ovs_sweep, real_size_trace
 
-from repro.bench.reporting import print_table
 from repro.switch.linerate import FORTY_GBPS
 
 QS = (1_000, 10_000)
@@ -31,10 +31,13 @@ def test_fig17_ovs_40g_applications(benchmark):
                 results[(kind, backend, q)] = gbps
                 rows.append([kind, backend, q, gbps])
         rows.append([kind, "vanilla", "-", sweep["vanilla"]])
-    print_table(
+    emit_table(
         "Figure 17: OVS 40G throughput (Gbps) with measurement apps",
         ["application", "backend", "q", "Gbps"],
         rows,
+        value_columns={"Gbps": "gbps"},
+        config={"qs": QS, "gamma": 0.25, "frame_bytes": FRAME,
+                "link": "40G", "backends": BACKENDS},
     )
 
     for kind in ("priority-sampling", "network-wide-hh"):

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import time
 
+from bench_common import emit_table
 from conftest import repeats, scaled
 
 from repro.apps.pba import PriorityBasedAggregation
 from repro.apps.priority_sampling import PrioritySampler
-from repro.bench.reporting import print_table
 from repro.bench.workloads import trace_streams
 from repro.netwide.nmp import MeasurementPoint
 from repro.traffic.packet import Packet
@@ -101,10 +101,15 @@ def test_sec3_time_in_data_structure(benchmark):
             frac = max(0.0, 1.0 - without / full)
             fractions[(app, backend)] = frac
             rows.append([app, backend, f"{frac:.0%}"])
-    print_table(
+    emit_table(
         "Section 3: fraction of app time spent in the top-q structure",
         ["application", "structure", "time in structure"],
         rows,
+        config={"q": q, "items": n, "trace": "caida16"},
+        metrics=[
+            {"name": f"{app}/{backend}", "value": frac, "unit": "ratio"}
+            for (app, backend), frac in fractions.items()
+        ],
     )
 
     # Shape: the structure update is a substantial fraction for at

@@ -7,9 +7,9 @@ with γ (paper: up to ×23 / ×86 at γ = 200%).
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import GAMMA_GRID, Q_GRID, bench_stream
 
-from repro.bench.reporting import print_table
 from repro.core.qmax import QMax
 
 
@@ -30,11 +30,20 @@ def test_tab01_speedups(benchmark, gamma_q_sweep):
                 f"x{max(vs_skip):.2f}",
             ]
         )
-    print_table(
+    emit_table(
         "Table 1: q-MAX speedup vs Heap and SkipList per gamma",
         ["gamma", "min vs heap", "max vs heap", "min vs skiplist",
          "max vs skiplist"],
         rows,
+        config={"q_grid": Q_GRID, "gamma_grid": GAMMA_GRID},
+        metrics=[
+            {"name": f"g={gamma}/{extreme} vs {rival}",
+             "value": fn(values), "unit": "ratio"}
+            for gamma, (vs_heap, vs_skip) in speedups.items()
+            for rival, values in (("heap", vs_heap),
+                                  ("skiplist", vs_skip))
+            for extreme, fn in (("min", min), ("max", max))
+        ],
     )
 
     # Shape: speedups grow with gamma; healthy gammas beat the skip

@@ -7,11 +7,11 @@ and grows with γ.
 
 from __future__ import annotations
 
+from bench_common import emit_table
 from conftest import scaled
 
 from repro.apps.lrfu import ClassicLRFU, QMaxLRFU
 from repro.apps.lrfu_deamortized import DeamortizedLRFU
-from repro.bench.reporting import print_table
 from repro.bench.workloads import cache_stream
 
 GAMMAS = (0.1, 0.5, 1.0)
@@ -47,10 +47,22 @@ def test_tab02_lrfu_hit_ratio(benchmark):
                      f"{deam_ratio:.1%}"])
         rows.append([f"{gamma:.0%}", "q(1+gamma)-sized LRFU",
                      f"{big_ratio:.1%}"])
-    print_table(
+    emit_table(
         f"Table 2: LRFU hit ratios (q={q}, c={DECAY})",
         ["gamma", "algorithm", "hit ratio"],
         rows,
+        config={"q": q, "decay": DECAY, "gammas": GAMMAS,
+                "trace_len": len(trace)},
+        metrics=(
+            [{"name": "q-sized LRFU", "value": base, "unit": "ratio"}]
+            + [
+                {"name": f"g={gamma}/{label}", "value": value,
+                 "unit": "ratio"}
+                for gamma, (qmax_ratio, big_ratio) in measured.items()
+                for label, value in (("qmax-lrfu", qmax_ratio),
+                                     ("exact-q(1+g)-lrfu", big_ratio))
+            ]
+        ),
     )
 
     # Shape: base <= qmax <= q(1+gamma) (small tolerance for the

@@ -15,7 +15,17 @@ from repro.bench.workloads import (
     trace_streams,
     value_stream,
 )
-from repro.bench.reporting import print_series, print_table
+from repro.bench.reporting import emit, emit_series, print_series, print_table
+from repro.bench.trajectory import (
+    MetricPoint,
+    TrajectoryRow,
+    TrajectoryStore,
+    current_git_sha,
+    import_legacy_bench_json,
+    machine_fingerprint,
+)
+from repro.bench.gate import GateReport, parse_percent, run_gate
+from repro.bench.report import render_report
 
 __all__ = [
     "Measurement",
@@ -27,6 +37,18 @@ __all__ = [
     "scaled",
     "trace_streams",
     "value_stream",
+    "emit",
+    "emit_series",
     "print_series",
     "print_table",
+    "MetricPoint",
+    "TrajectoryRow",
+    "TrajectoryStore",
+    "current_git_sha",
+    "import_legacy_bench_json",
+    "machine_fingerprint",
+    "GateReport",
+    "parse_percent",
+    "run_gate",
+    "render_report",
 ]

@@ -1,0 +1,208 @@
+"""The benchmark regression gate: fail CI when throughput drops.
+
+``repro bench gate --baseline <sha> --max-regress 10%`` compares the
+candidate commit's recorded trajectory rows against a baseline commit's
+and fails when any throughput metric (unit in
+:data:`~repro.bench.trajectory.THROUGHPUT_UNITS`) dropped by more than
+the allowance.  Comparisons are only made between rows with the same
+machine fingerprint id — numbers from different hosts (or different
+accelerator stacks, which the fingerprint includes) are not comparable
+and show up as ``no-baseline`` instead of failing.
+
+Noise handling: benchmark rows carry 99% confidence-interval
+half-widths, and the allowance for a metric widens by the relative CI
+of both sides — a 12% drop inside ±8% error bars is noise, not a
+regression.  A metric fails only when::
+
+    (baseline - candidate) / baseline  >  max_regress + ci_b/baseline
+                                                      + ci_c/baseline
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.trajectory import (
+    THROUGHPUT_UNITS,
+    MetricPoint,
+    TrajectoryStore,
+)
+from repro.errors import TrajectoryError
+
+#: Result statuses, from best to worst.
+STATUS_OK = "ok"
+STATUS_IMPROVED = "improved"
+STATUS_NO_BASELINE = "no-baseline"
+STATUS_REGRESSED = "REGRESSED"
+
+
+def parse_percent(text: str) -> float:
+    """``"10%"`` -> 0.10; bare floats (``0.1``) pass through."""
+    match = re.fullmatch(r"\s*([0-9]*\.?[0-9]+)\s*(%?)\s*", str(text))
+    if not match:
+        raise TrajectoryError(f"cannot parse percentage {text!r}")
+    value = float(match.group(1))
+    if match.group(2):
+        value /= 100.0
+    if not 0.0 <= value < 1.0:
+        raise TrajectoryError(
+            f"max-regress must be in [0%, 100%): got {text!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """The gate's verdict on one (benchmark, metric, machine) triple."""
+
+    benchmark: str
+    metric: str
+    machine_id: str
+    unit: str
+    baseline: Optional[float]
+    candidate: float
+    delta: Optional[float]  # relative change, candidate vs baseline
+    allowance: Optional[float]  # total allowed relative drop
+    status: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status == STATUS_REGRESSED
+
+
+@dataclass(frozen=True)
+class GateReport:
+    baseline_sha: str
+    candidate_sha: str
+    max_regress: float
+    findings: Tuple[GateFinding, ...]
+
+    @property
+    def failed(self) -> bool:
+        return any(f.failed for f in self.findings)
+
+    @property
+    def compared(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.status != STATUS_NO_BASELINE)
+
+
+def _judge(
+    base: MetricPoint, cand: MetricPoint, max_regress: float
+) -> Tuple[float, float, str]:
+    if base.value <= 0.0:
+        return 0.0, max_regress, STATUS_OK  # degenerate baseline
+    delta = (cand.value - base.value) / base.value
+    allowance = max_regress + (base.ci_halfwidth + cand.ci_halfwidth) / base.value
+    if delta < -allowance:
+        return delta, allowance, STATUS_REGRESSED
+    if delta > allowance:
+        return delta, allowance, STATUS_IMPROVED
+    return delta, allowance, STATUS_OK
+
+
+def run_gate(
+    store: TrajectoryStore,
+    baseline_sha: str,
+    candidate_sha: Optional[str] = None,
+    max_regress: float = 0.10,
+) -> GateReport:
+    """Compare the candidate SHA's throughput metrics to the baseline's.
+
+    ``candidate_sha`` defaults to the most recently measured SHA in the
+    store.  Unknown SHAs raise :class:`TrajectoryError`; a candidate
+    metric without a same-machine baseline counterpart is reported as
+    ``no-baseline`` and never fails the gate (new benchmarks and new CI
+    runners must not block merges).
+    """
+    shas = store.shas()
+    if baseline_sha not in shas:
+        raise TrajectoryError(
+            f"baseline sha {baseline_sha!r} has no rows in {store.root}"
+        )
+    if candidate_sha is None:
+        candidates = [s for s in shas if s != baseline_sha]
+        if not candidates:
+            raise TrajectoryError(
+                f"store {store.root} has no candidate sha besides the "
+                f"baseline {baseline_sha!r}"
+            )
+        candidate_sha = candidates[-1]
+    elif candidate_sha not in shas:
+        raise TrajectoryError(
+            f"candidate sha {candidate_sha!r} has no rows in {store.root}"
+        )
+
+    base_metrics = store.latest_metrics(baseline_sha)
+    cand_metrics = store.latest_metrics(candidate_sha)
+
+    findings: List[GateFinding] = []
+    for key in sorted(cand_metrics):
+        benchmark, metric_name, machine_id = key
+        _row, cand = cand_metrics[key]
+        if cand.unit not in THROUGHPUT_UNITS:
+            continue
+        held = base_metrics.get(key)
+        if held is None or held[1].unit != cand.unit:
+            findings.append(GateFinding(
+                benchmark=benchmark, metric=metric_name,
+                machine_id=machine_id, unit=cand.unit,
+                baseline=None, candidate=cand.value,
+                delta=None, allowance=None, status=STATUS_NO_BASELINE,
+            ))
+            continue
+        base = held[1]
+        delta, allowance, status = _judge(base, cand, max_regress)
+        findings.append(GateFinding(
+            benchmark=benchmark, metric=metric_name,
+            machine_id=machine_id, unit=cand.unit,
+            baseline=base.value, candidate=cand.value,
+            delta=delta, allowance=allowance, status=status,
+        ))
+    return GateReport(
+        baseline_sha=baseline_sha,
+        candidate_sha=candidate_sha,
+        max_regress=max_regress,
+        findings=tuple(findings),
+    )
+
+
+def render_gate_report(report: GateReport, verbose: bool = False) -> str:
+    """Human-readable gate outcome (regressions always listed)."""
+    from repro.bench.reporting import print_table
+
+    shown = [f for f in report.findings
+             if verbose or f.status != STATUS_OK]
+    lines: List[str] = []
+    if shown:
+        rows = [
+            [
+                f.benchmark,
+                f.metric,
+                "-" if f.baseline is None else round(f.baseline, 3),
+                round(f.candidate, 3),
+                "-" if f.delta is None else f"{f.delta:+.1%}",
+                "-" if f.allowance is None else f"±{f.allowance:.1%}",
+                f.status,
+            ]
+            for f in shown
+        ]
+        lines.append(print_table(
+            f"bench gate: {report.candidate_sha[:10]} vs baseline "
+            f"{report.baseline_sha[:10]} (max regress "
+            f"{report.max_regress:.0%} + CI)",
+            ["benchmark", "metric", "baseline", "candidate", "delta",
+             "allowed", "status"],
+            rows,
+        ))
+    n_reg = sum(1 for f in report.findings if f.failed)
+    summary = (
+        f"gate {'FAILED' if report.failed else 'passed'}: "
+        f"{report.compared} metric(s) compared, {n_reg} regressed, "
+        f"{len(report.findings) - report.compared} without baseline"
+    )
+    print(summary)
+    lines.append(summary)
+    return "\n".join(lines)

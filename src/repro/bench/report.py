@@ -1,0 +1,121 @@
+"""Render the recorded perf trajectory: MPPS over commits, per bench.
+
+``repro bench report`` gives the headline view — one row per benchmark,
+one column per recorded commit (in first-measured order), each cell the
+geometric mean of that benchmark's throughput metrics at that commit —
+plus the relative change between the last two commits that have data.
+``repro bench report --benchmark <id>`` expands a single benchmark into
+its individual metrics.
+
+Geometric means are computed per machine fingerprint and then averaged,
+so a commit measured on two stacks (pure / NumPy) is not skewed toward
+whichever recorded more rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.trajectory import (
+    THROUGHPUT_UNITS,
+    TrajectoryStore,
+)
+from repro.errors import TrajectoryError
+
+
+def _geomean(values: Sequence[float]) -> Optional[float]:
+    positives = [v for v in values if v > 0.0]
+    if not positives:
+        return None
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def _headline_cell(
+    store_metrics: Dict[Tuple[str, str, str], tuple], benchmark: str
+) -> Optional[float]:
+    """Geomean of throughput metrics per machine, then mean of those."""
+    per_machine: Dict[str, List[float]] = {}
+    for (bench, _name, machine_id), (_row, metric) in store_metrics.items():
+        if bench != benchmark or metric.unit not in THROUGHPUT_UNITS:
+            continue
+        per_machine.setdefault(machine_id, []).append(metric.value)
+    means = [g for vals in per_machine.values()
+             for g in [_geomean(vals)] if g is not None]
+    if not means:
+        return None
+    return sum(means) / len(means)
+
+
+def _delta(cells: Sequence[Optional[float]]) -> str:
+    present = [c for c in cells if c is not None]
+    if len(present) < 2 or present[-2] <= 0:
+        return "-"
+    return f"{(present[-1] - present[-2]) / present[-2]:+.1%}"
+
+
+def render_report(
+    store: TrajectoryStore,
+    benchmark: Optional[str] = None,
+    last: Optional[int] = None,
+) -> str:
+    """Print (and return) the trajectory tables for a store."""
+    from repro.bench.reporting import print_table
+
+    shas = store.shas()
+    if not shas:
+        raise TrajectoryError(f"trajectory store {store.root} is empty")
+    if last is not None and last > 0:
+        shas = shas[-last:]
+    sha_cols = [s[:10] for s in shas]
+    latest = {sha: store.latest_metrics(sha) for sha in shas}
+
+    chunks: List[str] = []
+    if benchmark is None:
+        rows: List[List[object]] = []
+        for bench in store.benchmarks():
+            cells = [_headline_cell(latest[sha], bench) for sha in shas]
+            if all(c is None for c in cells):
+                continue  # no throughput metrics (accuracy-only bench)
+            rows.append(
+                [bench]
+                + ["-" if c is None else round(c, 3) for c in cells]
+                + [_delta(cells)]
+            )
+        chunks.append(print_table(
+            f"bench trajectory: throughput geomean per commit "
+            f"({len(shas)} commit(s), oldest -> newest)",
+            ["benchmark"] + sha_cols + ["Δ last"],
+            rows,
+        ))
+        return "\n".join(chunks)
+
+    if benchmark not in store.benchmarks():
+        raise TrajectoryError(
+            f"benchmark {benchmark!r} has no rows in {store.root}"
+        )
+    keys = sorted({
+        (name, machine_id, metric.unit)
+        for sha in shas
+        for (bench, name, machine_id), (_row, metric)
+        in latest[sha].items()
+        if bench == benchmark
+    })
+    rows = []
+    for name, machine_id, unit in keys:
+        cells: List[Optional[float]] = []
+        for sha in shas:
+            held = latest[sha].get((benchmark, name, machine_id))
+            cells.append(held[1].value if held is not None else None)
+        rows.append(
+            [name, unit, machine_id[:6]]
+            + ["-" if c is None else round(c, 3) for c in cells]
+            + [_delta(cells)]
+        )
+    chunks.append(print_table(
+        f"bench trajectory: {benchmark} per metric "
+        f"(oldest -> newest)",
+        ["metric", "unit", "machine"] + sha_cols + ["Δ last"],
+        rows,
+    ))
+    return "\n".join(chunks)

@@ -1,8 +1,15 @@
-"""Paper-style table and series printers for benchmark output.
+"""Paper-style table and series printers plus the trajectory emit path.
 
 Every benchmark prints the same rows/series the corresponding paper
 table or figure reports, so `pytest benchmarks/ --benchmark-only -s`
 regenerates a textual version of the evaluation section.
+
+:func:`emit` and :func:`emit_series` are the *required* output route
+for everything under ``benchmarks/``: they print the familiar table
+AND record a schema-valid :class:`~repro.bench.trajectory.TrajectoryRow`
+in the append-only store keyed by the measured git SHA, so every run
+extends the per-commit perf history that ``repro bench report`` renders
+and ``repro bench gate`` defends.  No benchmark writes its own JSON.
 
 Set ``REPRO_CSV_DIR=<dir>`` to additionally write each table as a CSV
 file (named from a slug of its title) — the plotting-tool-friendly
@@ -13,8 +20,19 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.bench.trajectory import (
+    MetricPoint,
+    TrajectoryRow,
+    TrajectoryStore,
+    current_git_sha,
+    machine_fingerprint,
+    recording_enabled,
+)
+from repro.errors import TrajectoryError
 
 Number = Union[int, float]
 
@@ -104,3 +122,144 @@ def print_series(
     for i, x in enumerate(xs):
         rows.append([x] + [series[name][i] for name in series])
     return print_table(title, columns, rows)
+
+
+def _slug_column(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", str(name).lower()).strip("-")
+
+
+def _derive_metrics(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    unit: str,
+    value_columns: Optional[Mapping[str, str]],
+) -> List[MetricPoint]:
+    """Turn a printed table into metric points.
+
+    ``value_columns`` maps column name -> unit and accepts int or float
+    cells (non-numeric cells in a named column are skipped — e.g. a
+    ``"-"`` placeholder row).  Without it, every column whose cells are
+    all floats is a value column with ``unit``; the remaining columns
+    are key columns, joined into the metric name.
+    """
+    columns = [str(c) for c in columns]
+    if value_columns is not None:
+        unknown = set(value_columns) - set(columns)
+        if unknown:
+            raise TrajectoryError(
+                f"value_columns not in table: {sorted(unknown)}"
+            )
+        value_units = {c: value_columns[c] for c in columns
+                       if c in value_columns}
+    else:
+        value_units = {
+            col: unit
+            for i, col in enumerate(columns)
+            if rows and all(
+                isinstance(row[i], float) and not isinstance(row[i], bool)
+                for row in rows
+            )
+        }
+    if not value_units:
+        raise TrajectoryError(
+            "no value columns found — pass value_columns= or metrics="
+        )
+    key_indices = [i for i, col in enumerate(columns)
+                   if col not in value_units]
+    multi = len(value_units) > 1
+    metrics: List[MetricPoint] = []
+    for row in rows:
+        key = "/".join(str(row[i]) for i in key_indices)
+        for i, col in enumerate(columns):
+            if col not in value_units:
+                continue
+            cell = row[i]
+            if isinstance(cell, bool) or not isinstance(cell, (int, float)):
+                continue  # placeholder cell (e.g. "-") in a value column
+            name = key or _slug_column(col)
+            if multi and key:
+                name = f"{key}:{_slug_column(col)}"
+            metrics.append(MetricPoint(
+                name=name, value=float(cell), unit=value_units[col],
+            ))
+    return metrics
+
+
+def emit(
+    benchmark: str,
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    config: Optional[Mapping[str, object]] = None,
+    unit: str = "mpps",
+    value_columns: Optional[Mapping[str, str]] = None,
+    metrics: Optional[Sequence[MetricPoint]] = None,
+    store: Optional[TrajectoryStore] = None,
+    record: bool = True,
+    git_sha: Optional[str] = None,
+    recorded_at: Optional[float] = None,
+    machine: Optional[Mapping[str, object]] = None,
+) -> TrajectoryRow:
+    """Print a benchmark table AND record it in the trajectory store.
+
+    This is the single output path for ``benchmarks/bench_*.py``: the
+    table is printed exactly as :func:`print_table` would (including
+    the ``REPRO_CSV_DIR`` export), then a validated
+    :class:`TrajectoryRow` is appended to the store keyed by the
+    current git SHA.  Metric points come from ``metrics`` when given,
+    otherwise they are derived from the table's numeric columns (see
+    :func:`_derive_metrics`).
+
+    Recording is skipped — but the row is still built, validated, and
+    returned — when ``record=False`` or ``REPRO_TRAJECTORY=0``.
+    """
+    print_table(title, columns, rows)
+    if metrics is not None:
+        points = tuple(
+            m if isinstance(m, MetricPoint) else MetricPoint(**m)
+            for m in metrics
+        )
+    else:
+        points = tuple(_derive_metrics(columns, rows, unit, value_columns))
+    row = TrajectoryRow(
+        benchmark=benchmark,
+        title=title,
+        git_sha=git_sha or current_git_sha(),
+        recorded_at=recorded_at if recorded_at is not None else time.time(),
+        machine=machine or machine_fingerprint(),
+        config=dict(config or {}),
+        metrics=points,
+    )
+    if record and recording_enabled():
+        (store or TrajectoryStore()).append(row)
+    return row
+
+
+def emit_series(
+    benchmark: str,
+    title: str,
+    x_label: str,
+    xs: Sequence[Number],
+    series: Dict[str, Sequence[Number]],
+    *,
+    config: Optional[Mapping[str, object]] = None,
+    unit: str = "mpps",
+    **kwargs,
+) -> TrajectoryRow:
+    """:func:`emit` for figure-style series (one metric per line/x)."""
+    columns = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [series[name][i] for name in series])
+    metrics = [
+        MetricPoint(
+            name=f"{name}@{x_label}={x}", value=float(values[i]), unit=unit,
+        )
+        for name, values in series.items()
+        for i, x in enumerate(xs)
+    ]
+    return emit(
+        benchmark, title, columns, rows,
+        config=config, metrics=metrics, **kwargs,
+    )

@@ -10,7 +10,12 @@ network operator would actually run:
   counting by packet id).
 * ``distinct``    — KMV estimate of distinct sources in a pcap.
 * ``cache-sim``   — LRFU hit-ratio simulation on a synthetic trace.
-* ``bench``       — a quick q-MAX vs heap vs skip-list sweep.
+* ``bench``       — a quick q-MAX vs heap vs skip-list sweep, plus the
+  trajectory tooling: ``bench report`` renders the per-commit perf
+  history from the append-only ``bench_trajectory/`` store,
+  ``bench gate`` fails on throughput regressions vs a recorded
+  baseline, and ``bench import-legacy`` migrates pre-trajectory
+  ``BENCH_*.json`` artifacts (see docs/BENCHMARKS.md).
 * ``serve``       — run the live measurement daemon (UDP NetFlow +
   TCP report ingest, JSON query RPC, snapshots); see docs/SERVICE.md.
 * ``query``       — query a running daemon over its RPC port.
@@ -172,6 +177,7 @@ def _cmd_export_netflow(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.baselines.heap import HeapQMax
     from repro.baselines.skiplist import SkipListQMax
+    from repro.bench.reporting import emit
     from repro.bench.runner import (
         measure_throughput,
         measure_throughput_batched,
@@ -180,7 +186,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.traffic import generate_value_stream
 
     stream = generate_value_stream(args.items, seed=args.seed)
-    print(f"{'structure':>26} {'MPPS':>8}")
+    rows = []
+    metrics = []
     for label, factory in (
         (f"qmax(g={args.gamma:g})", lambda: QMax(args.q, args.gamma)),
         ("heap", lambda: HeapQMax(args.q)),
@@ -188,7 +195,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ):
         m = measure_throughput(label, lambda f=factory: f().add,
                                stream, repeats=args.repeats)
-        print(f"{label:>26} {m.mpps:>8.3f}")
+        mean, half = m.mpps_ci
+        rows.append([label, mean])
+        metrics.append({"name": label, "value": mean, "unit": "mpps",
+                        "ci_halfwidth": half})
     if args.shards > 1:
         from repro.parallel.engine import ShardedQMaxEngine
 
@@ -209,7 +219,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         label = f"sharded-{args.shards}x/{engines[-1].mode}"
         for engine in engines:
             engine.close()
-        print(f"{label:>26} {m.mpps:>8.3f}")
+        mean, half = m.mpps_ci
+        rows.append([label, mean])
+        metrics.append({"name": label, "value": mean, "unit": "mpps",
+                        "ci_halfwidth": half})
+    emit(
+        "cli_sweep",
+        f"quick sweep (q={args.q}, items={args.items})",
+        ["structure", "MPPS"],
+        rows,
+        config={"q": args.q, "gamma": args.gamma, "items": args.items,
+                "repeats": args.repeats, "seed": args.seed,
+                "shards": args.shards},
+        metrics=metrics,
+        record=getattr(args, "record", False),
+    )
+    return 0
+
+
+def _bench_store(args: argparse.Namespace):
+    from repro.bench.trajectory import TrajectoryStore
+
+    return TrajectoryStore(getattr(args, "store", None))
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import render_report
+
+    render_report(
+        _bench_store(args),
+        benchmark=args.benchmark,
+        last=args.last,
+    )
+    return 0
+
+
+def _cmd_bench_gate(args: argparse.Namespace) -> int:
+    from repro.bench.gate import parse_percent, render_gate_report, run_gate
+    from repro.errors import TrajectoryError
+
+    store = _bench_store(args)
+    baseline = args.baseline or store.baseline_sha()
+    if baseline is None:
+        print("error: no --baseline given and the store has no "
+              "BASELINE file", file=sys.stderr)
+        return 1
+    try:
+        report = run_gate(
+            store,
+            baseline_sha=baseline,
+            candidate_sha=args.candidate,
+            max_regress=parse_percent(args.max_regress),
+        )
+    except TrajectoryError as exc:
+        if args.allow_missing_baseline:
+            print(f"bench gate skipped: {exc}")
+            return 0
+        raise
+    render_gate_report(report, verbose=args.verbose)
+    if report.failed:
+        return 1
+    if args.require_baseline and report.compared == 0:
+        print("error: --require-baseline set but no metric had a "
+              "comparable baseline", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench_import(args: argparse.Namespace) -> int:
+    from repro.bench.trajectory import import_legacy_bench_json
+
+    store = _bench_store(args)
+    row = import_legacy_bench_json(
+        args.path, git_sha=args.sha, benchmark=args.benchmark,
+    )
+    path = store.append(row)
+    print(
+        f"imported {len(row.metrics)} metric(s) from {args.path} as "
+        f"benchmark {row.benchmark!r} @ {row.git_sha[:10]} -> {path}"
+    )
     return 0
 
 
@@ -351,18 +439,83 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_export_netflow)
 
-    p = sub.add_parser("bench", help="quick throughput sweep")
-    p.add_argument("-q", type=int, default=1_000)
-    p.add_argument("--gamma", type=float, default=0.25)
-    p.add_argument("--items", type=int, default=100_000)
-    p.add_argument("--repeats", type=int, default=3)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--shards", type=int, default=1,
-                   help="add a sharded-engine row with this many shards")
-    p.add_argument("--shard-mode", default="auto",
-                   choices=("auto", "process", "inline"),
-                   help="sharded engine execution mode")
-    p.set_defaults(func=_cmd_bench)
+    def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("-q", type=int, default=1_000)
+        parser.add_argument("--gamma", type=float, default=0.25)
+        parser.add_argument("--items", type=int, default=100_000)
+        parser.add_argument("--repeats", type=int, default=3)
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument(
+            "--shards", type=int, default=1,
+            help="add a sharded-engine row with this many shards")
+        parser.add_argument(
+            "--shard-mode", default="auto",
+            choices=("auto", "process", "inline"),
+            help="sharded engine execution mode")
+        parser.add_argument(
+            "--record", action="store_true",
+            help="append the sweep to the bench trajectory store")
+        parser.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmarks: quick sweep, trajectory report, regression "
+        "gate (see docs/BENCHMARKS.md)",
+        # No prefix matching: the sweep options (--shards, ...) must
+        # not swallow subcommand options like import-legacy's --sha.
+        allow_abbrev=False,
+    )
+    _add_sweep_options(p)
+    bsub = p.add_subparsers(dest="bench_command", required=False)
+
+    bp = bsub.add_parser("run", help="quick throughput sweep "
+                         "(the default when no subcommand is given)")
+    _add_sweep_options(bp)
+
+    bp = bsub.add_parser("report",
+                         help="render the recorded perf trajectory")
+    bp.add_argument("--store", default=None,
+                    help="trajectory store directory "
+                    "(default: REPRO_TRAJECTORY_DIR or bench_trajectory/)")
+    bp.add_argument("--benchmark", default=None,
+                    help="expand one benchmark into per-metric rows")
+    bp.add_argument("--last", type=int, default=None,
+                    help="only the N most recent commits")
+    bp.set_defaults(func=_cmd_bench_report)
+
+    bp = bsub.add_parser("gate",
+                         help="fail (exit 1) on recorded throughput "
+                         "regressions vs a baseline commit")
+    bp.add_argument("--store", default=None,
+                    help="trajectory store directory")
+    bp.add_argument("--baseline", default=None,
+                    help="baseline SHA (default: the store's BASELINE "
+                    "file)")
+    bp.add_argument("--candidate", default=None,
+                    help="candidate SHA (default: newest recorded SHA)")
+    bp.add_argument("--max-regress", default="10%",
+                    help="allowed drop before CI noise, e.g. '10%%' "
+                    "or '0.1'")
+    bp.add_argument("--require-baseline", action="store_true",
+                    help="fail if nothing could be compared")
+    bp.add_argument("--allow-missing-baseline", action="store_true",
+                    help="exit 0 when the baseline/candidate SHA has "
+                    "no recorded rows (CI bootstrap)")
+    bp.add_argument("--verbose", action="store_true",
+                    help="also list unchanged metrics")
+    bp.set_defaults(func=_cmd_bench_gate)
+
+    bp = bsub.add_parser("import-legacy",
+                         help="migrate a pre-trajectory BENCH_*.json "
+                         "artifact into the store")
+    bp.add_argument("path", help="legacy JSON artifact")
+    bp.add_argument("--sha", required=True,
+                    help="the commit the artifact was measured at")
+    bp.add_argument("--store", default=None,
+                    help="trajectory store directory")
+    bp.add_argument("--benchmark", default=None,
+                    help="override the trajectory benchmark id")
+    bp.set_defaults(func=_cmd_bench_import)
 
     p = sub.add_parser("serve",
                        help="run the live measurement daemon")

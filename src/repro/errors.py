@@ -63,6 +63,17 @@ class NetFlowDecodeError(WireFormatError):
     """
 
 
+class TrajectoryError(ReproError, ValueError):
+    """Raised by the benchmark-trajectory store (:mod:`repro.bench`).
+
+    Examples: a row that fails schema validation, a malformed line in
+    an append-only ``bench_trajectory/*.jsonl`` file, a row whose SHA
+    does not match the file it was found in, or an unknown baseline
+    passed to the regression gate.  A *failing* gate is not an error —
+    the gate reports it through its result and exit code.
+    """
+
+
 class ServiceError(ReproError, RuntimeError):
     """Raised by the measurement daemon (:mod:`repro.service`).
 

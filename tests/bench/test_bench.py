@@ -63,6 +63,18 @@ class TestRunner:
         assert mean == pytest.approx(1.0)
         assert half == 0.0
 
+    def test_mpps_is_mean_of_per_run_rates(self):
+        """Regression: mpps must be the arithmetic mean of per-run
+        rates — the same number mpps_ci centers on — not the harmonic
+        mean n_items / mean(seconds) it once was."""
+        m = Measurement("x", n_items=3_000_000,
+                        seconds_per_run=(1.0, 3.0))
+        # Per-run rates are 3.0 and 1.0 MPPS: mean = 2.0.  The old
+        # definition gave 3 / mean(1, 3) = 1.5 and disagreed with the
+        # CI midpoint reported right next to it.
+        assert m.mpps == pytest.approx(2.0)
+        assert m.mpps == pytest.approx(m.mpps_ci[0])
+
     def test_measure_throughput_counts_each_run_freshly(self):
         built = []
 

@@ -1,0 +1,129 @@
+"""CLI-level tests for `repro bench report / gate / import-legacy`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    MetricPoint,
+    TrajectoryRow,
+    TrajectoryStore,
+    machine_fingerprint,
+)
+from repro.cli import main
+
+SHA_A = "a" * 40
+SHA_B = "b" * 40
+MACHINE = machine_fingerprint()
+
+
+def record(store, sha, value, recorded_at):
+    store.append(TrajectoryRow(
+        benchmark="fig04_gamma", git_sha=sha, recorded_at=recorded_at,
+        machine=MACHINE,
+        metrics=(MetricPoint("qmax@gamma=0.25", value, "mpps"),),
+    ))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TrajectoryStore(tmp_path)
+
+
+class TestBenchReportCli:
+    def test_report_renders_trajectory(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        record(store, SHA_B, 2.2, 200.0)
+        assert main(["bench", "report", "--store", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert SHA_A[:10] in out and SHA_B[:10] in out
+        assert "fig04_gamma" in out
+        assert "+10.0%" in out
+
+    def test_report_single_benchmark(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        assert main(["bench", "report", "--store", str(store.root),
+                     "--benchmark", "fig04_gamma"]) == 0
+        assert "qmax@gamma=0.25" in capsys.readouterr().out
+
+    def test_report_empty_store_errors(self, tmp_path, capsys):
+        assert main(["bench", "report",
+                     "--store", str(tmp_path / "x")]) == 1
+        assert "empty" in capsys.readouterr().err
+
+
+class TestBenchGateCli:
+    def test_gate_passes(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        record(store, SHA_B, 1.95, 200.0)
+        assert main(["bench", "gate", "--store", str(store.root),
+                     "--baseline", SHA_A]) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        record(store, SHA_B, 1.0, 200.0)
+        assert main(["bench", "gate", "--store", str(store.root),
+                     "--baseline", SHA_A, "--candidate", SHA_B]) == 1
+        assert "gate FAILED" in capsys.readouterr().out
+
+    def test_gate_uses_baseline_file(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        record(store, SHA_B, 1.0, 200.0)
+        (store.root / "BASELINE").write_text(SHA_A + "\n")
+        assert main(["bench", "gate",
+                     "--store", str(store.root)]) == 1
+
+    def test_gate_without_baseline_errors(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        assert main(["bench", "gate", "--store", str(store.root)]) == 1
+        assert "no --baseline" in capsys.readouterr().err
+
+    def test_gate_allow_missing_baseline(self, store, capsys):
+        """CI bootstrap: base commit predates the trajectory code."""
+        record(store, SHA_B, 1.0, 200.0)
+        assert main(["bench", "gate", "--store", str(store.root),
+                     "--baseline", SHA_A,
+                     "--allow-missing-baseline"]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_gate_require_baseline(self, store, capsys):
+        record(store, SHA_A, 2.0, 100.0)
+        store.append(TrajectoryRow(
+            benchmark="other", git_sha=SHA_B, recorded_at=200.0,
+            machine=machine_fingerprint(extra={"note": "other"}),
+            metrics=(MetricPoint("m", 1.0, "mpps"),),
+        ))
+        assert main(["bench", "gate", "--store", str(store.root),
+                     "--baseline", SHA_A,
+                     "--require-baseline"]) == 1
+        assert "no metric" in capsys.readouterr().err
+
+    def test_gate_custom_threshold(self, store):
+        record(store, SHA_A, 2.0, 100.0)
+        record(store, SHA_B, 1.9, 200.0)  # -5%
+        assert main(["bench", "gate", "--store", str(store.root),
+                     "--baseline", SHA_A, "--max-regress", "2%"]) == 1
+
+
+class TestBenchImportCli:
+    def test_import_then_report(self, store, tmp_path, capsys):
+        artifact = tmp_path / "BENCH_shard_scaling.json"
+        artifact.write_text(json.dumps({
+            "benchmark": "shard_scaling",
+            "config": {"q": 512},
+            "rows": [
+                {"regime": "admission-heavy", "shards": 1,
+                 "mode": "per-shard-core", "aggregate_mpps": 1.0},
+            ],
+        }))
+        assert main(["bench", "import-legacy", str(artifact),
+                     "--sha", SHA_A, "--store", str(store.root)]) == 0
+        assert "imported 1 metric" in capsys.readouterr().out
+        (row,) = store.rows()
+        assert row.benchmark == "abl_shard_scaling"
+        assert main(["bench", "report",
+                     "--store", str(store.root)]) == 0
+        assert "abl_shard_scaling" in capsys.readouterr().out

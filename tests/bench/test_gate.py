@@ -1,0 +1,166 @@
+"""Tests for the noise-aware benchmark regression gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.gate import (
+    STATUS_IMPROVED,
+    STATUS_NO_BASELINE,
+    STATUS_OK,
+    STATUS_REGRESSED,
+    parse_percent,
+    render_gate_report,
+    run_gate,
+)
+from repro.bench.trajectory import (
+    MetricPoint,
+    TrajectoryRow,
+    TrajectoryStore,
+    machine_fingerprint,
+)
+from repro.errors import TrajectoryError
+
+BASE_SHA = "c" * 40
+CAND_SHA = "d" * 40
+
+MACHINE = machine_fingerprint()
+OTHER_MACHINE = machine_fingerprint(extra={"note": "other"})
+
+
+def record(store, sha, metrics, machine=MACHINE, recorded_at=100.0,
+           benchmark="fig04_gamma"):
+    store.append(TrajectoryRow(
+        benchmark=benchmark,
+        git_sha=sha,
+        recorded_at=recorded_at,
+        machine=machine,
+        metrics=tuple(metrics),
+    ))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TrajectoryStore(tmp_path)
+
+
+class TestParsePercent:
+    def test_forms(self):
+        assert parse_percent("10%") == pytest.approx(0.10)
+        assert parse_percent("2.5%") == pytest.approx(0.025)
+        assert parse_percent("0.1") == pytest.approx(0.1)
+        assert parse_percent(" 0% ") == 0.0
+
+    def test_rejects(self):
+        for bad in ("nope", "-5%", "100%", "1.5"):
+            with pytest.raises(TrajectoryError):
+                parse_percent(bad)
+
+
+class TestGate:
+    def test_synthetic_regression_fails(self, store):
+        """The acceptance case: an injected >10% drop must fail."""
+        record(store, BASE_SHA,
+               [MetricPoint("qmax@q=100", 2.0, "mpps")])
+        record(store, CAND_SHA,
+               [MetricPoint("qmax@q=100", 1.7, "mpps")],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA, max_regress=0.10)
+        assert report.failed
+        (finding,) = report.findings
+        assert finding.status == STATUS_REGRESSED
+        assert finding.delta == pytest.approx(-0.15)
+
+    def test_small_drop_passes(self, store):
+        record(store, BASE_SHA, [MetricPoint("m", 2.0, "mpps")])
+        record(store, CAND_SHA, [MetricPoint("m", 1.9, "mpps")],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA, max_regress=0.10)
+        assert not report.failed
+        assert report.findings[0].status == STATUS_OK
+
+    def test_noisy_ci_widens_allowance(self, store):
+        """A 12% drop inside combined ±8% error bars is noise."""
+        record(store, BASE_SHA,
+               [MetricPoint("m", 2.0, "mpps", ci_halfwidth=0.08)])
+        record(store, CAND_SHA,
+               [MetricPoint("m", 1.76, "mpps", ci_halfwidth=0.08)],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA, max_regress=0.10)
+        assert not report.failed
+        # allowance = 0.10 + (0.08 + 0.08) / 2.0 = 0.18 > 0.12 drop
+        assert report.findings[0].allowance == pytest.approx(0.18)
+
+    def test_tight_ci_still_fails(self, store):
+        record(store, BASE_SHA,
+               [MetricPoint("m", 2.0, "mpps", ci_halfwidth=0.01)])
+        record(store, CAND_SHA,
+               [MetricPoint("m", 1.76, "mpps", ci_halfwidth=0.01)],
+               recorded_at=200.0)
+        assert run_gate(store, BASE_SHA, CAND_SHA,
+                        max_regress=0.10).failed
+
+    def test_improvement_reported(self, store):
+        record(store, BASE_SHA, [MetricPoint("m", 1.0, "mpps")])
+        record(store, CAND_SHA, [MetricPoint("m", 2.0, "mpps")],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA)
+        assert not report.failed
+        assert report.findings[0].status == STATUS_IMPROVED
+
+    def test_new_metric_is_no_baseline(self, store):
+        record(store, BASE_SHA, [MetricPoint("old", 1.0, "mpps")])
+        record(store, CAND_SHA, [MetricPoint("new", 0.1, "mpps")],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA)
+        assert not report.failed
+        assert report.findings[0].status == STATUS_NO_BASELINE
+        assert report.compared == 0
+
+    def test_different_machines_never_compared(self, store):
+        """Pure vs NumPy stacks get distinct fingerprints — a fast
+        baseline host must not fail a slow candidate host."""
+        record(store, BASE_SHA, [MetricPoint("m", 10.0, "mpps")],
+               machine=MACHINE)
+        record(store, CAND_SHA, [MetricPoint("m", 1.0, "mpps")],
+               machine=OTHER_MACHINE, recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA)
+        assert not report.failed
+        assert report.findings[0].status == STATUS_NO_BASELINE
+
+    def test_non_throughput_units_ignored(self, store):
+        record(store, BASE_SHA, [MetricPoint("err", 0.01, "rel_error")])
+        record(store, CAND_SHA, [MetricPoint("err", 0.5, "rel_error")],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA, CAND_SHA)
+        assert report.findings == ()
+
+    def test_candidate_defaults_to_latest(self, store):
+        record(store, BASE_SHA, [MetricPoint("m", 2.0, "mpps")])
+        record(store, CAND_SHA, [MetricPoint("m", 1.0, "mpps")],
+               recorded_at=200.0)
+        report = run_gate(store, BASE_SHA)
+        assert report.candidate_sha == CAND_SHA
+        assert report.failed
+
+    def test_unknown_shas_raise(self, store):
+        record(store, BASE_SHA, [MetricPoint("m", 1.0, "mpps")])
+        with pytest.raises(TrajectoryError, match="no rows"):
+            run_gate(store, "e" * 40)
+        with pytest.raises(TrajectoryError, match="candidate"):
+            run_gate(store, BASE_SHA)
+
+    def test_zero_baseline_is_degenerate_ok(self, store):
+        record(store, BASE_SHA, [MetricPoint("m", 0.0, "mpps")])
+        record(store, CAND_SHA, [MetricPoint("m", 1.0, "mpps")],
+               recorded_at=200.0)
+        assert not run_gate(store, BASE_SHA, CAND_SHA).failed
+
+    def test_render_mentions_outcome(self, store, capsys):
+        record(store, BASE_SHA, [MetricPoint("m", 2.0, "mpps")])
+        record(store, CAND_SHA, [MetricPoint("m", 1.0, "mpps")],
+               recorded_at=200.0)
+        text = render_gate_report(run_gate(store, BASE_SHA, CAND_SHA))
+        assert "gate FAILED" in text
+        assert "REGRESSED" in text
+        assert "1 regressed" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Golden-output tests for `repro bench report` rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_report
+from repro.bench.trajectory import (
+    MetricPoint,
+    TrajectoryRow,
+    TrajectoryStore,
+    machine_fingerprint,
+)
+from repro.errors import TrajectoryError
+
+SHA_OLD = "1" * 40
+SHA_NEW = "2" * 40
+MACHINE = machine_fingerprint()
+
+
+def seed_store(tmp_path):
+    store = TrajectoryStore(tmp_path)
+    store.append(TrajectoryRow(
+        benchmark="fig04_gamma", git_sha=SHA_OLD, recorded_at=100.0,
+        machine=MACHINE,
+        metrics=(MetricPoint("qmax@gamma=0.25", 2.0, "mpps"),
+                 MetricPoint("heap@gamma=0.25", 0.5, "mpps")),
+    ))
+    store.append(TrajectoryRow(
+        benchmark="fig04_gamma", git_sha=SHA_NEW, recorded_at=200.0,
+        machine=MACHINE,
+        metrics=(MetricPoint("qmax@gamma=0.25", 4.0, "mpps"),
+                 MetricPoint("heap@gamma=0.25", 1.0, "mpps")),
+    ))
+    # Accuracy-only bench: no throughput units, excluded from headline.
+    store.append(TrajectoryRow(
+        benchmark="abl_accuracy", git_sha=SHA_NEW, recorded_at=200.0,
+        machine=MACHINE,
+        metrics=(MetricPoint("q=100/mean", 0.01, "rel_error"),),
+    ))
+    return store
+
+
+class TestHeadline:
+    def test_golden_headline(self, tmp_path):
+        text = render_report(seed_store(tmp_path))
+        lines = text.splitlines()
+        assert "2 commit(s), oldest -> newest" in lines[1]
+        # Columns: benchmark, old sha, new sha, delta.
+        header = lines[2].split()
+        assert header == ["benchmark", SHA_OLD[:10], SHA_NEW[:10],
+                          "Δ", "last"]
+        (data_line,) = [l for l in lines if l.strip().startswith("fig04")]
+        # geomean(2.0, 0.5) = 1.0; geomean(4.0, 1.0) = 2.0 -> +100%.
+        assert data_line.split() == ["fig04_gamma", "1.000", "2.000",
+                                     "+100.0%"]
+        assert "abl_accuracy" not in text
+
+    def test_last_window(self, tmp_path):
+        text = render_report(seed_store(tmp_path), last=1)
+        assert "1 commit(s)" in text
+        assert SHA_OLD[:10] not in text
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(TrajectoryError, match="empty"):
+            render_report(TrajectoryStore(tmp_path / "none"))
+
+
+class TestPerBenchmark:
+    def test_metric_detail(self, tmp_path):
+        text = render_report(seed_store(tmp_path),
+                             benchmark="fig04_gamma")
+        assert "qmax@gamma=0.25" in text
+        assert "heap@gamma=0.25" in text
+        assert MACHINE["id"][:6] in text
+        assert "+100.0%" in text
+
+    def test_missing_cells_render_as_dash(self, tmp_path):
+        store = seed_store(tmp_path)
+        store.append(TrajectoryRow(
+            benchmark="fig04_gamma", git_sha=SHA_NEW, recorded_at=300.0,
+            machine=MACHINE,
+            metrics=(MetricPoint("skiplist@gamma=0.25", 0.2, "mpps"),),
+        ))
+        text = render_report(store, benchmark="fig04_gamma")
+        (line,) = [l for l in text.splitlines() if "skiplist" in l]
+        # No measurement at the old SHA -> "-" cell and no delta.
+        assert line.split()[-3:] == ["-", "0.200", "-"]
+
+    def test_unknown_benchmark_raises(self, tmp_path):
+        with pytest.raises(TrajectoryError, match="no rows"):
+            render_report(seed_store(tmp_path), benchmark="nope")
+
+    def test_mixed_machines_averaged(self, tmp_path):
+        other = machine_fingerprint(extra={"note": "other"})
+        store = seed_store(tmp_path)
+        store.append(TrajectoryRow(
+            benchmark="fig04_gamma", git_sha=SHA_NEW, recorded_at=250.0,
+            machine=other,
+            metrics=(MetricPoint("qmax@gamma=0.25", 8.0, "mpps"),),
+        ))
+        text = render_report(store)
+        (line,) = [l for l in text.splitlines()
+                   if l.strip().startswith("fig04")]
+        # Machine A geomean(4, 1) = 2.0, machine B geomean(8) = 8.0,
+        # headline = mean(2.0, 8.0) = 5.0.
+        assert line.split()[2] == "5.000"
