@@ -11,8 +11,18 @@ BENCH_SUBSET = benchmarks/bench_fig04_gamma.py \
                benchmarks/bench_tab01_speedups.py \
                benchmarks/bench_abl_shard_scaling.py
 
+# Synthetic SHAs for the local/CI instrumentation-overhead gate: the
+# all-a row is measured with metrics off, the all-b row with
+# REPRO_METRICS=1.  See docs/OBSERVABILITY.md.
+OBS_STORE = /tmp/repro-obs-store
+OBS_BASE = aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa
+OBS_CAND = bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb
+OBS_SUBSET = benchmarks/bench_fig04_gamma.py \
+             benchmarks/bench_fig05_vs_q.py \
+             benchmarks/bench_tab01_speedups.py
+
 .PHONY: test bench bench-fast bench-subset bench-report bench-gate \
-        examples serve-demo lint all outputs
+        bench-overhead examples serve-demo lint all outputs
 
 test:
 	$(PYTEST) tests/
@@ -31,6 +41,18 @@ bench-report:  ## render the recorded MPPS-over-commits trajectory
 
 bench-gate:  ## fail on recorded regressions vs the BASELINE commit
 	$(REPRO) bench gate --max-regress 10%
+
+bench-overhead:  ## gate repro.obs instrumentation overhead at <=3%
+	rm -rf $(OBS_STORE)
+	REPRO_SCALE=0.1 REPRO_TRAJECTORY_DIR=$(OBS_STORE) \
+	REPRO_GIT_SHA=$(OBS_BASE) \
+	$(PYTEST) $(OBS_SUBSET) --benchmark-disable -q
+	REPRO_SCALE=0.1 REPRO_TRAJECTORY_DIR=$(OBS_STORE) \
+	REPRO_METRICS=1 REPRO_GIT_SHA=$(OBS_CAND) \
+	$(PYTEST) $(OBS_SUBSET) --benchmark-disable -q
+	$(REPRO) bench gate --store $(OBS_STORE) \
+	  --baseline $(OBS_BASE) --candidate $(OBS_CAND) \
+	  --max-regress 3% --require-baseline
 
 examples:
 	@for script in examples/*.py; do \

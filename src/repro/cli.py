@@ -303,10 +303,15 @@ def _cmd_bench_import(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import logging
 
     from repro.service.config import ServiceConfig
     from repro.service.daemon import serve
 
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
     config = ServiceConfig(
         q=args.q,
         gamma=args.gamma,
@@ -325,6 +330,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         recover=not args.no_recover,
         track_evictions=args.track_evictions,
+        metrics=not args.no_metrics,
     )
 
     def _ready(daemon) -> None:
@@ -344,15 +350,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     import json
+    import time
 
     from repro.service.rpc import rpc_call
 
     params = {}
     if args.op == "top" and args.q:
         params["q"] = args.q
-    result = rpc_call(args.host, args.port, args.op,
-                      timeout=args.timeout, **params)
-    print(json.dumps(result, indent=2, sort_keys=True))
+    fmt = getattr(args, "format", "json")
+    if args.op == "metrics" and fmt != "json":
+        params["format"] = fmt
+
+    def _once():
+        result = rpc_call(args.host, args.port, args.op,
+                          timeout=args.timeout, **params)
+        if isinstance(result, str):
+            # Prometheus exposition text: already line-oriented.
+            sys.stdout.write(result)
+            sys.stdout.flush()
+        else:
+            print(json.dumps(result, indent=2, sort_keys=True), flush=True)
+        return result
+
+    result = _once()
+    if args.op == "metrics" and args.watch:
+        try:
+            while True:
+                time.sleep(args.interval)
+                print(f"--- {time.strftime('%H:%M:%S')}", flush=True)
+                result = _once()
+        except KeyboardInterrupt:
+            pass
+    if args.op == "metrics" and args.record:
+        from repro.obs.export import record_snapshot
+
+        if not isinstance(result, dict):
+            result = rpc_call(args.host, args.port, "metrics",
+                              timeout=args.timeout)
+        row = record_snapshot(result)
+        print(
+            f"recorded {len(row.metrics)} metric point(s) for "
+            f"{row.git_sha}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -547,19 +587,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore an existing snapshot at startup")
     p.add_argument("--track-evictions", action="store_true",
                    help="carry the eviction log in snapshots")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="disable the observability registry "
+                   "(the metrics RPC op returns an empty snapshot)")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="stdlib logging level for repro.* loggers")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("query",
                        help="query a running daemon's RPC port")
     p.add_argument("op",
                    choices=("top", "stats", "snapshot", "reset",
-                            "health"))
+                            "health", "metrics"))
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, required=True,
                    help="the daemon's RPC port")
     p.add_argument("-q", type=int, default=0,
                    help="top: how many items (0 = the engine's q)")
     p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--format", default="json",
+                   choices=("json", "prometheus"),
+                   help="metrics: exposition format")
+    p.add_argument("--watch", action="store_true",
+                   help="metrics: re-poll until interrupted")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="metrics: --watch poll interval, seconds")
+    p.add_argument("--record", action="store_true",
+                   help="metrics: append selected gauges to the bench "
+                   "trajectory store")
     p.set_defaults(func=_cmd_query)
 
     return parser

@@ -40,6 +40,7 @@ Deviations from the paper (documented in DESIGN.md §5):
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Generator, Iterator, List, Optional, Sequence
 
 from repro._compat import HAVE_NUMPY, np
@@ -52,6 +53,7 @@ from repro.core.select import (
     stepwise_select_sampled,
 )
 from repro.errors import ConfigurationError, InvariantError
+from repro.obs import resolve_registry
 from repro.types import Item, ItemId, TopItems, Value
 
 #: Sentinel stored in empty slots; never equal to a user id.
@@ -114,6 +116,23 @@ class QMax(QMaxBase):
         requires NumPy (``ConfigurationError`` if missing) and engages
         it for every batch size.  Retained-set semantics are identical
         on all paths.
+    metrics:
+        Observability registry (see :mod:`repro.obs`): ``None`` uses
+        the process default (disabled unless ``REPRO_METRICS=1``),
+        ``False`` forces off, or pass a
+        :class:`~repro.obs.MetricsRegistry`.  Maintenance events —
+        drives, select/pivot completions, iteration boundaries,
+        evictions, batch fast-path hits, Ψ — are counted at drive and
+        batch granularity only; the per-item ``add`` path is never
+        touched, and with metrics disabled no instrumentation branch
+        exists on any hot path.
+    trace:
+        With an enabled ``metrics`` registry, additionally time every
+        maintenance drive into the
+        ``repro_qmax_maintenance_seconds{phase=select|pivot|boundary}``
+        histograms (two ``perf_counter`` calls per drive) — the span
+        data ``bench_sec3_profiling.py`` turns into the paper's §3
+        time-breakdown table.  Ignored when metrics are disabled.
     """
 
     __slots__ = (
@@ -141,6 +160,19 @@ class QMax(QMaxBase):
         "max_step_ops",
         "admitted",
         "rejected",
+        "_obs",
+        "_obs_drives",
+        "_obs_selects",
+        "_obs_pivots",
+        "_obs_iterations",
+        "_obs_evictions",
+        "_obs_batches",
+        "_obs_batch_fastpath",
+        "_obs_batch_numpy",
+        "_obs_psi",
+        "_trace",
+        "_trace_hists",
+        "_maint_phase",
     )
 
     def __init__(
@@ -153,6 +185,8 @@ class QMax(QMaxBase):
         deterministic_select: bool = False,
         use_numpy: Optional[bool] = None,
         pivot_sample: int = 0,
+        metrics=None,
+        trace: bool = False,
     ) -> None:
         if q < 1:
             raise ConfigurationError(f"q must be >= 1, got {q}")
@@ -200,7 +234,73 @@ class QMax(QMaxBase):
         self._track_evictions = track_evictions
         self._instrument = instrument
         self._evicted: List[Item] = []
+        self._bind_obs(resolve_registry(metrics), trace)
         self.reset()
+
+    def _bind_obs(self, registry, trace: bool) -> None:
+        """Bind observability instruments once (cold path).
+
+        Instruments are registered by name, so several structures on
+        one registry share cumulative counters (gauges: last writer
+        wins); the sharded engine gives each worker process its own
+        registry and merges snapshots instead.
+        """
+        if not registry.enabled:
+            self._obs = None
+            self._trace = False
+            self._trace_hists = None
+            return
+        self._obs = registry
+        self._obs_drives = registry.counter(
+            "repro_qmax_maintenance_drives_total",
+            "maintenance micro-batch drives",
+        )
+        self._obs_selects = registry.counter(
+            "repro_qmax_select_completed_total",
+            "resumable Select completions (one per iteration)",
+        )
+        self._obs_pivots = registry.counter(
+            "repro_qmax_pivot_completed_total",
+            "resumable pivot completions (one per iteration)",
+        )
+        self._obs_iterations = registry.counter(
+            "repro_qmax_iterations_total",
+            "iteration boundaries (orientation flips)",
+        )
+        self._obs_evictions = registry.counter(
+            "repro_qmax_evictions_total",
+            "items displaced at iteration boundaries",
+        )
+        self._obs_batches = registry.counter(
+            "repro_qmax_batch_calls_total", "add_many invocations",
+        )
+        self._obs_batch_fastpath = registry.counter(
+            "repro_qmax_batch_fastpath_total",
+            "add_many bursts rejected whole by the common-discard max()",
+        )
+        self._obs_batch_numpy = registry.counter(
+            "repro_qmax_batch_numpy_total",
+            "add_many bursts through the vectorized NumPy filter",
+        )
+        self._obs_psi = registry.gauge(
+            "repro_qmax_psi", "current admission threshold Ψ",
+        )
+        registry.gauge(
+            "repro_qmax_gamma_configured", "requested γ",
+        ).set(self.gamma)
+        registry.gauge(
+            "repro_qmax_gamma_actual",
+            "realized γ = 2⌊qγ/2⌋/q after slot rounding",
+        ).set(2 * self._g / self.q)
+        self._trace = bool(trace)
+        self._trace_hists = {
+            phase: registry.histogram(
+                "repro_qmax_maintenance_seconds",
+                "wall-clock time of maintenance drives by phase",
+                phase=phase,
+            )
+            for phase in ("select", "pivot", "boundary")
+        } if trace else None
 
     # ------------------------------------------------------------------
     # Region geometry.
@@ -244,6 +344,7 @@ class QMax(QMaxBase):
         self.max_step_ops = 0
         self.admitted = 0
         self.rejected = 0
+        self._maint_phase = "select"
         self._maint: Optional[Generator[int, None, None]] = (
             self._maintenance_gen()
         )
@@ -262,13 +363,21 @@ class QMax(QMaxBase):
         sel_ops = -(-self._select_factor * size // sel_drives)
         piv_ops = -(-_PIVOT_BUDGET_FACTOR * size // piv_drives)
         rank = size - self.q
+        self._maint_phase = "select"
         psi = yield from self._select(
             self._vals, self._ids, lo, hi, rank, sel_ops
         )
         self._psi = psi
+        obs = self._obs
+        if obs is not None:
+            self._obs_selects.inc()
+            self._obs_psi.set(psi)
+        self._maint_phase = "pivot"
         yield from stepwise_partition_top(
             self._vals, self._ids, lo, hi, psi, self._pivot_side(), piv_ops
         )
+        if obs is not None:
+            self._obs_pivots.inc()
 
     # ------------------------------------------------------------------
     # Hot path.
@@ -312,11 +421,15 @@ class QMax(QMaxBase):
         # Eviction tracking needs per-reject bookkeeping, which the
         # vectorized filter skips; route tracked structures through the
         # pure path (ordering is unspecified anyway, see QMaxBase).
+        if self._obs is not None:
+            self._obs_batches.inc()
         if (
             self._use_numpy
             and n >= self._np_min_batch
             and not self._track_evictions
         ):
+            if self._obs is not None:
+                self._obs_batch_numpy.inc()
             self._add_many_numpy(ids, vals)
         else:
             self._add_many_python(ids, vals)
@@ -332,6 +445,8 @@ class QMax(QMaxBase):
         # need per-item eviction records, so they take the loop.)
         if n and not track and max(vals) <= self._psi:
             self.rejected += n
+            if self._obs is not None:
+                self._obs_batch_fastpath.inc()
             return
         vals_a = self._vals
         ids_a = self._ids
@@ -388,6 +503,9 @@ class QMax(QMaxBase):
         cand = np.flatnonzero(varr > self._psi)
         k = 0
         m = cand.shape[0]
+        if n and not m and self._obs is not None:
+            # Vectorized analogue of the common-discard shortcut.
+            self._obs_batch_fastpath.inc()
         while k < m:
             steps = self._steps
             room = batch - steps % batch
@@ -424,13 +542,30 @@ class QMax(QMaxBase):
         """Advance maintenance by one micro-batch; flip at the boundary."""
         step_ops = 0
         maint = self._maint
+        trace = self._trace
         if maint is not None:
+            if trace:
+                t0 = perf_counter()
             try:
                 step_ops = next(maint)
             except StopIteration:
                 self._maint = None
+            if trace:
+                # A drive that finishes the Select mid-budget continues
+                # into the pivot; the whole drive is attributed to the
+                # phase it ended in — exact at iteration granularity.
+                self._trace_hists[self._maint_phase].observe(
+                    perf_counter() - t0
+                )
         if steps >= self._g:
-            step_ops += self._finish_iteration()
+            if trace:
+                t0 = perf_counter()
+                step_ops += self._finish_iteration()
+                self._trace_hists["boundary"].observe(perf_counter() - t0)
+            else:
+                step_ops += self._finish_iteration()
+        if self._obs is not None:
+            self._obs_drives.inc()
         if self._instrument:
             self.maintenance_ops += step_ops
             if step_ops > self.max_step_ops:
@@ -453,6 +588,12 @@ class QMax(QMaxBase):
             for i in range(d_lo, d_hi):
                 if ids[i] is not _EMPTY:
                     self._evicted.append((ids[i], vals[i]))
+        if self._obs is not None:
+            self._obs_iterations.inc()
+            ids = self._ids
+            self._obs_evictions.inc(
+                sum(1 for i in range(d_lo, d_hi) if ids[i] is not _EMPTY)
+            )
         # The discarded slots keep stale contents; they are overwritten
         # one per admitted item as the next iteration's S2.
         self._orient_left = not self._orient_left

@@ -1,0 +1,119 @@
+"""repro.obs — unified metrics, tracing, and live introspection.
+
+The observability layer the paper's §3 profiling argument implies: the
+same instrumentation that produces the time-breakdown tables also runs
+in production, so "where does per-packet time go?" is always a query
+away.  Three pieces:
+
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram`` in a
+  process-local :class:`MetricsRegistry`, a no-op
+  :class:`NullRegistry` twin for zero-cost disabled operation, and
+  :func:`merge_snapshots` for combining per-worker-process views.
+* :mod:`repro.obs.exposition` — Prometheus-text and JSON renderers
+  over frozen snapshots.
+* :func:`span` — ``with obs.span("maintenance"):`` style tracing into
+  ``*_seconds`` histograms; a no-op when disabled.
+
+**The default registry.**  Components take a ``metrics=`` parameter:
+``None`` (the default) resolves to the process-wide default registry —
+a :class:`NullRegistry` unless ``REPRO_METRICS=1`` is set or
+:func:`set_default_registry` installed a real one — ``False`` forces
+off, and an explicit :class:`MetricsRegistry` wires a private one (the
+daemon does this so its metrics stay per-daemon).  Hot structures
+check ``registry.enabled`` once at construction and keep ``None``
+when disabled, so the disabled hot path has no instrumentation
+branches at all.
+
+See docs/OBSERVABILITY.md for the metric catalog and overhead numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.obs.exposition import render_json, render_prometheus
+from repro.obs.metrics import (
+    Counter,
+    DURATION_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    SIZE_BUCKETS,
+    Span,
+    merge_snapshots,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "DURATION_BUCKETS",
+    "SIZE_BUCKETS",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_json",
+    "default_registry",
+    "set_default_registry",
+    "resolve_registry",
+    "span",
+]
+
+#: Truthy values of the ``REPRO_METRICS`` environment switch.
+_ENV_TRUE = ("1", "true", "yes", "on")
+
+_default: Optional[Union[MetricsRegistry, NullRegistry]] = None
+
+
+def default_registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The process-wide registry ``metrics=None`` resolves to.
+
+    First call decides: a real registry when ``REPRO_METRICS`` is set
+    truthy (how the CI overhead job turns instrumentation on for the
+    benchmarks without touching their code), the shared
+    :data:`NULL_REGISTRY` otherwise.
+    """
+    global _default
+    if _default is None:
+        enabled = os.environ.get("REPRO_METRICS", "").lower() in _ENV_TRUE
+        _default = MetricsRegistry() if enabled else NULL_REGISTRY
+    return _default
+
+
+def set_default_registry(
+    registry: Optional[Union[MetricsRegistry, NullRegistry]],
+) -> None:
+    """Install (or with ``None`` re-resolve from the environment) the
+    process-wide default registry."""
+    global _default
+    _default = registry
+
+
+def resolve_registry(
+    metrics: Union[MetricsRegistry, NullRegistry, bool, None],
+) -> Union[MetricsRegistry, NullRegistry]:
+    """The ``metrics=`` parameter convention shared by instrumented
+    components: ``None`` → default registry, ``False`` → disabled,
+    ``True`` → a real registry even if the default is off, a registry
+    instance → itself."""
+    if metrics is None:
+        return default_registry()
+    if metrics is False:
+        return NULL_REGISTRY
+    if metrics is True:
+        found = default_registry()
+        return found if found.enabled else MetricsRegistry()
+    return metrics
+
+
+def span(name: str, registry=None, **labels: str):
+    """``with obs.span("maintenance"): ...`` — time a block into the
+    ``<name>_seconds`` histogram of ``registry`` (default registry when
+    omitted; a no-op singleton when that is disabled)."""
+    return (registry or default_registry()).span(name, **labels)

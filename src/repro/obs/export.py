@@ -1,0 +1,125 @@
+"""Bridge: metric snapshots → the ``repro.bench.trajectory`` store.
+
+Observability data rides the existing regression-gate rails: selected
+counters and gauges from a live daemon (or any snapshot) become
+:class:`~repro.bench.trajectory.MetricPoint` rows appended to the
+append-only per-commit store, so ``repro bench report`` renders them
+over time and ``repro bench gate`` can defend them like any benchmark
+metric.  ``repro query metrics --record`` is the CLI entry point.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Snapshot metrics recorded by default: cumulative ingest/engine
+#: counters and the occupancy/latency aggregates — the gauges a fleet
+#: operator trends over commits.  Histograms export their count and
+#: mean (sum/count) rather than every bucket.
+DEFAULT_INCLUDE = (
+    "repro_qmax_*",
+    "repro_shard_*",
+    "repro_ring_*",
+    "repro_worker_*",
+    "repro_feeder_*",
+    "repro_ingest_*",
+    "repro_rpc_*",
+    "repro_snapshot_*",
+)
+
+
+def _matches(name: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch.fnmatchcase(name, p) for p in patterns)
+
+
+def _point_name(sample: Dict[str, Any], suffix: str = "") -> str:
+    labels = sample.get("labels") or {}
+    name = sample["name"] + suffix
+    if labels:
+        tags = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f"{name}{{{tags}}}"
+    return name
+
+
+def snapshot_metric_points(
+    snapshot: Dict[str, Any],
+    include: Sequence[str] = DEFAULT_INCLUDE,
+) -> List[Dict[str, Any]]:
+    """Flatten a snapshot into MetricPoint-shaped dicts.
+
+    Counters and gauges become one point each (unit ``count``, or
+    ``seconds`` for ``*_seconds*`` names); histograms become a
+    ``:count`` point plus a ``:mean`` point when non-empty.  Only
+    metrics matching ``include`` glob patterns are exported.  Returned
+    as plain dicts so callers hand them to
+    :func:`repro.bench.reporting.emit` (which validates them into
+    :class:`~repro.bench.trajectory.MetricPoint`).
+    """
+    points: List[Dict[str, Any]] = []
+    for sample in snapshot.get("metrics", ()):
+        name = sample["name"]
+        if not _matches(name, include):
+            continue
+        unit = "seconds" if "_seconds" in name else "count"
+        if sample["type"] == "histogram":
+            count = sample["count"]
+            points.append({
+                "name": _point_name(sample, ":count"),
+                "value": float(count),
+                "unit": "count",
+            })
+            if count:
+                points.append({
+                    "name": _point_name(sample, ":mean"),
+                    "value": sample["sum"] / count,
+                    "unit": unit,
+                })
+        else:
+            value = sample["value"]
+            # Booleans and non-finite values don't belong in the store.
+            if value != value or value in (float("inf"), float("-inf")):
+                continue
+            points.append({
+                "name": _point_name(sample),
+                "value": float(value),
+                "unit": unit,
+            })
+    return points
+
+
+def record_snapshot(
+    snapshot: Dict[str, Any],
+    benchmark: str = "obs_metrics",
+    title: str = "live observability snapshot",
+    include: Sequence[str] = DEFAULT_INCLUDE,
+    config: Optional[Dict[str, Any]] = None,
+    store=None,
+):
+    """Append one trajectory row built from a snapshot; returns the row.
+
+    Raises :class:`~repro.errors.TrajectoryError` when nothing in the
+    snapshot matches ``include`` (an empty row would be rejected by the
+    schema anyway — fail with the useful message instead).
+    """
+    from repro.bench.reporting import emit
+    from repro.errors import TrajectoryError
+
+    points = snapshot_metric_points(snapshot, include=include)
+    if not points:
+        raise TrajectoryError(
+            "no snapshot metrics matched the include patterns "
+            f"{list(include)!r}"
+        )
+    rows = [[p["name"], p["value"], p["unit"]] for p in points]
+    return emit(
+        benchmark,
+        title,
+        ["metric", "value", "unit"],
+        rows,
+        config=dict(config or {}, recorded_from="obs_snapshot",
+                    captured_at=time.time()),
+        metrics=points,
+        store=store,
+    )

@@ -1,0 +1,88 @@
+"""Exposition: metric snapshots → Prometheus text / JSON documents.
+
+Both renderers consume the *snapshot* dict produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or by
+:func:`repro.obs.metrics.merge_snapshots`), never live registries —
+which is what lets the daemon expose metrics merged across worker
+processes: workers ship snapshots over their control pipes, the engine
+merges, the daemon renders.
+
+The text format follows the Prometheus exposition format 0.0.4:
+``# HELP`` / ``# TYPE`` headers grouped per metric family, histogram
+``_bucket``/``_sum``/``_count`` series with cumulative ``le`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Characters escaped inside label values per the exposition format.
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    for raw, esc in _LABEL_ESCAPES.items():
+        value = value.replace(raw, esc)
+    return value
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a snapshot as Prometheus exposition text."""
+    lines: List[str] = []
+    seen_headers = set()
+    for sample in snapshot.get("metrics", ()):
+        name = sample["name"]
+        kind = sample["type"]
+        labels = sample.get("labels") or {}
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = (sample.get("help") or "").replace("\n", " ")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            for bound, count in sample["buckets"]:
+                le = bound if isinstance(bound, str) else (
+                    _format_value(float(bound))
+                )
+                labels_text = _labels_text(
+                    labels, extra=f'le="{le}"'
+                )
+                lines.append(f"{name}_bucket{labels_text} {count}")
+            base = _labels_text(labels)
+            lines.append(f"{name}_sum{base} {_format_value(sample['sum'])}")
+            lines.append(f"{name}_count{base} {sample['count']}")
+        else:
+            labels_text = _labels_text(labels)
+            lines.append(
+                f"{name}{labels_text} {_format_value(sample['value'])}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON exposition *is* the snapshot; this validates the shape
+    cheaply and returns it, so both renderers share one entry point."""
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, list):
+        raise ValueError("snapshot has no 'metrics' list")
+    return snapshot

@@ -34,6 +34,7 @@ streams of non-integer ids should pre-hash to ints instead.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import time
@@ -43,10 +44,13 @@ from repro._compat import HAVE_NUMPY, np
 from repro.core.interface import QMaxBase
 from repro.errors import ConfigurationError, ParallelError
 from repro.hashing.mix import key_to_u64, splitmix64
+from repro.obs import merge_snapshots, resolve_registry
 from repro.parallel.merge import merge_top_records
 from repro.parallel.shm_ring import HAVE_SHM, ShmRecordRing
 from repro.parallel.worker import SHARD_RECORD, build_backend, shard_worker_main
 from repro.types import Item, ItemId, TopItems, Value
+
+_LOG = logging.getLogger("repro.parallel.engine")
 
 _MASK64 = (1 << 64) - 1
 
@@ -130,6 +134,13 @@ class ShardedQMaxEngine(QMaxBase):
     instrument:
         Inline mode only: record cumulative per-shard service seconds
         in :attr:`shard_seconds` (the scaling benchmark's probe).
+    metrics:
+        :func:`repro.obs.resolve_registry` convention — ``None`` uses
+        the process default (off unless ``REPRO_METRICS=1``), ``False``
+        forces off, a registry wires a private one.  When enabled,
+        workers keep their own registries (shared with their backends)
+        and :meth:`metrics_snapshot` returns the engine-local view
+        merged with every worker's snapshot.
     """
 
     def __init__(
@@ -147,6 +158,7 @@ class ShardedQMaxEngine(QMaxBase):
         use_numpy: Optional[bool] = None,
         backend_kwargs: Optional[Dict[str, Any]] = None,
         instrument: bool = False,
+        metrics=None,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError(
@@ -163,6 +175,7 @@ class ShardedQMaxEngine(QMaxBase):
                 "use_numpy=True but numpy is not installed "
                 "(pip install .[fast])"
             )
+        self._metrics = resolve_registry(metrics)
         if backend_factory is not None:
             self._spec: Any = backend_factory
             probe = backend_factory()
@@ -216,6 +229,10 @@ class ShardedQMaxEngine(QMaxBase):
             return "inline"
         try:
             self._start_processes()
+            _LOG.debug(
+                "started %d shard worker(s), ring capacity %d",
+                self.n_shards, self._ring_capacity,
+            )
             return "process"
         except Exception as exc:
             self._teardown_processes(force=True)
@@ -225,10 +242,24 @@ class ShardedQMaxEngine(QMaxBase):
                 raise ParallelError(
                     f"cannot start shard workers: {exc!r}"
                 ) from exc
+            _LOG.warning(
+                "process mode unavailable (%r); falling back to inline "
+                "sharding", exc,
+            )
             self._start_inline(probe)
             return "inline"
 
     def _start_inline(self, probe: QMaxBase) -> None:
+        if self._metrics.enabled and not callable(self._spec):
+            # All inline backends share the engine registry: counters
+            # are get-or-create by name, so per-shard increments land in
+            # the same instruments — matching the summed view a merge of
+            # per-worker snapshots produces in process mode.
+            self._backends = [
+                build_backend(self._spec, metrics=self._metrics)
+                for _ in range(self.n_shards)
+            ]
+            return
         self._backends = [probe]
         for _ in range(self.n_shards - 1):
             self._backends.append(build_backend(self._spec))
@@ -261,6 +292,7 @@ class ShardedQMaxEngine(QMaxBase):
                         self._spec,
                         self.burst,
                         self._use_numpy if HAVE_NUMPY else False,
+                        self._metrics.enabled,
                     ),
                     daemon=True,
                     name=f"qmax-shard-{s}",
@@ -595,6 +627,90 @@ class ShardedQMaxEngine(QMaxBase):
             "stalls": [r.stalls for r in self._rings] or None,
             "interned_ids": len(self._token_ids),
         }
+
+    # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics_registry(self):
+        """The engine-local registry (``NULL_REGISTRY`` when disabled)."""
+        return self._metrics
+
+    def _sync_engine_gauges(self) -> None:
+        """Refresh producer-side gauges from existing counters; called
+        only when a snapshot is taken, never on the hot path."""
+        reg = self._metrics
+        for s in range(self.n_shards):
+            reg.gauge(
+                "repro_shard_pushed",
+                "records pushed to this shard's ring (or inline backend)",
+                agg="sum", shard=str(s),
+            ).set(float(self._pushed[s]))
+        for s, ring in enumerate(self._rings):
+            reg.gauge(
+                "repro_ring_stalls",
+                "producer stalls waiting for ring space (backpressure)",
+                agg="sum", shard=str(s),
+            ).set(float(ring.stalls))
+            reg.gauge(
+                "repro_ring_occupancy",
+                "records currently queued in the shard ring",
+                agg="max", shard=str(s),
+            ).set(float(len(ring)))
+        reg.gauge(
+            "repro_engine_interned_ids",
+            "non-native flow ids interned into u64 tokens", agg="sum",
+        ).set(float(len(self._token_ids)))
+        if self.mode == "inline" and not self._closed:
+            # Inline shards have no worker registries; mirror their
+            # backend counters here the way workers do theirs.
+            consumed = admitted = rejected = 0
+            have = False
+            for b in self._backends:
+                a = getattr(b, "admitted", None)
+                r = getattr(b, "rejected", None)
+                if a is not None:
+                    admitted += a
+                    have = True
+                if r is not None:
+                    rejected += r
+                    have = True
+                consumed += (a or 0) + (r or 0)
+            if have:
+                reg.gauge(
+                    "repro_shard_consumed",
+                    "records this shard drained from its ring", agg="sum",
+                ).set(float(consumed))
+                reg.gauge(
+                    "repro_shard_admitted",
+                    "records the shard backend admitted", agg="sum",
+                ).set(float(admitted))
+                reg.gauge(
+                    "repro_shard_rejected",
+                    "records the shard backend rejected", agg="sum",
+                ).set(float(rejected))
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Merged observability snapshot across the whole engine.
+
+        Process mode runs a ``metrics`` barrier (every worker syncs its
+        shard gauges and ships its registry snapshot) and merges those
+        with the engine-local registry via
+        :func:`repro.obs.merge_snapshots`; inline mode and closed
+        engines return the engine-local view directly.
+        """
+        reg = self._metrics
+        if not reg.enabled:
+            return reg.snapshot()
+        self._sync_engine_gauges()
+        snaps = [reg.snapshot()]
+        if self.mode == "process" and not self._closed:
+            snaps.extend(
+                s for s in self._command("metrics")
+                if isinstance(s, dict) and s.get("metrics")
+            )
+        return merge_snapshots(snaps) if len(snaps) > 1 else snaps[0]
 
     # ------------------------------------------------------------------
     # Teardown.

@@ -18,6 +18,11 @@ without sentinel records in the data stream:
 ``("items", n)``         → all live items of the shard backend
 ``("take_evicted", n)``  → drained eviction log
 ``("stats", n)``         → counters (consumed, admitted, Ψ, ...)
+``("metrics", n)``       → this worker's metrics-registry snapshot
+                           (shard totals synced into ``agg="sum"``
+                           gauges first, so engine-side
+                           :func:`repro.obs.merge_snapshots` yields
+                           stream-wide totals)
 ``("reset", n)``         → backend.reset()
 ``("close", n)``         → final report: live items **and** the
                            eviction-log remainder — nothing the backend
@@ -29,6 +34,7 @@ and exits; the engine converts that into :class:`ParallelError`.
 
 from __future__ import annotations
 
+import logging
 import struct
 import time
 from typing import Any, Dict, Optional
@@ -36,7 +42,10 @@ from typing import Any, Dict, Optional
 from repro._compat import HAVE_NUMPY, np
 from repro.apps.reservoirs import make_reservoir
 from repro.core.interface import QMaxBase
+from repro.obs import MetricsRegistry, NULL_REGISTRY, SIZE_BUCKETS
 from repro.parallel.shm_ring import ShmRecordRing
+
+_LOG = logging.getLogger("repro.parallel.worker")
 
 #: One update record: (id: u64, value: f64), native byte order — both
 #: ends live on the same machine.
@@ -56,25 +65,31 @@ _VECTOR_MIN_BURST = 32
 _IDLE_POLL = 0.0005
 
 
-def build_backend(spec: Any) -> QMaxBase:
+def build_backend(spec: Any, metrics: Any = False) -> QMaxBase:
     """Materialize a shard backend from its picklable spec.
 
     ``spec`` is either a dict — ``{"backend": name, "q": int, "gamma":
     float, "track_evictions": bool, "kwargs": {...}}`` with names from
     :data:`repro.apps.reservoirs.BACKENDS` — or a zero-argument callable
     (usable with the ``fork`` start method, where pickling is bypassed).
+
+    ``metrics`` follows the :func:`repro.obs.resolve_registry`
+    convention and reaches ``qmax`` backends only (other reservoirs and
+    factory-built backends are constructed as-is).
     """
     if callable(spec):
         return spec()
     kwargs = dict(spec.get("kwargs", ()))
     backend = spec.get("backend", "qmax")
-    if backend == "qmax" and kwargs:
+    instrumented = getattr(metrics, "enabled", metrics is True)
+    if backend == "qmax" and (kwargs or instrumented):
         from repro.core.qmax import QMax
 
         return QMax(
             spec["q"],
             spec.get("gamma", 0.25),
             track_evictions=spec.get("track_evictions", False),
+            metrics=metrics,
             **kwargs,
         )
     return make_reservoir(
@@ -99,6 +114,27 @@ def _decode_burst(blob: bytes, use_numpy: bool):
     return [p[0] for p in pairs], [p[1] for p in pairs]
 
 
+def _sync_shard_gauges(reg, backend: QMaxBase, consumed: int) -> None:
+    """Mirror the backend's cumulative counters into ``agg="sum"``
+    gauges right before a snapshot ships, so merging every worker's
+    snapshot yields stream-wide totals with zero hot-path cost."""
+    if not reg.enabled:
+        return
+    reg.gauge(
+        "repro_shard_consumed",
+        "records this shard drained from its ring", agg="sum",
+    ).set(float(consumed))
+    for attr, name in (
+        ("admitted", "repro_shard_admitted"),
+        ("rejected", "repro_shard_rejected"),
+    ):
+        value = getattr(backend, attr, None)
+        if value is not None:
+            reg.gauge(
+                name, f"records the shard backend {attr}", agg="sum",
+            ).set(float(value))
+
+
 def _shard_stats(backend: QMaxBase, consumed: int) -> Dict[str, Any]:
     stats: Dict[str, Any] = {
         "consumed": consumed,
@@ -121,18 +157,37 @@ def shard_worker_main(
     spec: Any,
     burst: int = 512,
     use_numpy: Optional[bool] = None,
+    metrics: bool = False,
 ) -> None:
     """Entry point of one shard worker process.
 
     Attaches the ring, builds the backend, acknowledges readiness, then
     alternates between draining record bursts and serving barrier
-    commands until ``close``.
+    commands until ``close``.  With ``metrics=True`` the worker keeps a
+    process-local :class:`~repro.obs.MetricsRegistry` (shared with its
+    backend) and answers the ``metrics`` op with a snapshot of it.
     """
     ring = None
     try:
         ring = ShmRecordRing.attach(ring_name, capacity, SHARD_RECORD.size)
-        backend = build_backend(spec)
+        reg = MetricsRegistry() if metrics else NULL_REGISTRY
+        backend = build_backend(spec, metrics=reg if metrics else False)
         vectorize = HAVE_NUMPY if use_numpy is None else use_numpy
+        obs = reg if reg.enabled else None
+        if obs is not None:
+            obs_bursts = reg.counter(
+                "repro_worker_bursts_total",
+                "record bursts drained from the shm ring",
+            )
+            obs_wakeup = reg.histogram(
+                "repro_worker_records_per_wakeup",
+                "records decoded per non-empty ring drain",
+                buckets=SIZE_BUCKETS,
+            )
+            obs_idle = reg.counter(
+                "repro_worker_idle_polls_total",
+                "drain cycles that found the ring empty",
+            )
         conn.send(("ready", backend.name))
         consumed = 0
         pending: Optional[tuple] = None
@@ -142,14 +197,20 @@ def shard_worker_main(
                 ids, vals = _decode_burst(blob, vectorize)
                 backend.add_many(ids, vals)
                 consumed += len(ids)
+                if obs is not None:
+                    obs_bursts.inc()
+                    obs_wakeup.observe(len(ids))
             if pending is None:
                 # Drain eagerly; only look at the pipe when idle (or
                 # between bursts, which conn.poll(0) makes free-ish).
                 if blob:
                     if not conn.poll(0):
                         continue
-                elif not conn.poll(_IDLE_POLL):
-                    continue
+                else:
+                    if obs is not None:
+                        obs_idle.inc()
+                    if not conn.poll(_IDLE_POLL):
+                        continue
                 pending = conn.recv()
             op, expected = pending
             if consumed < expected:
@@ -167,6 +228,9 @@ def shard_worker_main(
                 conn.send(backend.take_evicted())
             elif op == "stats":
                 conn.send(_shard_stats(backend, consumed))
+            elif op == "metrics":
+                _sync_shard_gauges(reg, backend, consumed)
+                conn.send(reg.snapshot())
             elif op == "reset":
                 backend.reset()
                 conn.send(("reset", consumed))
@@ -183,6 +247,7 @@ def shard_worker_main(
     except (EOFError, KeyboardInterrupt):  # pragma: no cover
         pass  # engine went away; nothing to report to
     except Exception as exc:  # pragma: no cover - surfaced engine-side
+        _LOG.error("shard worker failed: %r", exc)
         try:
             conn.send(("error", repr(exc)))
         except (OSError, ValueError):

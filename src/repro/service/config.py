@@ -64,6 +64,11 @@ class ServiceConfig:
     track_evictions:
         Build the engine with eviction tracking so snapshots carry the
         eviction log (capped at ``evicted_cap`` entries, oldest first).
+    metrics:
+        Keep a per-daemon :class:`~repro.obs.MetricsRegistry` and serve
+        the ``metrics`` RPC op from it (core, ingest, RPC, and snapshot
+        instrumentation).  ``False`` wires the no-op registry
+        everywhere — the zero-overhead configuration.
     """
 
     q: int = 1000
@@ -85,6 +90,7 @@ class ServiceConfig:
     recover: bool = True
     track_evictions: bool = False
     evicted_cap: int = 1 << 17
+    metrics: bool = True
 
     def __post_init__(self) -> None:
         if self.q < 1:
@@ -132,8 +138,14 @@ class ServiceConfig:
                     f"{name} must be in [0, 65536), got {port}"
                 )
 
-    def build_engine(self) -> QMaxBase:
-        """Build the measurement backend this config describes."""
+    def build_engine(self, metrics=False) -> QMaxBase:
+        """Build the measurement backend this config describes.
+
+        ``metrics`` follows the :func:`repro.obs.resolve_registry`
+        convention; the daemon passes its own registry so engine and
+        service instrumentation land in one place.  Backends that take
+        no ``metrics`` parameter (``sliding``) are built as-is.
+        """
         if self.shards > 1:
             from repro.parallel.engine import ShardedQMaxEngine
 
@@ -143,6 +155,7 @@ class ServiceConfig:
                 gamma=self.gamma,
                 mode=self.shard_mode,
                 track_evictions=self.track_evictions,
+                metrics=metrics,
             )
         if self.backend == "sliding":
             from repro.core.sliding import SlidingQMax
@@ -151,5 +164,6 @@ class ServiceConfig:
         from repro.core.qmax import QMax
 
         return QMax(
-            self.q, self.gamma, track_evictions=self.track_evictions
+            self.q, self.gamma, track_evictions=self.track_evictions,
+            metrics=metrics,
         )

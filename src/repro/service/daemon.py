@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import logging
 import signal
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ServiceError
+from repro.obs import MetricsRegistry, NULL_REGISTRY, render_prometheus
 from repro.parallel.merge import merge_top_items
 from repro.service import snapshot as snap
 from repro.service.config import ServiceConfig
@@ -46,8 +48,10 @@ from repro.service.ingest import (
     NetFlowUdpSource,
     ReportTcpSource,
 )
-from repro.service.rpc import RpcServer
+from repro.service.rpc import OPS, RpcServer
 from repro.types import Item
+
+_LOG = logging.getLogger("repro.service.daemon")
 
 
 class MeasurementDaemon:
@@ -55,6 +59,13 @@ class MeasurementDaemon:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
+        # Per-daemon registry (not the process default): two daemons in
+        # one process — the test harness does this — must not share
+        # counters.
+        self.registry = (
+            MetricsRegistry() if config.metrics else NULL_REGISTRY
+        )
+        self._rpc_hists: Dict[str, Any] = {}
         self.engine = None  # type: ignore[assignment]
         self.feeder: BatchFeeder = None  # type: ignore[assignment]
         self.udp: NetFlowUdpSource = None  # type: ignore[assignment]
@@ -79,7 +90,7 @@ class MeasurementDaemon:
         """Recover (if configured), bind every listener, go live."""
         cfg = self.config
         self._stop_requested = asyncio.Event()
-        self.engine = cfg.build_engine()
+        self.engine = cfg.build_engine(metrics=self.registry)
         if cfg.snapshot_dir and cfg.recover:
             self._recover()
         self.feeder = BatchFeeder(
@@ -87,6 +98,7 @@ class MeasurementDaemon:
             batch_max=cfg.batch_max,
             flush_interval=cfg.flush_interval,
             capacity=cfg.queue_capacity,
+            metrics=self.registry,
         )
         self.feeder.start()
         self.udp = NetFlowUdpSource(cfg.host, cfg.udp_port, self.feeder)
@@ -101,20 +113,83 @@ class MeasurementDaemon:
                 self._snapshot_loop(), name="repro-snapshot"
             )
         self.started_at = time.time()
+        self._register_gauges()
+        _LOG.info(
+            "daemon up: backend=%s udp=%d tcp=%d rpc=%d recovered=%s",
+            self.engine.name, self.udp.port, self.tcp.port,
+            self.rpc.port, self.recovered,
+        )
+
+    def _register_gauges(self) -> None:
+        """Expose existing source/server counters as callback gauges —
+        evaluated only when a snapshot is taken, never on ingest."""
+        reg = self.registry
+        if not reg.enabled:
+            return
+        for src, prefix in ((self.udp, "udp"), (self.tcp, "tcp")):
+            for attr, help_text in (
+                ("records", "decoded records"),
+                ("malformed", "malformed inputs dropped"),
+            ):
+                reg.callback_gauge(
+                    f"repro_ingest_{prefix}_{attr}",
+                    (lambda s=src, a=attr: float(getattr(s, a))),
+                    f"{prefix}: {help_text}", agg="sum",
+                )
+        reg.callback_gauge(
+            "repro_ingest_udp_datagrams",
+            lambda: float(self.udp.datagrams),
+            "NetFlow datagrams received", agg="sum",
+        )
+        reg.callback_gauge(
+            "repro_ingest_tcp_frames",
+            lambda: float(self.tcp.frames),
+            "report frames received", agg="sum",
+        )
+        reg.callback_gauge(
+            "repro_rpc_requests", lambda: float(self.rpc.requests),
+            "RPC requests served", agg="sum",
+        )
+        reg.callback_gauge(
+            "repro_rpc_errors", lambda: float(self.rpc.errors),
+            "RPC error responses", agg="sum",
+        )
+        reg.callback_gauge(
+            "repro_snapshot_written", lambda: float(self.snapshots_written),
+            "snapshots successfully written", agg="sum",
+        )
+        reg.callback_gauge(
+            "repro_snapshot_errors", lambda: float(self.snapshot_errors),
+            "snapshot write failures", agg="sum",
+        )
+        reg.callback_gauge(
+            "repro_service_uptime_seconds",
+            lambda: (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "seconds since the daemon went live", agg="max",
+        )
 
     def _recover(self) -> None:
-        doc = snap.load_snapshot(self.config.snapshot_dir)
-        if doc is None:
-            return
-        retained, evicted, dropped, seq = snap.restore_items(doc)
-        if retained:
-            ids = [item_id for item_id, _val in retained]
-            vals = [val for _item_id, val in retained]
-            self.engine.add_many(ids, vals)
-        self._evicted_log = evicted
-        self._evicted_dropped = dropped
-        self.snapshot_seq = seq
-        self.recovered = True
+        with self.registry.span(
+            "repro_snapshot_replay", "snapshot recovery replay time"
+        ):
+            doc = snap.load_snapshot(self.config.snapshot_dir)
+            if doc is None:
+                return
+            retained, evicted, dropped, seq = snap.restore_items(doc)
+            if retained:
+                ids = [item_id for item_id, _val in retained]
+                vals = [val for _item_id, val in retained]
+                self.engine.add_many(ids, vals)
+            self._evicted_log = evicted
+            self._evicted_dropped = dropped
+            self.snapshot_seq = seq
+            self.recovered = True
+        _LOG.info(
+            "recovered snapshot seq=%d: %d retained, %d evicted",
+            seq, len(retained), len(evicted),
+        )
 
     async def _snapshot_loop(self) -> None:
         while True:
@@ -136,6 +211,7 @@ class MeasurementDaemon:
         if self._stopped:
             return
         self._stopped = True
+        _LOG.info("stopping: stalling ingest and draining feeder")
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -152,6 +228,10 @@ class MeasurementDaemon:
         if close is not None:
             close()
         await self.rpc.close()
+        _LOG.info(
+            "stopped: %d records ingested, %d snapshots written",
+            self.feeder.records_out, self.snapshots_written,
+        )
 
     def kill(self) -> None:
         """Crash simulation: tear everything down with NO drain and NO
@@ -160,6 +240,7 @@ class MeasurementDaemon:
         if self._stopped:
             return
         self._stopped = True
+        _LOG.warning("kill: tearing down with no drain and no snapshot")
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
         if self.udp is not None:
@@ -196,21 +277,28 @@ class MeasurementDaemon:
         """Checkpoint retained + evicted state; returns a summary."""
         if not self.config.snapshot_dir:
             raise ServiceError("no snapshot_dir configured")
-        self.feeder.flush_now()
-        self._drain_evictions()
-        retained = list(self.engine.items())
-        self.snapshot_seq += 1
-        state = snap.build_state(
-            backend_name=self.engine.name,
-            q=self.engine.q,
-            seq=self.snapshot_seq,
-            retained=retained,
-            evicted=self._evicted_log,
-            evicted_dropped=self._evicted_dropped,
-            counters=self.stats(),
+        with self.registry.span(
+            "repro_snapshot_write", "checkpoint write time"
+        ):
+            self.feeder.flush_now()
+            self._drain_evictions()
+            retained = list(self.engine.items())
+            self.snapshot_seq += 1
+            state = snap.build_state(
+                backend_name=self.engine.name,
+                q=self.engine.q,
+                seq=self.snapshot_seq,
+                retained=retained,
+                evicted=self._evicted_log,
+                evicted_dropped=self._evicted_dropped,
+                counters=self.stats(),
+            )
+            path = snap.write_snapshot(self.config.snapshot_dir, state)
+            self.snapshots_written += 1
+        _LOG.debug(
+            "snapshot seq=%d written: %d retained, %d evicted",
+            self.snapshot_seq, len(retained), len(self._evicted_log),
         )
-        path = snap.write_snapshot(self.config.snapshot_dir, state)
-        self.snapshots_written += 1
         return {
             "path": path,
             "seq": self.snapshot_seq,
@@ -223,6 +311,22 @@ class MeasurementDaemon:
     # ------------------------------------------------------------------
 
     def handle_rpc(self, op: str, request: Dict[str, Any]) -> Any:
+        # Unknown ops are not timed: a labelled series per arbitrary
+        # client-supplied string would be unbounded cardinality.
+        if not self.registry.enabled or op not in OPS:
+            return self._dispatch_rpc(op, request)
+        hist = self._rpc_hists.get(op)
+        if hist is None:
+            hist = self._rpc_hists[op] = self.registry.histogram(
+                "repro_rpc_seconds", "RPC handler latency by op", op=op,
+            )
+        start = time.perf_counter()
+        try:
+            return self._dispatch_rpc(op, request)
+        finally:
+            hist.observe(time.perf_counter() - start)
+
+    def _dispatch_rpc(self, op: str, request: Dict[str, Any]) -> Any:
         if op == "top":
             return self._rpc_top(request)
         if op == "stats":
@@ -234,6 +338,8 @@ class MeasurementDaemon:
             return self._rpc_reset()
         if op == "health":
             return self._rpc_health()
+        if op == "metrics":
+            return self._rpc_metrics(request)
         raise ServiceError(f"unknown op {op!r}")
 
     def _rpc_top(self, request: Dict[str, Any]) -> List[List[Any]]:
@@ -264,8 +370,50 @@ class MeasurementDaemon:
             "recovered": self.recovered,
         }
 
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The daemon's full metrics view, merged across processes.
+
+        A sharded engine shares the daemon registry, so its
+        :meth:`~repro.parallel.engine.ShardedQMaxEngine.
+        metrics_snapshot` — local registry plus worker snapshots — *is*
+        the daemon view.  For plain backends the local registry is
+        everything.
+        """
+        engine_snap = getattr(self.engine, "metrics_snapshot", None)
+        if callable(engine_snap):
+            return engine_snap()
+        return self.registry.snapshot()
+
+    def _rpc_metrics(self, request: Dict[str, Any]) -> Any:
+        """The ``metrics`` op: JSON snapshot or Prometheus text.
+
+        ``{"op": "metrics"}``                          → snapshot dict
+        ``{"op": "metrics", "format": "prometheus"}``  → exposition text
+        """
+        fmt = request.get("format", "json")
+        # Barrier first so counters reflect everything ingested.
+        self.feeder.flush_now()
+        snapshot = self.metrics_snapshot()
+        if fmt == "json":
+            return snapshot
+        if fmt == "prometheus":
+            return render_prometheus(snapshot)
+        raise ServiceError(
+            f"metrics format must be 'json' or 'prometheus', got {fmt!r}"
+        )
+
     def stats(self) -> Dict[str, Any]:
         engine_stats = getattr(self.engine, "stats", None)
+        if callable(engine_stats):
+            engine_info = engine_stats()
+        else:
+            # Backends without a stats() (plain QMax, SlidingQMax)
+            # still get a useful summary instead of a silent {}.
+            engine_info = {
+                "backend": type(self.engine).__name__,
+                "q": self.engine.q,
+                "size": sum(1 for _ in self.engine.items()),
+            }
         dropped = self.udp.malformed + self.tcp.malformed
         return {
             "backend": self.engine.name,
@@ -277,7 +425,7 @@ class MeasurementDaemon:
             "tcp": self.tcp.stats(),
             "feeder": self.feeder.stats(),
             "dropped_malformed": dropped,
-            "engine": engine_stats() if callable(engine_stats) else {},
+            "engine": engine_info,
             "snapshot": {
                 "dir": self.config.snapshot_dir,
                 "seq": self.snapshot_seq,

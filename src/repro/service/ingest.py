@@ -24,6 +24,7 @@ Three pieces, all living on the daemon's event loop:
 from __future__ import annotations
 
 import asyncio
+import logging
 import socket
 import struct
 from typing import Callable, List, Sequence, Tuple
@@ -31,8 +32,11 @@ from typing import Callable, List, Sequence, Tuple
 from repro.core.interface import QMaxBase
 from repro.errors import NetFlowDecodeError, WireFormatError
 from repro.netwide.wire import Report, from_bytes
+from repro.obs import SIZE_BUCKETS, resolve_registry
 from repro.traffic.netflow import FlowRecord, decode_packet
 from repro.types import ItemId, Value
+
+_LOG = logging.getLogger("repro.service.ingest")
 
 #: TCP report framing: a u32 byte length, then one wire.to_bytes blob.
 FRAME_HEADER = struct.Struct("!I")
@@ -94,6 +98,7 @@ class BatchFeeder:
         batch_max: int = 512,
         flush_interval: float = 0.05,
         capacity: int = 1 << 16,
+        metrics=False,
     ) -> None:
         self._engine = engine
         self.batch_max = batch_max
@@ -111,6 +116,32 @@ class BatchFeeder:
         self._resume_callbacks: List[Callable[[], None]] = []
         self._task: asyncio.Task = None  # type: ignore[assignment]
         self._stopping = False
+        registry = resolve_registry(metrics)
+        if registry.enabled:
+            # Coalescing quality: records per add_many call.  The
+            # cumulative counters stay plain attributes; callback
+            # gauges read them at snapshot time only.
+            self._obs_batch = registry.histogram(
+                "repro_feeder_batch_records",
+                "records coalesced into one engine add_many call",
+                buckets=SIZE_BUCKETS,
+            )
+            for attr, name, help_text in (
+                ("records_in", "repro_feeder_records_in",
+                 "records accepted from ingest sources"),
+                ("records_out", "repro_feeder_records_out",
+                 "records fed to the engine"),
+                ("pending", "repro_feeder_pending",
+                 "records buffered awaiting a flush"),
+                ("stalls", "repro_feeder_stalls",
+                 "times the buffer hit capacity and stalled sources"),
+            ):
+                registry.callback_gauge(
+                    name, (lambda a=attr: float(getattr(self, a))),
+                    help_text, agg="sum",
+                )
+        else:
+            self._obs_batch = None
 
     # ------------------------------------------------------------------
     # Producer side.
@@ -133,6 +164,10 @@ class BatchFeeder:
             if self._room.is_set():
                 self._room.clear()
                 self.stalls += 1
+                _LOG.debug(
+                    "feeder at capacity (%d records); stalling sources",
+                    len(self._ids),
+                )
             return False
         return True
 
@@ -166,6 +201,8 @@ class BatchFeeder:
         self._engine.add_many(ids, vals)
         self.records_out += len(ids)
         self.batches += 1
+        if self._obs_batch is not None:
+            self._obs_batch.observe(len(ids))
         if not self._room.is_set():
             self._room.set()
             for callback in self._resume_callbacks:

@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict
 from repro.errors import ReproError, ServiceError
 
 #: Operations the daemon serves (documented in docs/SERVICE.md).
-OPS = ("top", "stats", "snapshot", "reset", "health")
+OPS = ("top", "stats", "snapshot", "reset", "health", "metrics")
 
 #: Longest accepted request line, bytes.
 MAX_REQUEST_BYTES = 1 << 20

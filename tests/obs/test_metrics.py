@@ -1,0 +1,281 @@
+"""Unit tests for the metrics registry, merge, and exposition layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    default_registry,
+    merge_snapshots,
+    render_json,
+    render_prometheus,
+    resolve_registry,
+    set_default_registry,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments.
+# ----------------------------------------------------------------------
+
+def test_counter_accumulates_and_samples():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "requests")
+    c.inc()
+    c.inc(4)
+    sample = c.sample()
+    assert sample["value"] == 5.0
+    assert sample["type"] == "counter"
+    assert sample["name"] == "requests_total"
+
+
+def test_instruments_are_get_or_create_by_name_and_labels():
+    reg = MetricsRegistry()
+    assert reg.counter("c") is reg.counter("c")
+    assert reg.counter("c", x="1") is reg.counter("c", x="1")
+    assert reg.counter("c", x="1") is not reg.counter("c", x="2")
+    assert len(reg) == 3
+
+
+def test_type_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(ConfigurationError):
+        reg.gauge("m")
+
+
+def test_gauge_agg_conflict_raises():
+    reg = MetricsRegistry()
+    reg.gauge("g", agg="sum")
+    with pytest.raises(ConfigurationError):
+        reg.gauge("g", agg="max")
+    with pytest.raises(ConfigurationError):
+        reg.gauge("other", agg="median")
+
+
+def test_callback_gauge_evaluates_at_snapshot_time():
+    reg = MetricsRegistry()
+    state = {"v": 1.0}
+    reg.callback_gauge("live", lambda: state["v"])
+    state["v"] = 42.0
+    (sample,) = reg.snapshot()["metrics"]
+    assert sample["value"] == 42.0
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("sizes", buckets=[1, 10, 100])
+    for v in (0.5, 5, 5, 50, 5000):
+        h.observe(v)
+    sample = h.sample()
+    assert sample["count"] == 5
+    assert sample["sum"] == pytest.approx(5060.5)
+    assert sample["buckets"] == [
+        [1.0, 1], [10.0, 3], [100.0, 4], ["+Inf", 5],
+    ]
+
+
+def test_histogram_rejects_unsorted_bounds():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.histogram("bad", buckets=[10, 1])
+
+
+def test_span_times_into_seconds_histogram():
+    reg = MetricsRegistry()
+    with reg.span("maintenance"):
+        pass
+    (sample,) = reg.snapshot()["metrics"]
+    assert sample["name"] == "maintenance_seconds"
+    assert sample["count"] == 1
+    assert 0.0 <= sample["sum"] < 1.0
+
+
+# ----------------------------------------------------------------------
+# Null registry and resolution.
+# ----------------------------------------------------------------------
+
+def test_null_registry_is_inert_and_shared():
+    assert not NULL_REGISTRY.enabled
+    c = NULL_REGISTRY.counter("x")
+    assert c is NULL_REGISTRY.histogram("y")
+    c.inc()
+    c.observe(3)
+    with NULL_REGISTRY.span("s"):
+        pass
+    assert NULL_REGISTRY.snapshot() == {"schema": 1, "metrics": []}
+    assert len(NULL_REGISTRY) == 0
+
+
+def test_resolve_registry_convention(monkeypatch):
+    monkeypatch.delenv("REPRO_METRICS", raising=False)
+    set_default_registry(None)
+    try:
+        assert resolve_registry(False) is NULL_REGISTRY
+        reg = MetricsRegistry()
+        assert resolve_registry(reg) is reg
+        # None -> env-driven default: off here.
+        assert not resolve_registry(None).enabled
+        # True forces a real registry even when the default is off.
+        assert resolve_registry(True).enabled
+    finally:
+        set_default_registry(None)
+
+
+def test_env_enables_default_registry(monkeypatch):
+    monkeypatch.setenv("REPRO_METRICS", "1")
+    set_default_registry(None)
+    try:
+        assert default_registry().enabled
+        assert resolve_registry(None) is default_registry()
+    finally:
+        set_default_registry(None)
+
+
+# ----------------------------------------------------------------------
+# Merge.
+# ----------------------------------------------------------------------
+
+def _snap(build):
+    reg = MetricsRegistry()
+    build(reg)
+    return reg.snapshot()
+
+
+def test_merge_counters_sum_and_gauges_follow_agg():
+    a = _snap(lambda r: (
+        r.counter("c").inc(3),
+        r.gauge("s", agg="sum").set(10),
+        r.gauge("m", agg="max").set(7),
+        r.gauge("n", agg="min").set(7),
+        r.gauge("l").set(1),
+    ))
+    b = _snap(lambda r: (
+        r.counter("c").inc(4),
+        r.gauge("s", agg="sum").set(5),
+        r.gauge("m", agg="max").set(9),
+        r.gauge("n", agg="min").set(2),
+        r.gauge("l").set(2),
+    ))
+    merged = {
+        m["name"]: m["value"]
+        for m in merge_snapshots([a, b])["metrics"]
+    }
+    assert merged == {"c": 7.0, "s": 15.0, "m": 9.0, "n": 2.0, "l": 2.0}
+
+
+def test_merge_histograms_bucketwise():
+    def build(vals):
+        def _b(r):
+            h = r.histogram("h", buckets=[1, 10])
+            for v in vals:
+                h.observe(v)
+        return _b
+
+    merged = merge_snapshots(
+        [_snap(build([0.5, 5])), _snap(build([5, 50]))]
+    )["metrics"][0]
+    assert merged["count"] == 4
+    assert merged["buckets"] == [[1.0, 1], [10.0, 3], ["+Inf", 4]]
+
+
+def test_merge_distinct_labels_stay_separate():
+    a = _snap(lambda r: r.counter("c", shard="0").inc())
+    b = _snap(lambda r: r.counter("c", shard="1").inc(2))
+    merged = merge_snapshots([a, b])["metrics"]
+    assert [(m["labels"], m["value"]) for m in merged] == [
+        ({"shard": "0"}, 1.0), ({"shard": "1"}, 2.0),
+    ]
+
+
+def test_merge_mismatched_histogram_bounds_raises():
+    a = _snap(lambda r: r.histogram("h", buckets=[1, 2]).observe(1))
+    b = _snap(lambda r: r.histogram("h", buckets=[1, 3]).observe(1))
+    with pytest.raises(ConfigurationError):
+        merge_snapshots([a, b])
+
+
+# ----------------------------------------------------------------------
+# Exposition.
+# ----------------------------------------------------------------------
+
+def test_prometheus_rendering_shapes():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", "total hits", source='a"b\\c').inc(3)
+    reg.histogram("lat_seconds", buckets=[0.1]).observe(0.05)
+    text = render_prometheus(reg.snapshot())
+    assert "# TYPE hits_total counter" in text
+    assert "# HELP hits_total total hits" in text
+    assert 'hits_total{source="a\\"b\\\\c"} 3' in text
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_render_json_is_the_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    snap = reg.snapshot()
+    assert render_json(snap) is snap
+    with pytest.raises(ValueError):
+        render_json({"nope": 1})
+
+
+def test_snapshot_is_json_safe():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("c", shard="0").inc()
+    reg.gauge("g", agg="sum").set(1.5)
+    reg.histogram("h", buckets=SIZE_BUCKETS).observe(3)
+    round_tripped = json.loads(json.dumps(reg.snapshot()))
+    assert round_tripped == reg.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Trajectory export.
+# ----------------------------------------------------------------------
+
+def test_snapshot_metric_points_flatten():
+    from repro.obs.export import snapshot_metric_points
+
+    reg = MetricsRegistry()
+    reg.counter("repro_qmax_evictions_total").inc(7)
+    reg.gauge("repro_ring_occupancy", agg="max", shard="0").set(12)
+    h = reg.histogram("repro_rpc_seconds", op="top")
+    h.observe(0.5)
+    h.observe(1.5)
+    reg.counter("unrelated_total").inc()  # filtered out
+    points = {p["name"]: p for p in snapshot_metric_points(reg.snapshot())}
+    assert points["repro_qmax_evictions_total"]["value"] == 7.0
+    assert points["repro_ring_occupancy{shard=0}"]["value"] == 12.0
+    assert points["repro_rpc_seconds:count{op=top}"]["value"] == 2.0
+    mean = points["repro_rpc_seconds:mean{op=top}"]
+    assert mean["value"] == pytest.approx(1.0)
+    assert mean["unit"] == "seconds"
+    assert "unrelated_total" not in points
+
+
+def test_snapshot_metric_points_skip_non_finite():
+    from repro.obs.export import snapshot_metric_points
+
+    snap = {"metrics": [{
+        "name": "repro_qmax_psi", "type": "gauge", "labels": {},
+        "value": -math.inf,
+    }]}
+    assert snapshot_metric_points(snap) == []
+
+
+def test_record_snapshot_requires_matching_metrics(tmp_path):
+    from repro.errors import TrajectoryError
+    from repro.obs.export import record_snapshot
+
+    with pytest.raises(TrajectoryError):
+        record_snapshot({"metrics": []})

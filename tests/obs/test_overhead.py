@@ -1,0 +1,95 @@
+"""The zero-overhead-when-disabled contract, enforced.
+
+Two layers of defence: code written *against the registry API* gets the
+shared no-op instrument (no allocation per operation), and the hot
+structures themselves keep ``_obs = None`` so their per-item paths have
+no instrumentation branches at all.  Both are what lets the ISSUE's
+"exactly 0 extra allocations on the disabled hot path" acceptance
+criterion hold.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import sys
+
+from repro.core.qmax import QMax
+from repro.obs import NULL_REGISTRY
+
+
+def _allocated_blocks(fn, warmups: int = 2) -> int:
+    """Net allocated-block delta across ``fn()``, after warm-up."""
+    for _ in range(warmups):
+        fn()
+    gc.collect()
+    before = sys.getallocatedblocks()
+    fn()
+    gc.collect()
+    return sys.getallocatedblocks() - before
+
+
+def _zero_alloc(fn) -> bool:
+    # The measurement itself holds one live int (``before``), so an
+    # allocation-free body reads as the same delta as an empty one.
+    # Calibrate against a no-op and retry a few times: the allocator
+    # occasionally grows freelists on unrelated interpreter activity.
+    for _ in range(3):
+        baseline = _allocated_blocks(lambda: None)
+        if _allocated_blocks(fn) <= baseline:
+            return True
+    return False
+
+
+def test_null_instrument_operations_allocate_nothing():
+    counter = NULL_REGISTRY.counter("c")
+    hist = NULL_REGISTRY.histogram("h")
+
+    def hot_loop():
+        for _ in range(10_000):
+            counter.inc()
+            counter.inc(2)
+            hist.observe(1.5)
+
+    assert _zero_alloc(hot_loop)
+
+
+def test_null_registry_factories_allocate_nothing():
+    def factories():
+        for _ in range(1_000):
+            NULL_REGISTRY.counter("a")
+            NULL_REGISTRY.gauge("b")
+            NULL_REGISTRY.histogram("c")
+
+    assert _zero_alloc(factories)
+
+
+def test_disabled_qmax_add_path_allocates_nothing():
+    """The per-item ``add`` path with metrics off: rejections after Ψ
+    convergence must not allocate (the line-rate steady state)."""
+    qm = QMax(256, 0.25, metrics=False)
+    assert qm._obs is None
+    rng = random.Random(5)
+    vals = [rng.random() for _ in range(50_000)]
+    for i, v in enumerate(vals):
+        qm.add(i, v)
+    # Steady state: feed pre-allocated sub-threshold floats (all
+    # rejected, no slot writes, no eviction bookkeeping).
+    psi = qm._psi
+    assert psi > 0.0
+    rejected = [psi * 0.5] * 10_000
+    ids = list(range(10_000))
+
+    def hot_loop():
+        add = qm.add
+        for i in range(10_000):
+            add(ids[i], rejected[i])
+
+    assert _zero_alloc(hot_loop)
+
+
+def test_disabled_qmax_has_no_obs_state():
+    qm = QMax(64, 0.25)  # default: env-driven, off in the test suite
+    assert qm._obs is None
+    assert qm._trace is False
+    assert qm._trace_hists is None

@@ -1,0 +1,104 @@
+"""Metrics from :class:`ShardedQMaxEngine`: merged worker registries must
+agree exactly with the single-registry inline engine on the same trace.
+
+Determinism makes this an equality test, not a tolerance test: sharding
+routes each record to the same shard in both modes, so every per-shard
+backend sees the identical substream and the summed counters must match
+to the unit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.parallel.engine import ShardedQMaxEngine
+
+
+def _stream(n: int):
+    rng = random.Random(20_19)
+    return list(range(n)), [rng.random() * 1000 for _ in range(n)]
+
+
+def _metric_values(snapshot):
+    out = {}
+    for m in snapshot["metrics"]:
+        labels = tuple(sorted(m["labels"].items()))
+        out[(m["name"], labels)] = m.get("value", m.get("count"))
+    return out
+
+
+def _run(mode: str, n: int = 30_000):
+    ids, vals = _stream(n)
+    with ShardedQMaxEngine(
+        64, n_shards=2, mode=mode, metrics=MetricsRegistry()
+    ) as engine:
+        assert engine.mode == mode
+        engine.add_many(ids, vals)
+        return _metric_values(engine.metrics_snapshot())
+
+
+# Counters whose cross-worker sum must equal the inline run bit-for-bit.
+EXACT = (
+    "repro_shard_consumed",
+    "repro_shard_admitted",
+    "repro_shard_rejected",
+    "repro_qmax_evictions_total",
+    "repro_qmax_iterations_total",
+    "repro_qmax_select_completed_total",
+    "repro_qmax_pivot_completed_total",
+)
+
+
+@pytest.mark.parallel
+def test_process_merge_is_exact_vs_inline():
+    inline = _run("inline")
+    process = _run("process")
+
+    for name in EXACT:
+        key = (name, ())
+        assert key in inline, name
+        assert key in process, name
+        assert process[key] == inline[key], name
+
+    # Sanity on magnitudes: every record was consumed, and the admit /
+    # reject split covers the whole stream.
+    assert inline[("repro_shard_consumed", ())] == 30_000.0
+    assert (
+        inline[("repro_shard_admitted", ())]
+        + inline[("repro_shard_rejected", ())]
+        == 30_000.0
+    )
+
+
+@pytest.mark.parallel
+def test_process_snapshot_carries_ring_metrics():
+    ids, vals = _stream(10_000)
+    with ShardedQMaxEngine(
+        32, n_shards=2, mode="process", metrics=MetricsRegistry()
+    ) as engine:
+        engine.add_many(ids, vals)
+        snap = engine.metrics_snapshot()
+    names = {m["name"] for m in snap["metrics"]}
+    assert "repro_ring_occupancy" in names
+    assert "repro_ring_stalls" in names
+    assert "repro_shard_pushed" in names
+    assert "repro_worker_bursts_total" in names
+    assert "repro_worker_records_per_wakeup" in names
+    # Per-shard labelling on the engine-side gauges.
+    shards = {
+        m["labels"].get("shard")
+        for m in snap["metrics"]
+        if m["name"] == "repro_shard_pushed"
+    }
+    assert shards == {"0", "1"}
+
+
+def test_disabled_engine_snapshot_is_empty():
+    ids, vals = _stream(2_000)
+    with ShardedQMaxEngine(32, n_shards=2, mode="inline") as engine:
+        engine.add_many(ids, vals)
+        assert engine.metrics_snapshot() == {"schema": 1, "metrics": []}
+        assert not engine.metrics_registry.enabled

@@ -1,0 +1,153 @@
+"""End-to-end observability: ``repro query metrics`` contract.
+
+A live daemon must expose the full metric catalog — core q-MAX
+counters, feeder coalescing histograms, ingest listeners, and per-op
+RPC latency — over the ``metrics`` RPC op in both JSON and Prometheus
+text, and a sharded daemon must fold worker/ring series into the same
+snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.service.config import ServiceConfig
+from repro.service.daemon import DaemonThread
+from repro.service.rpc import rpc_call
+from repro.traffic.netflow import FlowRecord
+
+from tests.service.test_daemon_e2e import _send_udp_records, _wait_ingested
+
+
+def _records(n, seed):
+    rng = random.Random(seed)
+    values = rng.sample(range(1, 2**32), n)
+    return [
+        FlowRecord(src_ip=i, dst_ip=0, src_port=0, dst_port=0,
+                   proto=17, packets=1, octets=v)
+        for i, v in enumerate(values)
+    ]
+
+
+def _metrics(d, **kwargs):
+    return rpc_call(d.host, d.rpc_port, "metrics", **kwargs)
+
+
+def _names(snapshot):
+    return {m["name"] for m in snapshot["metrics"]}
+
+
+@pytest.mark.service
+class TestMetricsRPC:
+    def test_full_catalog_in_json_and_prometheus(self):
+        cfg = ServiceConfig(q=32, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        n = 3_000
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, _records(n, seed=0xAB))
+            _wait_ingested(d, n)
+            rpc_call(d.host, d.rpc_port, "top", q=8)  # time one 'top'
+            snap = _metrics(d)
+            text = _metrics(d, format="prometheus")
+
+        assert snap["schema"] == 1
+        names = _names(snap)
+        # One representative per instrumented layer.
+        assert "repro_qmax_evictions_total" in names       # core
+        assert "repro_qmax_psi" in names                   # core gauge
+        assert "repro_feeder_batch_records" in names       # feeder hist
+        assert "repro_feeder_records_in" in names          # feeder gauge
+        assert "repro_ingest_udp_records" in names         # ingest
+        assert "repro_rpc_seconds" in names                # RPC latency
+        assert "repro_service_uptime_seconds" in names     # lifecycle
+
+        by_name = {}
+        for m in snap["metrics"]:
+            by_name.setdefault(m["name"], []).append(m)
+        assert by_name["repro_ingest_udp_records"][0]["value"] == float(n)
+        feeder = by_name["repro_feeder_batch_records"][0]
+        assert feeder["count"] >= 1
+        assert feeder["sum"] >= n  # every record coalesced through
+        timed_ops = {m["labels"]["op"]
+                     for m in by_name["repro_rpc_seconds"]}
+        assert {"top", "metrics"} <= timed_ops
+
+        # Prometheus text is the same snapshot, rendered.
+        assert isinstance(text, str)
+        assert "# TYPE repro_qmax_evictions_total counter" in text
+        assert "# TYPE repro_rpc_seconds histogram" in text
+        assert 'repro_rpc_seconds_bucket{op="top",le="+Inf"}' in text
+        assert f"repro_ingest_udp_records {n}" in text
+
+    def test_bad_format_is_rejected(self):
+        cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        with DaemonThread(cfg) as d:
+            with pytest.raises(Exception) as err:
+                _metrics(d, format="xml")
+            assert "prometheus" in str(err.value)
+
+    def test_sharded_daemon_merges_worker_series(self):
+        cfg = ServiceConfig(q=32, shards=2, shard_mode="auto",
+                            udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        n = 4_000
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, _records(n, seed=0xC))
+            _wait_ingested(d, n)
+            snap = _metrics(d)
+            mode = rpc_call(d.host, d.rpc_port, "stats")["engine"]["mode"]
+
+        names = _names(snap)
+        assert "repro_shard_consumed" in names
+        assert "repro_shard_pushed" in names
+        consumed = next(m["value"] for m in snap["metrics"]
+                        if m["name"] == "repro_shard_consumed")
+        assert consumed == float(n)
+        if mode == "process":
+            # Worker-side series crossed the control pipe.
+            assert "repro_worker_bursts_total" in names
+            assert "repro_ring_occupancy" in names
+            assert "repro_ring_stalls" in names
+
+    def test_disabled_metrics_yield_empty_snapshot(self):
+        cfg = ServiceConfig(q=8, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01, metrics=False)
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, _records(100, seed=1))
+            _wait_ingested(d, 100)
+            assert _metrics(d) == {"schema": 1, "metrics": []}
+            text = _metrics(d, format="prometheus")
+        assert text.strip() == ""
+
+
+@pytest.mark.service
+class TestStatsFallback:
+    def test_plain_backend_reports_identity_not_empty_dict(self):
+        # Regression: stats() used to return {"engine": {}} for
+        # backends without a stats() method.
+        cfg = ServiceConfig(q=16, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        n = 500
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, _records(n, seed=2))
+            _wait_ingested(d, n)
+            engine_info = rpc_call(d.host, d.rpc_port, "stats")["engine"]
+        assert engine_info["backend"] == "QMax"
+        assert engine_info["q"] == 16
+        assert engine_info["size"] >= 16
+
+    def test_sliding_backend_reports_identity(self):
+        cfg = ServiceConfig(q=8, backend="sliding", window=1_000,
+                            tau=0.5, udp_port=0, tcp_port=0, rpc_port=0,
+                            flush_interval=0.01)
+        with DaemonThread(cfg) as d:
+            _send_udp_records(d.host, d.udp_port, _records(200, seed=3))
+            _wait_ingested(d, 200)
+            engine_info = rpc_call(d.host, d.rpc_port, "stats")["engine"]
+        assert engine_info["backend"] == "SlidingQMax"
+        assert engine_info["q"] == 8
+        assert engine_info["size"] > 0
