@@ -9,7 +9,8 @@ REPRO ?= PYTHONPATH=src python -m repro.cli
 BENCH_SUBSET = benchmarks/bench_fig04_gamma.py \
                benchmarks/bench_fig05_vs_q.py \
                benchmarks/bench_tab01_speedups.py \
-               benchmarks/bench_abl_shard_scaling.py
+               benchmarks/bench_abl_shard_scaling.py \
+               benchmarks/bench_shard_wallclock.py
 
 # Synthetic SHAs for the local/CI instrumentation-overhead gate: the
 # all-a row is measured with metrics off, the all-b row with
@@ -22,7 +23,7 @@ OBS_SUBSET = benchmarks/bench_fig04_gamma.py \
              benchmarks/bench_tab01_speedups.py
 
 .PHONY: test bench bench-fast bench-subset bench-report bench-gate \
-        bench-overhead examples serve-demo lint all outputs
+        bench-overhead bench-wallclock examples serve-demo lint all outputs
 
 test:
 	$(PYTEST) tests/
@@ -40,6 +41,11 @@ bench-report:  ## render the recorded MPPS-over-commits trajectory
 	$(REPRO) bench report
 
 bench-gate:  ## fail on recorded regressions vs the BASELINE commit
+	$(REPRO) bench gate --max-regress 10%
+
+bench-wallclock:  ## record the end-to-end worker-engine wall-clock row
+	REPRO_SCALE=0.1 $(PYTEST) benchmarks/bench_shard_wallclock.py \
+	  --benchmark-disable -s
 	$(REPRO) bench gate --max-regress 10%
 
 bench-overhead:  ## gate repro.obs instrumentation overhead at <=3%

@@ -91,6 +91,22 @@ class QMaxBase(ABC):
         for item_id, val in zip(ids, vals):
             add(item_id, val)
 
+    def add_many_array(self, ids, vals) -> None:
+        """Process a batch given as array columns (NumPy or equivalent).
+
+        Semantically identical to :meth:`add_many`; the columns are
+        u64-compatible ids and float values, typically structured-array
+        fields sliced straight off a shared-memory ring
+        (:meth:`repro.parallel.shm_ring.ShmRecordRing.pop_view`).  The
+        default implementation converts each column once (a single
+        C-level ``tolist``) and delegates; vectorized backends override
+        it to ingest the arrays without per-record Python calls.
+        """
+        self.add_many(
+            ids.tolist() if hasattr(ids, "tolist") else list(ids),
+            vals.tolist() if hasattr(vals, "tolist") else list(vals),
+        )
+
     def extend(self, stream: Iterable[Item]) -> None:
         """Feed every ``(id, value)`` pair of ``stream`` through ``add``."""
         add = self.add

@@ -492,6 +492,47 @@ class QMax(QMaxBase):
         self, ids: Sequence[ItemId], vals: Sequence[Value]
     ) -> None:
         varr = np.asarray(vals, dtype=np.float64)
+        self._admit_numpy(ids, varr, None)
+
+    def add_many_array(self, ids, vals) -> None:
+        """Array-column batch ingest: the zero-copy shard hot path.
+
+        ``ids``/``vals`` are NumPy columns (u64-compatible ids, float
+        values) — typically structured-array fields sliced straight off
+        a shared-memory ring view.  Unlike :meth:`add_many`, survivor
+        ids are stored with vectorized fancy-index + slice assignment:
+        no per-record Python call happens anywhere on the path.
+        Retained-set semantics are identical to feeding the columns
+        through :meth:`add` one record at a time (same drive schedule;
+        pinned by the zero-copy differential suite).  Falls back to the
+        list path when NumPy is off or eviction tracking needs
+        per-record bookkeeping.
+        """
+        n = len(ids)
+        if len(vals) != n:
+            raise ConfigurationError(
+                f"batch length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        if n == 0:
+            return
+        if not self._use_numpy or self._track_evictions:
+            QMaxBase.add_many_array(self, ids, vals)
+            return
+        if self._obs is not None:
+            self._obs_batches.inc()
+            self._obs_batch_numpy.inc()
+        iarr = np.asarray(ids)
+        varr = np.asarray(vals, dtype=np.float64)
+        self._admit_numpy(None, varr, iarr)
+
+    def _admit_numpy(self, ids, varr, iarr) -> None:
+        """Shared vectorized admission loop.
+
+        Survivor values always land via slice assignment; ids come from
+        ``iarr`` (an ndarray — fancy-index + one ``tolist`` per chunk)
+        when given, else record-by-record from the Python sequence
+        ``ids``.
+        """
         n = varr.shape[0]
         vals_a = self._vals
         ids_a = self._ids
@@ -517,10 +558,13 @@ class QMax(QMaxBase):
             sel = cand[k : k + take]
             pos = self._insert_base + steps
             vals_a[pos : pos + take] = varr[sel].tolist()
-            off = pos
-            for j in sel.tolist():
-                ids_a[off] = ids[j]
-                off += 1
+            if iarr is not None:
+                ids_a[pos : pos + take] = iarr[sel].tolist()
+            else:
+                off = pos
+                for j in sel.tolist():
+                    ids_a[off] = ids[j]
+                    off += 1
             steps += take
             k += take
             admitted += take

@@ -47,7 +47,12 @@ from repro.hashing.mix import key_to_u64, splitmix64
 from repro.obs import merge_snapshots, resolve_registry
 from repro.parallel.merge import merge_top_records
 from repro.parallel.shm_ring import HAVE_SHM, ShmRecordRing
-from repro.parallel.worker import SHARD_RECORD, build_backend, shard_worker_main
+from repro.parallel.worker import (
+    SHARD_RECORD,
+    SHARD_RECORD_DTYPE,
+    build_backend,
+    shard_worker_main,
+)
 from repro.types import Item, ItemId, TopItems, Value
 
 _LOG = logging.getLogger("repro.parallel.engine")
@@ -201,6 +206,9 @@ class ShardedQMaxEngine(QMaxBase):
             getattr(probe, "_track_evictions", False)
         )
         self._use_numpy = HAVE_NUMPY if use_numpy is None else use_numpy
+        # Tri-state flag forwarded to workers: None = auto, True =
+        # vectorize every burst, False = pure path (see _decode_burst).
+        self._use_numpy_opt = use_numpy if HAVE_NUMPY else False
         self._inner_name = probe.name
         self._slots_per_shard = getattr(probe, "space_slots", 0)
         self._ring_capacity = ring_capacity
@@ -276,10 +284,19 @@ class ShardedQMaxEngine(QMaxBase):
             # it across before committing to worker processes.
             pickle.dumps(self._spec)
         rec_size = SHARD_RECORD.size
+        # Dtype-map the rings whenever the vectorized path may run, so
+        # push_array/pop_view work on both ends (workers re-map on
+        # attach; the pure-Python blob framing stays interchangeable).
+        if HAVE_NUMPY and self._use_numpy_opt is not False:
+            from repro.parallel.worker import SHARD_RECORD_DTYPE as _dtype
+        else:
+            _dtype = None
         try:
             for _ in range(self.n_shards):
                 self._rings.append(
-                    ShmRecordRing.create(self._ring_capacity, rec_size)
+                    ShmRecordRing.create(
+                        self._ring_capacity, rec_size, dtype=_dtype
+                    )
                 )
             for s in range(self.n_shards):
                 parent, child = ctx.Pipe()
@@ -291,7 +308,7 @@ class ShardedQMaxEngine(QMaxBase):
                         child,
                         self._spec,
                         self.burst,
-                        self._use_numpy if HAVE_NUMPY else False,
+                        self._use_numpy_opt,
                         self._metrics.enabled,
                     ),
                     daemon=True,
@@ -399,6 +416,14 @@ class ShardedQMaxEngine(QMaxBase):
         self._rings[s].push(blob, should_abort=lambda: not proc.is_alive())
         self._pushed[s] += n
 
+    def _push_array(self, s: int, ids, vals) -> None:
+        """Zero-copy dispatch: columns pack straight into ring memory."""
+        proc = self._procs[s]
+        self._rings[s].push_array(
+            ids, vals, should_abort=lambda: not proc.is_alive()
+        )
+        self._pushed[s] += len(ids)
+
     def add_many(self, ids: Sequence[ItemId], vals: Sequence[Value]) -> None:
         """Partition a batch by shard hash and dispatch per-shard bursts.
 
@@ -422,10 +447,27 @@ class ShardedQMaxEngine(QMaxBase):
             return
         self._add_many_records(ids, vals)
 
+    def add_many_array(self, ids, vals) -> None:
+        """Array-column batch: native u64/f64 columns qualify directly
+        for the vectorized dispatch (``np.asarray`` over an ndarray is
+        free); anything else degrades through the base conversion."""
+        if self.mode == "process" and self._use_numpy and len(ids) >= 32:
+            self.add_many(ids, vals)
+            return
+        QMaxBase.add_many_array(self, ids, vals)
+
     def _add_many_vector(self, ids, vals) -> bool:
         """Vectorized dispatch: hash, partition, and pack each shard's
         burst without touching individual records in Python.  Returns
-        False when the ids don't qualify (caller falls back)."""
+        False when the ids don't qualify (caller falls back).
+
+        With a dtype-mapped ring the per-shard columns go through
+        :meth:`~repro.parallel.shm_ring.ShmRecordRing.push_array`
+        straight into the mapped buffer — the only copy on the whole
+        producer side is the write into shared memory itself.  A ring
+        created without a dtype (pure stack) takes the packed-blob
+        fallback.
+        """
         try:
             arr = np.asarray(ids)
         except (ValueError, TypeError):
@@ -440,13 +482,16 @@ class ShardedQMaxEngine(QMaxBase):
         if not (arr < np.uint64(TOKEN_BASE)).all():
             return False
         varr = np.asarray(vals, dtype=np.float64)
-        from repro.parallel.worker import SHARD_RECORD_DTYPE
+        zero_copy = self._rings[0].dtype is not None
 
         if self.n_shards == 1:
-            rec = np.empty(arr.shape[0], dtype=SHARD_RECORD_DTYPE)
-            rec["id"] = arr
-            rec["val"] = varr
-            self._push(0, rec.tobytes(), arr.shape[0])
+            if zero_copy:
+                self._push_array(0, arr, varr)
+            else:
+                rec = np.empty(arr.shape[0], dtype=SHARD_RECORD_DTYPE)
+                rec["id"] = arr
+                rec["val"] = varr
+                self._push(0, rec.tobytes(), arr.shape[0])
             return True
         mixed = (arr * np.uint64(self._a) + np.uint64(self._b)) >> np.uint64(
             32
@@ -456,10 +501,13 @@ class ShardedQMaxEngine(QMaxBase):
             idx = np.flatnonzero(shards == s)
             if not idx.shape[0]:
                 continue
-            rec = np.empty(idx.shape[0], dtype=SHARD_RECORD_DTYPE)
-            rec["id"] = arr[idx]
-            rec["val"] = varr[idx]
-            self._push(s, rec.tobytes(), idx.shape[0])
+            if zero_copy:
+                self._push_array(s, arr[idx], varr[idx])
+            else:
+                rec = np.empty(idx.shape[0], dtype=SHARD_RECORD_DTYPE)
+                rec["id"] = arr[idx]
+                rec["val"] = varr[idx]
+                self._push(s, rec.tobytes(), idx.shape[0])
         return True
 
     def _add_many_records(self, ids, vals) -> None:

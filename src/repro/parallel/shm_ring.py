@@ -6,12 +6,17 @@ fixed-size records, but laid out in a ``multiprocessing.shared_memory``
 segment so a worker *process* can drain it without copying through a
 pipe.  Two deliberate differences from the datapath ring:
 
-* **Records are contiguous**, not one ``bytes`` object per slot: a
-  burst is pushed/popped as a single blob (``n × record_size`` bytes),
-  so both sides move data with at most two ``memoryview`` copies
-  (wrap-around) and the consumer can hand the blob straight to
-  ``np.frombuffer`` / ``struct.iter_unpack`` — the same zero-per-record
-  decode as :class:`~repro.switch.pmd.BurstMeasurementPipeline`.
+* **Records are contiguous**, not one ``bytes`` object per slot, and
+  the ring can be *dtype-mapped*: construct it with a NumPy structured
+  ``dtype`` whose itemsize equals ``record_size`` and both sides get a
+  zero-copy array API — :meth:`push_array` assigns id/value columns
+  straight into the mapped buffer and :meth:`pop_view` hands back
+  structured-array views *over the ring memory itself* (two views when
+  the burst wraps) with the tail published only on
+  :meth:`RingView.commit`.  The byte-blob :meth:`push`/:meth:`pop` pair
+  is retained as the pure-Python fallback and the two framings are
+  interchangeable record-for-record (pinned by the zero-copy
+  differential suite).
 * **A full ring stalls the producer instead of dropping.**  The
   datapath ring models a forwarding plane that must never block; this
   ring carries *accepted* measurement updates, where dropping would
@@ -26,15 +31,20 @@ pushed/consumed statistics.  The producer writes data *then* publishes
 ``head``; the consumer reads data *then* publishes ``tail`` — on
 CPython each publish is one aligned 8-byte store, which is the usual
 SPSC ordering argument (and both sides tolerate stale reads by simply
-seeing less available space/data than there is).
+seeing less available space/data than there is).  The header counters
+are accessed through ``memoryview.cast("Q")`` views cached at
+construction — native byte order, which is fine because both ends of a
+ring always live on the same machine — so neither side re-slices or
+re-packs the header on the hot path.
 """
 
 from __future__ import annotations
 
 import struct
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence, Tuple
 
+from repro._compat import HAVE_NUMPY, np
 from repro.errors import ConfigurationError, ParallelError
 
 try:  # pragma: no cover - exercised via the inline-fallback tests
@@ -45,8 +55,9 @@ except ImportError:  # pragma: no cover
     _shared_memory = None  # type: ignore[assignment]
     HAVE_SHM = False
 
-#: Header: head (u64) at offset 0, tail (u64) at offset 32 — separate
-#: cache lines so producer and consumer stores don't false-share.
+#: Header geometry: head (u64) at offset 0, tail (u64) at offset 32 —
+#: separate cache lines so producer and consumer stores don't
+#: false-share.  ``_HEAD`` survives for size arithmetic and tests.
 _HEAD = struct.Struct("<Q")
 _HEAD_OFF = 0
 _TAIL_OFF = 32
@@ -59,6 +70,47 @@ _STALL_SLEEP = 0.0002
 _ABORT_CHECK_EVERY = 64
 
 
+class RingView:
+    """A zero-copy burst: structured-array views over ring memory.
+
+    :attr:`parts` holds one contiguous view, or two when the burst
+    wraps around the end of the ring (in stream order: the segment at
+    the ring's tail first, then the wrapped prefix).  The views alias
+    the shared segment directly, so the producer may overwrite them as
+    soon as the consumer publishes the tail — which is why publication
+    is explicit: read (or copy out of) the views, *then* call
+    :meth:`commit`.  Dropping a view without committing leaves the
+    records in the ring for the next pop.
+    """
+
+    __slots__ = ("parts", "_ring", "_tail", "_take")
+
+    def __init__(self, ring: "ShmRecordRing", tail: int, take: int,
+                 parts: Tuple) -> None:
+        self.parts = parts
+        self._ring = ring
+        self._tail = tail
+        self._take = take
+
+    def __len__(self) -> int:
+        return self._take
+
+    def tobytes(self) -> bytes:
+        """The burst as one blob — byte-identical to :meth:`ShmRecordRing.
+        pop` of the same records (the differential suite's probe)."""
+        return b"".join(part.tobytes() for part in self.parts)
+
+    def commit(self) -> None:
+        """Publish consumption: free the slots for the producer.
+
+        Invalidates :attr:`parts`; the views must not be read after
+        this (the producer may already be overwriting them).
+        """
+        ring = self._ring
+        self.parts = ()
+        ring._tail_view[0] = self._tail + self._take
+
+
 class ShmRecordRing:
     """Bounded SPSC ring of fixed-size records in shared memory.
 
@@ -66,34 +118,63 @@ class ShmRecordRing:
     segment name) in the worker; both sides must agree on ``capacity``
     and ``record_size``.  The creator owns the segment and must
     eventually call :meth:`unlink`.
+
+    Passing a NumPy structured ``dtype`` (itemsize == ``record_size``)
+    additionally maps the data region as one structured ndarray and
+    enables the zero-copy :meth:`push_array` / :meth:`pop_view` pair;
+    without NumPy (or without a dtype) only the byte-blob API exists.
     """
 
     __slots__ = (
         "capacity",
         "record_size",
         "stalls",
+        "dtype",
         "_shm",
         "_buf",
         "_data",
+        "_head_view",
+        "_tail_view",
+        "_np_data",
         "_owner",
     )
 
     def __init__(self, shm, capacity: int, record_size: int,
-                 owner: bool) -> None:
+                 owner: bool, dtype=None) -> None:
         self.capacity = capacity
         self.record_size = record_size
         self.stalls = 0
         self._shm = shm
         self._buf = shm.buf
         self._data = shm.buf[HEADER_BYTES:]
+        # Cached header-counter views: one aligned u64 load/store per
+        # access instead of a struct (un)pack against a fresh slice.
+        self._head_view = shm.buf[_HEAD_OFF:_HEAD_OFF + 8].cast("Q")
+        self._tail_view = shm.buf[_TAIL_OFF:_TAIL_OFF + 8].cast("Q")
         self._owner = owner
+        self.dtype = None
+        self._np_data = None
+        if dtype is not None:
+            if not HAVE_NUMPY:
+                raise ConfigurationError(
+                    "dtype-mapped ring requires numpy (pip install .[fast])"
+                )
+            dtype = np.dtype(dtype)
+            if dtype.itemsize != record_size:
+                raise ConfigurationError(
+                    f"dtype itemsize {dtype.itemsize} != record_size "
+                    f"{record_size}"
+                )
+            self.dtype = dtype
+            self._np_data = np.frombuffer(self._data, dtype=dtype)
 
     # ------------------------------------------------------------------
     # Construction.
     # ------------------------------------------------------------------
 
     @classmethod
-    def create(cls, capacity: int, record_size: int) -> "ShmRecordRing":
+    def create(cls, capacity: int, record_size: int,
+               dtype=None) -> "ShmRecordRing":
         """Allocate a fresh shared segment (producer side)."""
         if not HAVE_SHM:
             raise ParallelError("multiprocessing.shared_memory unavailable")
@@ -106,16 +187,16 @@ class ShmRecordRing:
         size = HEADER_BYTES + capacity * record_size
         shm = _shared_memory.SharedMemory(create=True, size=size)
         shm.buf[:HEADER_BYTES] = bytes(HEADER_BYTES)
-        return cls(shm, capacity, record_size, owner=True)
+        return cls(shm, capacity, record_size, owner=True, dtype=dtype)
 
     @classmethod
-    def attach(cls, name: str, capacity: int,
-               record_size: int) -> "ShmRecordRing":
+    def attach(cls, name: str, capacity: int, record_size: int,
+               dtype=None) -> "ShmRecordRing":
         """Map an existing segment by name (worker side)."""
         if not HAVE_SHM:
             raise ParallelError("multiprocessing.shared_memory unavailable")
         shm = _shared_memory.SharedMemory(name=name)
-        return cls(shm, capacity, record_size, owner=False)
+        return cls(shm, capacity, record_size, owner=False, dtype=dtype)
 
     @property
     def name(self) -> str:
@@ -128,20 +209,41 @@ class ShmRecordRing:
     @property
     def head(self) -> int:
         """Total records ever pushed (producer-published)."""
-        return _HEAD.unpack_from(self._buf, _HEAD_OFF)[0]
+        return self._head_view[0]
 
     @property
     def tail(self) -> int:
         """Total records ever consumed (consumer-published)."""
-        return _HEAD.unpack_from(self._buf, _TAIL_OFF)[0]
+        return self._tail_view[0]
 
     def __len__(self) -> int:
         """Records currently queued (may be momentarily stale)."""
-        return self.head - self.tail
+        return self._head_view[0] - self._tail_view[0]
 
     # ------------------------------------------------------------------
     # Producer side.
     # ------------------------------------------------------------------
+
+    def _wait_free(
+        self, head: int, should_abort: Optional[Callable[[], bool]]
+    ) -> int:
+        """Spin until at least one slot is free; returns the free count."""
+        free = self.capacity - (head - self.tail)
+        if free > 0:
+            return free
+        self.stalls += 1
+        spins = 0
+        while free <= 0:
+            spins += 1
+            if should_abort is not None and (
+                spins % _ABORT_CHECK_EVERY == 0
+            ) and should_abort():
+                raise ParallelError(
+                    "ring consumer gone while producer stalled"
+                )
+            time.sleep(_STALL_SLEEP)
+            free = self.capacity - (head - self.tail)
+        return free
 
     def push(
         self,
@@ -165,22 +267,10 @@ class ShmRecordRing:
             )
         view = memoryview(blob)
         written = 0
+        head_view = self._head_view
         while written < n:
-            head = self.head
-            free = self.capacity - (head - self.tail)
-            if free <= 0:
-                self.stalls += 1
-                spins = 0
-                while free <= 0:
-                    spins += 1
-                    if should_abort is not None and (
-                        spins % _ABORT_CHECK_EVERY == 0
-                    ) and should_abort():
-                        raise ParallelError(
-                            "ring consumer gone while producer stalled"
-                        )
-                    time.sleep(_STALL_SLEEP)
-                    free = self.capacity - (head - self.tail)
+            head = head_view[0]
+            free = self._wait_free(head, should_abort)
             take = min(free, n - written)
             slot = head % self.capacity
             first = min(take, self.capacity - slot)
@@ -191,7 +281,52 @@ class ShmRecordRing:
                 src = view[(written + first) * rec:(written + take) * rec]
                 data[0:(take - first) * rec] = src
             written += take
-            _HEAD.pack_into(self._buf, _HEAD_OFF, head + take)
+            head_view[0] = head + take
+        return n
+
+    def push_array(
+        self,
+        ids: Sequence,
+        vals: Sequence,
+        should_abort: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Pack id/value columns straight into the mapped ring memory.
+
+        The zero-copy twin of :meth:`push`: the columns (NumPy arrays,
+        or anything ndarray column assignment accepts) are written
+        field-wise into the structured array mapped over the ring — no
+        intermediate record blob is materialized.  Field names come
+        from the ring's dtype (first field ← ``ids``, second ←
+        ``vals``).  Same stall/chunk semantics as :meth:`push`.
+        """
+        npd = self._np_data
+        if npd is None:
+            raise ConfigurationError(
+                "push_array requires a dtype-mapped ring (NumPy stack)"
+            )
+        n = len(ids)
+        if len(vals) != n:
+            raise ConfigurationError(
+                f"column length mismatch: {n} ids vs {len(vals)} vals"
+            )
+        f_id, f_val = self.dtype.names[:2]
+        written = 0
+        head_view = self._head_view
+        while written < n:
+            head = head_view[0]
+            free = self._wait_free(head, should_abort)
+            take = min(free, n - written)
+            slot = head % self.capacity
+            first = min(take, self.capacity - slot)
+            seg = npd[slot:slot + first]
+            seg[f_id] = ids[written:written + first]
+            seg[f_val] = vals[written:written + first]
+            if first < take:
+                seg = npd[:take - first]
+                seg[f_id] = ids[written + first:written + take]
+                seg[f_val] = vals[written + first:written + take]
+            written += take
+            head_view[0] = head + take
         return n
 
     # ------------------------------------------------------------------
@@ -201,10 +336,11 @@ class ShmRecordRing:
     def pop(self, max_records: int) -> bytes:
         """Drain up to ``max_records`` records as one contiguous blob.
 
-        Returns ``b""`` when the ring is empty.
+        Returns ``b""`` when the ring is empty.  This is the copying
+        fallback; dtype-mapped consumers should prefer :meth:`pop_view`.
         """
-        tail = self.tail
-        avail = self.head - tail
+        tail = self._tail_view[0]
+        avail = self._head_view[0] - tail
         if avail <= 0:
             return b""
         take = min(avail, max_records)
@@ -218,18 +354,57 @@ class ShmRecordRing:
             blob = bytes(data[slot * rec:(slot + first) * rec]) + bytes(
                 data[0:(take - first) * rec]
             )
-        _HEAD.pack_into(self._buf, _TAIL_OFF, tail + take)
+        self._tail_view[0] = tail + take
         return blob
+
+    def pop_view(self, max_records: int) -> Optional[RingView]:
+        """Drain up to ``max_records`` records as zero-copy views.
+
+        Returns a :class:`RingView` whose ``parts`` alias the ring
+        memory directly — one structured-array view, or two when the
+        burst wraps — or ``None`` when the ring is empty or not
+        dtype-mapped (callers fall back to :meth:`pop`).  The records
+        stay reserved until :meth:`RingView.commit`; consume (or copy
+        from) the views first, then commit.
+        """
+        npd = self._np_data
+        if npd is None:
+            return None
+        tail = self._tail_view[0]
+        avail = self._head_view[0] - tail
+        if avail <= 0:
+            return None
+        take = min(avail, max_records)
+        slot = tail % self.capacity
+        first = min(take, self.capacity - slot)
+        if first == take:
+            parts: Tuple = (npd[slot:slot + take],)
+        else:
+            parts = (npd[slot:slot + first], npd[:take - first])
+        return RingView(self, tail, take, parts)
 
     # ------------------------------------------------------------------
     # Teardown.
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release this process's mapping (both sides)."""
-        self._data.release()
-        self._buf.release()
-        self._shm.close()
+        """Release this process's mapping (both sides).
+
+        Any outstanding :class:`RingView` must be committed or dropped
+        first — live views hold buffer exports on the mapping.
+        """
+        self._np_data = None
+        try:
+            self._head_view.release()
+            self._tail_view.release()
+            self._data.release()
+            self._buf.release()
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live view on error path
+            # An uncommitted RingView still exports the mapping (e.g. a
+            # worker died mid-burst); the OS reclaims it at process
+            # exit, so a best-effort close must not mask the real error.
+            pass
 
     def unlink(self) -> None:
         """Destroy the segment (creator only; call after close)."""

@@ -2,11 +2,28 @@
 
 One worker process owns one q-MAX backend and one shared-memory record
 ring.  The engine pushes ``(id: u64, value: f64)`` records into the
-ring; the worker drains it in ``add_many``-sized bursts, decoding each
-burst with a single C-level pass (``np.frombuffer`` when NumPy is
-available, ``struct.iter_unpack`` otherwise) — the same burst discipline
-as :class:`repro.switch.pmd.BurstMeasurementPipeline`, applied to the
-measurement side itself.
+ring; the worker drains it in ``add_many``-sized bursts.  On the NumPy
+stack the drain is **zero-copy and vectorized end to end**: the ring is
+dtype-mapped, so :meth:`~repro.parallel.shm_ring.ShmRecordRing.
+pop_view` hands back structured-array views over the ring memory
+itself (two on wraparound), a ring-side **admission prefilter** masks
+out every record at-or-below the backend's current admission threshold
+Ψ̂ (``vals > Ψ̂`` — one vectorized compare; rejected records never
+touch the backend), and the surviving columns flow into
+``backend.add_many_array`` with no per-record Python calls.  Ψ̂ is
+re-read from the backend every burst; because Ψ only tightens within a
+stream, a stale Ψ̂ can only *under*-reject — records it lets through
+are re-filtered inside ``add_many_array`` — never drop an admissible
+record (pinned by the prefilter property suite).  Without NumPy the
+legacy copying path (``pop`` blob + ``struct.iter_unpack``) is the
+fallback, the same burst discipline as
+:class:`repro.switch.pmd.BurstMeasurementPipeline`.
+
+The prefilter is bypassed when the backend tracks evictions (rejects
+must then be recorded with their ids, which the mask discards) or does
+not expose Ψ; prefilter rejects are reported in shard stats and land
+in the ``repro_shard_rejected`` gauge alongside backend rejects, so
+``admitted + rejected == consumed`` stays exact either way.
 
 Control flows over a ``multiprocessing`` pipe.  Every command carries
 the *expected consumed count* (records pushed to this shard so far);
@@ -57,12 +74,15 @@ if HAVE_NUMPY:
 else:  # pragma: no cover - numpy-less stack
     SHARD_RECORD_DTYPE = None
 
-#: Below this burst size the ndarray round-trip is not worth it.
+#: Below this burst size the ndarray round-trip is not worth it (auto
+#: mode only — an explicit ``use_numpy=True`` vectorizes every burst).
 _VECTOR_MIN_BURST = 32
 
 #: Idle poll granularity for the control pipe (seconds); doubles as the
 #: worker's back-off when the ring is empty.
 _IDLE_POLL = 0.0005
+
+_NEG_INF = float("-inf")
 
 
 def build_backend(spec: Any, metrics: Any = False) -> QMaxBase:
@@ -100,11 +120,21 @@ def build_backend(spec: Any, metrics: Any = False) -> QMaxBase:
     )
 
 
-def _decode_burst(blob: bytes, use_numpy: bool):
-    """One burst → (ids, vals) ready for ``add_many``."""
-    if (
+def _decode_burst(blob: bytes, use_numpy: Optional[bool]):
+    """One burst → (ids, vals) ready for ``add_many``.
+
+    ``use_numpy`` is tri-state and honored consistently at every burst
+    size: ``True`` vectorizes even bursts below ``_VECTOR_MIN_BURST``
+    (the caller asked explicitly), ``False`` never vectorizes, and
+    ``None`` auto-selects — NumPy when available and the burst is large
+    enough to amortize the ndarray round-trip.
+    """
+    if HAVE_NUMPY and (
         use_numpy
-        and len(blob) >= _VECTOR_MIN_BURST * SHARD_RECORD.size
+        or (
+            use_numpy is None
+            and len(blob) >= _VECTOR_MIN_BURST * SHARD_RECORD.size
+        )
     ):
         arr = np.frombuffer(blob, dtype=SHARD_RECORD_DTYPE)
         # ids become plain ints once (C-level tolist); values stay an
@@ -114,28 +144,35 @@ def _decode_burst(blob: bytes, use_numpy: bool):
     return [p[0] for p in pairs], [p[1] for p in pairs]
 
 
-def _sync_shard_gauges(reg, backend: QMaxBase, consumed: int) -> None:
+def _sync_shard_gauges(
+    reg, backend: QMaxBase, consumed: int, pre_rejected: int = 0
+) -> None:
     """Mirror the backend's cumulative counters into ``agg="sum"``
     gauges right before a snapshot ships, so merging every worker's
-    snapshot yields stream-wide totals with zero hot-path cost."""
+    snapshot yields stream-wide totals with zero hot-path cost.
+    Ring-side prefilter rejects are folded into
+    ``repro_shard_rejected`` — a prefiltered record is exactly one the
+    backend would have rejected itself."""
     if not reg.enabled:
         return
     reg.gauge(
         "repro_shard_consumed",
         "records this shard drained from its ring", agg="sum",
     ).set(float(consumed))
-    for attr, name in (
-        ("admitted", "repro_shard_admitted"),
-        ("rejected", "repro_shard_rejected"),
+    for attr, name, extra in (
+        ("admitted", "repro_shard_admitted", 0),
+        ("rejected", "repro_shard_rejected", pre_rejected),
     ):
         value = getattr(backend, attr, None)
         if value is not None:
             reg.gauge(
                 name, f"records the shard backend {attr}", agg="sum",
-            ).set(float(value))
+            ).set(float(value + extra))
 
 
-def _shard_stats(backend: QMaxBase, consumed: int) -> Dict[str, Any]:
+def _shard_stats(
+    backend: QMaxBase, consumed: int, pre_rejected: int = 0
+) -> Dict[str, Any]:
     stats: Dict[str, Any] = {
         "consumed": consumed,
         "backend": backend.name,
@@ -144,6 +181,11 @@ def _shard_stats(backend: QMaxBase, consumed: int) -> Dict[str, Any]:
         value = getattr(backend, attr, None)
         if value is not None:
             stats[attr] = value
+    if "rejected" in stats:
+        # Stream-level total: backend rejects + ring-side prefilter
+        # rejects, so admitted + rejected == consumed stays exact.
+        stats["rejected"] += pre_rejected
+    stats["prefilter_rejected"] = pre_rejected
     psi = getattr(backend, "_psi", None)
     if psi is not None:
         stats["psi"] = psi
@@ -163,16 +205,30 @@ def shard_worker_main(
 
     Attaches the ring, builds the backend, acknowledges readiness, then
     alternates between draining record bursts and serving barrier
-    commands until ``close``.  With ``metrics=True`` the worker keeps a
-    process-local :class:`~repro.obs.MetricsRegistry` (shared with its
-    backend) and answers the ``metrics`` op with a snapshot of it.
+    commands until ``close``.  ``use_numpy`` is tri-state (see
+    :func:`_decode_burst`); any value except ``False`` engages the
+    zero-copy ``pop_view`` path when NumPy is available.  With
+    ``metrics=True`` the worker keeps a process-local
+    :class:`~repro.obs.MetricsRegistry` (shared with its backend) and
+    answers the ``metrics`` op with a snapshot of it.
     """
     ring = None
     try:
-        ring = ShmRecordRing.attach(ring_name, capacity, SHARD_RECORD.size)
+        zero_copy = HAVE_NUMPY and use_numpy is not False
+        ring = ShmRecordRing.attach(
+            ring_name, capacity, SHARD_RECORD.size,
+            dtype=SHARD_RECORD_DTYPE if zero_copy else None,
+        )
         reg = MetricsRegistry() if metrics else NULL_REGISTRY
         backend = build_backend(spec, metrics=reg if metrics else False)
-        vectorize = HAVE_NUMPY if use_numpy is None else use_numpy
+        # Ring-side admission prefilter: needs a backend that exposes Ψ
+        # and no eviction tracking (rejects must then carry their ids).
+        prefilter = (
+            zero_copy
+            and getattr(backend, "_psi", None) is not None
+            and not getattr(backend, "_track_evictions", False)
+        )
+        pre_rejected = 0
         obs = reg if reg.enabled else None
         if obs is not None:
             obs_bursts = reg.counter(
@@ -188,22 +244,56 @@ def shard_worker_main(
                 "repro_worker_idle_polls_total",
                 "drain cycles that found the ring empty",
             )
+            obs_prefilter = reg.counter(
+                "repro_worker_prefilter_rejected_total",
+                "records rejected ring-side (vals <= Ψ̂) before the backend",
+            )
         conn.send(("ready", backend.name))
         consumed = 0
         pending: Optional[tuple] = None
         while True:
-            blob = ring.pop(burst)
-            if blob:
-                ids, vals = _decode_burst(blob, vectorize)
-                backend.add_many(ids, vals)
-                consumed += len(ids)
+            got = 0
+            if zero_copy:
+                view = ring.pop_view(burst)
+                if view is not None:
+                    got = len(view)
+                    psi = backend._psi if prefilter else None
+                    for part in view.parts:
+                        pids = part["id"]
+                        pvals = part["val"]
+                        if psi is not None and psi != _NEG_INF:
+                            mask = pvals > psi
+                            kept = int(mask.sum())
+                            if kept != pvals.shape[0]:
+                                rej = pvals.shape[0] - kept
+                                pre_rejected += rej
+                                if obs is not None:
+                                    obs_prefilter.inc(rej)
+                                if not kept:
+                                    continue
+                                pids = pids[mask]
+                                pvals = pvals[mask]
+                        backend.add_many_array(pids, pvals)
+                    view.commit()
+                    # Unmasked columns alias ring memory; drop them so
+                    # no buffer export outlives the burst (close() must
+                    # be able to unmap the segment).
+                    part = pids = pvals = None
+            else:
+                blob = ring.pop(burst)
+                if blob:
+                    ids, vals = _decode_burst(blob, use_numpy)
+                    backend.add_many(ids, vals)
+                    got = len(ids)
+            if got:
+                consumed += got
                 if obs is not None:
                     obs_bursts.inc()
-                    obs_wakeup.observe(len(ids))
+                    obs_wakeup.observe(got)
             if pending is None:
                 # Drain eagerly; only look at the pipe when idle (or
                 # between bursts, which conn.poll(0) makes free-ish).
-                if blob:
+                if got:
                     if not conn.poll(0):
                         continue
                 else:
@@ -214,7 +304,7 @@ def shard_worker_main(
                 pending = conn.recv()
             op, expected = pending
             if consumed < expected:
-                if not blob:
+                if not got:
                     # Barrier records not visible yet (producer is
                     # mid-push); don't spin hot on an empty ring.
                     time.sleep(_IDLE_POLL)
@@ -227,9 +317,9 @@ def shard_worker_main(
             elif op == "take_evicted":
                 conn.send(backend.take_evicted())
             elif op == "stats":
-                conn.send(_shard_stats(backend, consumed))
+                conn.send(_shard_stats(backend, consumed, pre_rejected))
             elif op == "metrics":
-                _sync_shard_gauges(reg, backend, consumed)
+                _sync_shard_gauges(reg, backend, consumed, pre_rejected)
                 conn.send(reg.snapshot())
             elif op == "reset":
                 backend.reset()
@@ -238,7 +328,7 @@ def shard_worker_main(
                 conn.send({
                     "items": list(backend.items()),
                     "evicted": backend.take_evicted(),
-                    "stats": _shard_stats(backend, consumed),
+                    "stats": _shard_stats(backend, consumed, pre_rejected),
                 })
                 return
             else:  # pragma: no cover - engine never sends unknown ops

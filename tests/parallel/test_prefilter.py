@@ -1,0 +1,155 @@
+"""Properties of the ring-side Ψ̂ admission prefilter.
+
+The worker snapshots the backend's admission threshold Ψ once per
+burst (Ψ̂) and masks out ring records with ``val <= Ψ̂`` before they
+reach ``add_many_array``.  Safety rests on one invariant of q-MAX:
+**Ψ is monotone non-decreasing within a stream**, so a stale snapshot
+satisfies Ψ̂ ≤ Ψ_now and the mask can only *under*-reject — a record
+it drops would have been rejected by the live structure anyway, and a
+record it wrongly keeps is re-filtered inside the backend.
+
+Pinned here:
+
+* accounting is exact: per shard ``admitted + rejected == consumed``
+  with prefilter rejects folded into ``rejected``, and totals cover
+  the whole stream;
+* the surviving multiset (full retained set *and* query) equals an
+  unfiltered run's;
+* the monotonicity argument itself, as a pure-Python property that
+  runs on every stack.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro._compat import HAVE_NUMPY
+from repro.core.qmax import QMax
+from repro.parallel.engine import ShardedQMaxEngine
+
+from tests.conftest import value_multiset
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="ring-side prefilter requires the NumPy stack"
+)
+
+NEG_INF = float("-inf")
+
+
+def _stream(seed: int, n: int):
+    rng = random.Random(seed)
+    ids = [rng.getrandbits(48) for _ in range(n)]
+    vals = [rng.random() * 1e6 for _ in range(n)]
+    return ids, vals
+
+
+@needs_numpy
+@pytest.mark.parallel
+class TestPrefilterEngine:
+    Q = 64
+    N = 20_000
+
+    def _run(self, ids, vals, **kw):
+        with ShardedQMaxEngine(
+            self.Q, n_shards=2, mode="process", **kw
+        ) as engine:
+            engine.add_many(ids, vals)
+            stats = engine.sync()
+            return (
+                sorted(v for _, v in engine.items()),
+                value_multiset(engine.query()),
+                stats,
+            )
+
+    def test_counts_exact_and_prefilter_fires(self):
+        ids, vals = _stream(101, self.N)
+        _, _, stats = self._run(ids, vals)
+        assert sum(s["consumed"] for s in stats) == self.N
+        for s in stats:
+            # Prefilter rejects are folded into the stream-level
+            # rejected count: admission accounting stays exact.
+            assert s["admitted"] + s["rejected"] == s["consumed"]
+            assert 0 <= s["prefilter_rejected"] <= s["rejected"]
+        # An iid stream is admission-light after warmup, so the bulk
+        # of rejects must be caught ring-side.
+        assert sum(s["prefilter_rejected"] for s in stats) > self.N // 4
+
+    def test_survivors_equal_unfiltered_run(self):
+        """Retained set (not just the top-q answer) is unchanged by
+        the prefilter: compare against the blob path, where no
+        ring-side masking exists."""
+        ids, vals = _stream(103, self.N)
+        items_f, query_f, stats_f = self._run(ids, vals)
+        items_u, query_u, stats_u = self._run(ids, vals, use_numpy=False)
+        assert all(s["prefilter_rejected"] == 0 for s in stats_u)
+        assert items_f == items_u
+        assert query_f == query_u
+        # And both honor the single-structure reference contract.
+        ref = QMax(self.Q, 0.25)
+        ref.add_many(ids, vals)
+        assert query_f == value_multiset(ref.query())
+
+    def test_prefilter_disabled_under_eviction_tracking(self):
+        """Eviction tracking needs every reject's id, which a mask
+        discards — the worker must bypass the prefilter entirely."""
+        ids, vals = _stream(107, 5_000)
+        with ShardedQMaxEngine(
+            self.Q, n_shards=2, mode="process", track_evictions=True
+        ) as engine:
+            engine.add_many(ids, vals)
+            stats = engine.sync()
+            evicted = engine.take_evicted()
+            live = list(engine.items())
+        assert all(s["prefilter_rejected"] == 0 for s in stats)
+        assert sorted(
+            [v for _, v in evicted] + [v for _, v in live]
+        ) == sorted(vals)
+
+
+class TestStalePsiProperty:
+    """Pure-Python pin of the monotonicity argument (every stack)."""
+
+    def test_psi_monotone_within_stream(self):
+        ids, vals = _stream(211, 3_000)
+        ref = QMax(64, 0.25)
+        psi = NEG_INF
+        for i, v in zip(ids, vals):
+            ref.add(i, v)
+            now = ref._psi
+            assert now >= psi, "Ψ regressed mid-stream"
+            psi = now
+        assert psi > NEG_INF  # the property was actually exercised
+
+    @pytest.mark.parametrize("cut", [500, 1_500, 2_900])
+    def test_stale_psi_only_under_rejects(self, cut):
+        """Filtering the suffix with a Ψ̂ frozen at ``cut`` drops only
+        records the live structure would reject: the filtered run's
+        retained set equals the unfiltered run's, record for record."""
+        ids, vals = _stream(223, 3_000)
+
+        probe = QMax(64, 0.25)
+        probe.add_many(ids[:cut], vals[:cut])
+        stale_psi = probe._psi
+
+        unfiltered = QMax(64, 0.25)
+        unfiltered.add_many(ids, vals)
+
+        filtered = QMax(64, 0.25)
+        filtered.add_many(ids[:cut], vals[:cut])
+        kept = [
+            (i, v)
+            for i, v in zip(ids[cut:], vals[cut:])
+            if v > stale_psi
+        ]
+        dropped = (3_000 - cut) - len(kept)
+        assert dropped > 0  # the stale mask did real work
+        filtered.add_many([i for i, _ in kept], [v for _, v in kept])
+
+        assert sorted(v for _, v in filtered.items()) == sorted(
+            v for _, v in unfiltered.items()
+        )
+        assert value_multiset(filtered.query()) == value_multiset(
+            unfiltered.query()
+        )

@@ -1,0 +1,158 @@
+"""Producer/consumer hammer for the SPSC ring's wraparound seam.
+
+One pusher thread + one popper (the main thread) over a *tiny* ring,
+with randomized stalls injected on both sides so every few records
+cross the wraparound boundary under contention.  Records carry
+``val == float(id)`` with strictly sequential ids, so any torn read —
+a half-written record, a reordered slot, a stale wraparound segment —
+shows up as a mismatch.  The ``parallel`` mark arms the SIGALRM
+watchdog, turning a lost-wakeup deadlock into a hard failure instead
+of a hung run.
+
+Both framings are hammered: the copying ``push``/``pop`` path (every
+stack) and the zero-copy ``push_array``/``pop_view`` path (NumPy), as
+well as the mixed case where producer and consumer each pick a
+framing per burst.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import threading
+import time
+
+import pytest
+
+from repro._compat import HAVE_NUMPY, np
+from repro.parallel.shm_ring import HAVE_SHM, ShmRecordRing
+from repro.parallel.worker import SHARD_RECORD_DTYPE
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHM, reason="multiprocessing.shared_memory unavailable"
+)
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="zero-copy path requires numpy"
+)
+
+REC = struct.Struct("=Qd")
+N_RECORDS = 8_000
+CAPACITY = 8  # tiny on purpose: ~N/CAPACITY forced wraparounds
+
+
+def _pusher(ring, rng, errors, zero_copy_p=0.0):
+    try:
+        sent = 0
+        while sent < N_RECORDS:
+            n = min(rng.randint(1, CAPACITY), N_RECORDS - sent)
+            ids = range(sent, sent + n)
+            if rng.random() < zero_copy_p:
+                ring.push_array(
+                    np.arange(sent, sent + n, dtype=np.uint64),
+                    np.arange(sent, sent + n, dtype=np.float64),
+                )
+            else:
+                ring.push(
+                    b"".join(REC.pack(i, float(i)) for i in ids)
+                )
+            sent += n
+            if rng.random() < 0.03:
+                time.sleep(rng.random() * 0.0005)
+    except BaseException as exc:  # surfaced by the popper side
+        errors.append(exc)
+
+
+def _check_records(pairs, expect_next):
+    for rec_id, val in pairs:
+        assert rec_id == expect_next, (
+            f"sequence torn: got id {rec_id}, expected {expect_next}"
+        )
+        assert val == float(rec_id), (
+            f"torn read: id {rec_id} carries val {val}"
+        )
+        expect_next += 1
+    return expect_next
+
+
+def _hammer(ring, *, push_zero_copy_p, pop_view_p, seed):
+    rng = random.Random(seed)
+    errors: list = []
+    t = threading.Thread(
+        target=_pusher,
+        args=(ring, random.Random(seed + 1), errors, push_zero_copy_p),
+        daemon=True,
+    )
+    t.start()
+    seen = 0
+    idle = 0
+    while seen < N_RECORDS:
+        if errors:
+            raise errors[0]
+        take = rng.randint(1, CAPACITY)
+        if rng.random() < pop_view_p:
+            view = ring.pop_view(take)
+            if view is None:
+                idle += 1
+                continue
+            pairs = [
+                (i, v)
+                for part in view.parts
+                for i, v in zip(
+                    part["id"].tolist(), part["val"].tolist()
+                )
+            ]
+            view.commit()
+        else:
+            blob = ring.pop(take)
+            if not blob:
+                idle += 1
+                continue
+            pairs = list(REC.iter_unpack(blob))
+        seen = _check_records(pairs, seen)
+        if rng.random() < 0.03:
+            time.sleep(rng.random() * 0.0005)
+    t.join(timeout=30)
+    assert not t.is_alive(), "pusher wedged after stream end"
+    if errors:
+        raise errors[0]
+    assert len(ring) == 0
+
+
+@needs_shm
+@pytest.mark.parallel
+class TestRingHammer:
+    def test_blob_path_no_torn_reads(self):
+        """Copying framing, every stack."""
+        ring = ShmRecordRing.create(CAPACITY, REC.size)
+        try:
+            _hammer(ring, push_zero_copy_p=0, pop_view_p=0, seed=41)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    @needs_numpy
+    def test_zero_copy_path_no_torn_reads(self):
+        ring = ShmRecordRing.create(
+            CAPACITY, REC.size, dtype=SHARD_RECORD_DTYPE
+        )
+        try:
+            _hammer(ring, push_zero_copy_p=1, pop_view_p=1, seed=43)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    @needs_numpy
+    def test_mixed_framings_no_torn_reads(self):
+        """Producer and consumer each flip framings per burst — the
+        two APIs must interoperate on a live seam, not just in
+        lockstep tests."""
+        ring = ShmRecordRing.create(
+            CAPACITY, REC.size, dtype=SHARD_RECORD_DTYPE
+        )
+        try:
+            _hammer(
+                ring, push_zero_copy_p=0.5, pop_view_p=0.5, seed=47
+            )
+        finally:
+            ring.close()
+            ring.unlink()

@@ -1,0 +1,332 @@
+"""Differential stress suite for the zero-copy shard hot path.
+
+Two equivalence contracts, both fuzzed with seeded randomness:
+
+* **Framing** — the dtype-mapped array API of :class:`ShmRecordRing`
+  (``push_array`` / ``pop_view``) is record-for-record interchangeable
+  with the legacy byte-blob API (``push`` / ``pop``): same bytes, same
+  decoded records, across random burst sizes, ids at every u64/u63
+  boundary, and forced wraparounds on tiny rings.
+* **End to end** — the zero-copy sharded engine (array producer path →
+  ring views → ring-side Ψ̂ prefilter → ``add_many_array``) retains
+  the same **value multiset** as a single reference ``QMax`` fed the
+  concatenated stream (the PR-2 contract; docs/PARALLEL.md documents
+  the tie-ordering equivalence class).
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro._compat import HAVE_NUMPY, np
+from repro.core.qmax import QMax
+from repro.parallel.engine import ShardedQMaxEngine
+from repro.parallel.shm_ring import HAVE_SHM, ShmRecordRing
+from repro.parallel.worker import SHARD_RECORD, SHARD_RECORD_DTYPE
+
+from tests.conftest import value_multiset
+
+needs_shm = pytest.mark.skipif(
+    not HAVE_SHM, reason="multiprocessing.shared_memory unavailable"
+)
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="zero-copy array API requires numpy"
+)
+
+REC = struct.Struct("=Qd")
+
+#: Ids at the representation boundaries: zero, the top of the native
+#: id range [0, 2**63), the interned-token range [2**63, 2**64), and
+#: the u64 maximum.  All must round-trip bit-exactly through both
+#: framings.
+BOUNDARY_IDS = [
+    0,
+    1,
+    (1 << 63) - 1,
+    1 << 63,
+    (1 << 64) - 1,
+]
+
+#: Values at float64 edges (NaN excluded: the batch path's documented
+#: contract bans it).
+BOUNDARY_VALS = [0.0, -0.0, 5e-324, 1e300, float("inf"), float("-inf")]
+
+
+def _fuzz_records(rng: random.Random, n: int):
+    ids = [
+        rng.choice(BOUNDARY_IDS)
+        if rng.random() < 0.25
+        else rng.getrandbits(64)
+        for _ in range(n)
+    ]
+    vals = [
+        rng.choice(BOUNDARY_VALS)
+        if rng.random() < 0.2
+        else rng.uniform(-1e9, 1e9)
+        for _ in range(n)
+    ]
+    return ids, vals
+
+
+def _pack(ids, vals) -> bytes:
+    return b"".join(REC.pack(i, v) for i, v in zip(ids, vals))
+
+
+@needs_shm
+@needs_numpy
+class TestFramingDifferential:
+    """push_array/pop_view ≡ push/pop, byte for byte."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("capacity", [4, 7, 64])
+    def test_pop_view_bytes_equal_legacy_pop(self, seed, capacity):
+        """Interleaved pushes drained through both framings in
+        lockstep must yield identical bytes, including (especially)
+        when bursts split across the wraparound seam."""
+        rng = random.Random(0xD1FF + seed)
+        blob_ring = ShmRecordRing.create(capacity, REC.size)
+        view_ring = ShmRecordRing.create(
+            capacity, REC.size, dtype=SHARD_RECORD_DTYPE
+        )
+        try:
+            queued = 0
+            for _ in range(300):
+                if queued and rng.random() < 0.5:
+                    take = rng.randint(1, capacity)
+                    blob = blob_ring.pop(take)
+                    view = view_ring.pop_view(take)
+                    if not blob:
+                        assert view is None
+                        continue
+                    assert view is not None
+                    assert view.tobytes() == blob
+                    # Wraparound split: parts must rejoin in stream
+                    # order with no torn or duplicated records.
+                    got = [
+                        rec
+                        for part in view.parts
+                        for rec in zip(
+                            part["id"].tolist(), part["val"].tolist()
+                        )
+                    ]
+                    assert got == [
+                        (i, v) for i, v in REC.iter_unpack(blob)
+                    ]
+                    view.commit()
+                    queued -= len(blob) // REC.size
+                else:
+                    n = rng.randint(1, max(1, capacity - queued))
+                    if queued + n > capacity:
+                        continue
+                    ids, vals = _fuzz_records(rng, n)
+                    blob_ring.push(_pack(ids, vals))
+                    if rng.random() < 0.5:
+                        view_ring.push(_pack(ids, vals))
+                    else:
+                        view_ring.push_array(
+                            np.array(ids, dtype=np.uint64),
+                            np.array(vals, dtype=np.float64),
+                        )
+                    queued += n
+        finally:
+            for ring in (blob_ring, view_ring):
+                ring.close()
+                ring.unlink()
+
+    def test_push_array_bytes_equal_packed_push(self):
+        """A push_array burst lands in the ring byte-identically to
+        the struct-packed blob of the same records."""
+        rng = random.Random(0xBEEF)
+        ids, vals = _fuzz_records(rng, 48)
+        a = ShmRecordRing.create(64, REC.size, dtype=SHARD_RECORD_DTYPE)
+        b = ShmRecordRing.create(64, REC.size)
+        try:
+            a.push_array(
+                np.array(ids, dtype=np.uint64),
+                np.array(vals, dtype=np.float64),
+            )
+            b.push(_pack(ids, vals))
+            assert a.pop(64) == b.pop(64)
+        finally:
+            for ring in (a, b):
+                ring.close()
+                ring.unlink()
+
+    def test_boundary_ids_and_vals_roundtrip_exactly(self):
+        ids = list(BOUNDARY_IDS)
+        vals = BOUNDARY_VALS[: len(ids)]
+        ring = ShmRecordRing.create(8, REC.size, dtype=SHARD_RECORD_DTYPE)
+        try:
+            ring.push_array(
+                np.array(ids, dtype=np.uint64),
+                np.array(vals, dtype=np.float64),
+            )
+            view = ring.pop_view(8)
+            got_ids = [
+                i for part in view.parts for i in part["id"].tolist()
+            ]
+            got_vals = [
+                v for part in view.parts for v in part["val"].tolist()
+            ]
+            view.commit()
+            assert got_ids == ids
+            # -0.0 == 0.0 compares equal; compare bit patterns instead.
+            assert [struct.pack("=d", v) for v in got_vals] == [
+                struct.pack("=d", v) for v in vals
+            ]
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_uncommitted_view_leaves_records_queued(self):
+        ring = ShmRecordRing.create(8, REC.size, dtype=SHARD_RECORD_DTYPE)
+        try:
+            ring.push(_pack([1, 2], [1.0, 2.0]))
+            view = ring.pop_view(2)
+            assert len(view) == 2
+            blob = view.tobytes()
+            del view  # dropped without commit: nothing consumed
+            assert len(ring) == 2
+            assert ring.pop(2) == blob
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_pop_view_on_unmapped_ring_is_none(self):
+        ring = ShmRecordRing.create(8, REC.size)  # no dtype
+        try:
+            ring.push(_pack([7], [7.0]))
+            assert ring.pop_view(4) is None  # caller must fall back
+            assert len(ring.pop(4)) == REC.size
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+def test_pop_view_fallback_exists_on_every_stack():
+    """The copying path stays available regardless of stack: a ring
+    built without a dtype serves pop() only, on pure Python and NumPy
+    alike (the worker's fallback contract)."""
+    if not HAVE_SHM:
+        pytest.skip("shared memory unavailable")
+    ring = ShmRecordRing.create(4, REC.size)
+    try:
+        assert ring.dtype is None
+        ring.push(_pack([3], [3.0]))
+        assert ring.pop_view(1) is None
+        assert REC.unpack(ring.pop(1)) == (3, 3.0)
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def _reference_multiset(ids, vals, q):
+    ref = QMax(q, 0.25)
+    ref.add_many(ids, vals)
+    return value_multiset(ref.query()), sorted(
+        v for _, v in ref.items()
+    )
+
+
+@pytest.mark.parallel
+class TestZeroCopyEngineDifferential:
+    """Zero-copy sharded engine ≡ single reference QMax."""
+
+    @pytest.mark.parametrize("seed", [11, 23])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_random_burst_sizes_match_reference(self, seed, n_shards):
+        rng = random.Random(seed)
+        n = 15_000
+        ids = [rng.getrandbits(48) for _ in range(n)]
+        vals = [rng.random() * 1e6 for _ in range(n)]
+        q = 64
+        with ShardedQMaxEngine(
+            q, n_shards=n_shards, mode="process", burst=rng.choice(
+                [32, 128, 512]
+            )
+        ) as engine:
+            lo = 0
+            while lo < n:
+                # Random burst sizes straddling every fast-path
+                # threshold (1 record … thousands).
+                step = rng.choice([1, 7, 31, 32, 33, 511, 2048])
+                engine.add_many(ids[lo:lo + step], vals[lo:lo + step])
+                lo += step
+            got = value_multiset(engine.query())
+        want, _ = _reference_multiset(ids, vals, q)
+        assert got == want
+
+    @pytest.mark.parametrize("use_numpy", [None, False])
+    def test_vectorize_flag_paths_match(self, use_numpy):
+        """Auto and forced-pure workers retain the same multiset (the
+        forced-numpy variant needs the numpy stack, below)."""
+        rng = random.Random(5)
+        n = 10_000
+        ids = list(range(n))
+        vals = [float(i % 997) + rng.random() for i in range(n)]
+        q = 48
+        with ShardedQMaxEngine(
+            q, n_shards=3, mode="process", use_numpy=use_numpy
+        ) as engine:
+            engine.add_many(ids, vals)
+            got = value_multiset(engine.query())
+        want, _ = _reference_multiset(ids, vals, q)
+        assert got == want
+
+    @needs_numpy
+    def test_forced_numpy_small_bursts_match(self):
+        """use_numpy=True with bursts below _VECTOR_MIN_BURST: the
+        vectorize flag must be honored consistently (the small-burst
+        fallback bug) and results stay exact."""
+        rng = random.Random(17)
+        n = 4_000
+        ids = [rng.getrandbits(32) for _ in range(n)]
+        vals = [rng.random() * 100 for _ in range(n)]
+        q = 32
+        with ShardedQMaxEngine(
+            q, n_shards=2, mode="process", use_numpy=True, burst=8
+        ) as engine:
+            for lo in range(0, n, 5):  # tiny producer bursts too
+                engine.add_many(ids[lo:lo + 5], vals[lo:lo + 5])
+            got = value_multiset(engine.query())
+        want, _ = _reference_multiset(ids, vals, q)
+        assert got == want
+
+    def test_forced_ring_wraparound_matches_reference(self):
+        """A ring far smaller than the stream forces continuous
+        wraparound (and producer stalls); the retained multiset must
+        still match the reference exactly."""
+        rng = random.Random(29)
+        n = 6_000
+        ids = [rng.getrandbits(40) for _ in range(n)]
+        vals = [float(i) + rng.random() for i in range(n)]  # admission-heavy
+        q = 32
+        with ShardedQMaxEngine(
+            q, n_shards=2, mode="process", ring_capacity=64, burst=48
+        ) as engine:
+            engine.add_many(ids, vals)
+            stats = engine.stats()
+            got = value_multiset(engine.query())
+        want, _ = _reference_multiset(ids, vals, q)
+        assert got == want
+
+    def test_admission_heavy_with_evictions_conserved(self):
+        """Eviction tracking disables the ring-side prefilter; nothing
+        may be dropped: live ∪ evicted == stream, exactly."""
+        rng = random.Random(31)
+        n = 5_000
+        ids = list(range(n))
+        vals = [float(i) + rng.random() * 0.25 for i in range(n)]
+        with ShardedQMaxEngine(
+            32, n_shards=2, mode="process", track_evictions=True
+        ) as engine:
+            engine.add_many(ids, vals)
+            engine.sync()
+            evicted = engine.take_evicted()
+            live = list(engine.items())
+        assert sorted(
+            [v for _, v in evicted] + [v for _, v in live]
+        ) == sorted(vals)
