@@ -10,7 +10,8 @@ BENCH_SUBSET = benchmarks/bench_fig04_gamma.py \
                benchmarks/bench_fig05_vs_q.py \
                benchmarks/bench_tab01_speedups.py \
                benchmarks/bench_abl_shard_scaling.py \
-               benchmarks/bench_shard_wallclock.py
+               benchmarks/bench_shard_wallclock.py \
+               benchmarks/bench_abl_kernel.py
 
 # Synthetic SHAs for the local/CI instrumentation-overhead gate: the
 # all-a row is measured with metrics off, the all-b row with
@@ -23,10 +24,14 @@ OBS_SUBSET = benchmarks/bench_fig04_gamma.py \
              benchmarks/bench_tab01_speedups.py
 
 .PHONY: test bench bench-fast bench-subset bench-report bench-gate \
-        bench-overhead bench-wallclock examples serve-demo lint all outputs
+        bench-overhead bench-wallclock build-native examples serve-demo \
+        lint all outputs
 
 test:
 	$(PYTEST) tests/
+
+build-native:  ## compile the optional C maintenance kernel in-tree
+	python setup.py build_ext --inplace
 
 bench:
 	$(PYTEST) benchmarks/ --benchmark-only -s

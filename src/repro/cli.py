@@ -186,10 +186,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.traffic import generate_value_stream
 
     stream = generate_value_stream(args.items, seed=args.seed)
+    kernel = getattr(args, "kernel", None)
+
+    def make_qmax():
+        return QMax(args.q, args.gamma, kernel=kernel)
+
+    # Label with the *resolved* kernel (make_qmax's probe), so a table
+    # produced on a box without the native extension says so.
+    qmax_label = (
+        f"qmax(g={args.gamma:g},k={make_qmax().kernel})"
+        if kernel else f"qmax(g={args.gamma:g})"
+    )
     rows = []
     metrics = []
     for label, factory in (
-        (f"qmax(g={args.gamma:g})", lambda: QMax(args.q, args.gamma)),
+        (qmax_label, make_qmax),
         ("heap", lambda: HeapQMax(args.q)),
         ("skiplist", lambda: SkipListQMax(args.q)),
     ):
@@ -207,7 +218,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         def make_sharded():
             engine = ShardedQMaxEngine(
                 args.q, n_shards=args.shards, gamma=args.gamma,
-                mode=args.shard_mode,
+                mode=args.shard_mode, kernel=kernel,
             )
             engines.append(engine)
             return engine.add_many
@@ -230,7 +241,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         rows,
         config={"q": args.q, "gamma": args.gamma, "items": args.items,
                 "repeats": args.repeats, "seed": args.seed,
-                "shards": args.shards},
+                "shards": args.shards, "kernel": kernel},
         metrics=metrics,
         record=getattr(args, "record", False),
     )
@@ -492,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--shard-mode", default="auto",
             choices=("auto", "process", "inline"),
             help="sharded engine execution mode")
+        parser.add_argument(
+            "--kernel", default=None,
+            choices=("stepwise", "numpy", "native"),
+            help="qmax maintenance kernel (default: REPRO_KERNEL or "
+            "the deamortized stepwise schedule); numpy/native run "
+            "one-shot boundary drives, falling back when unavailable")
         parser.add_argument(
             "--record", action="store_true",
             help="append the sweep to the bench trajectory store")

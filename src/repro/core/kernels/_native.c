@@ -1,0 +1,232 @@
+/* Native maintenance kernel for the q-MAX reproduction.
+ *
+ * Two entry points over contiguous writable buffers (no NumPy C API —
+ * plain buffer protocol, so ndarray slices and array.array both work):
+ *
+ *   select_kth(vals, perm, kth) -> float
+ *       Median-of-three quickselect (insertion-sort cutoff) placing
+ *       the ascending-rank `kth` value of the float64 buffer `vals`
+ *       at index kth, in place, co-swapping the uint64 buffer `perm`
+ *       (callers pass arange and apply it to their id column after);
+ *       everything left of kth ends <= the result, everything right
+ *       >= it.  Returns the selected value.
+ *
+ *   dnf_partition(vals, perm, pivot, big_on_right) -> None
+ *       Dutch-national-flag three-way partition of `vals` around
+ *       `pivot`, co-swapping `perm`: [<][=][>] when big_on_right is
+ *       true, [>][=][<] otherwise.
+ *
+ * Mirrors the pure-Python routines in repro/core/select.py; the
+ * differential fuzz suite pins both to identical retained-set
+ * semantics.  The GIL is released around the O(n) loops.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+
+/* Below this size quickselect finishes with insertion sort (matches
+ * _SMALL_CUTOFF in repro/core/select.py). */
+#define SMALL_CUTOFF 16
+
+static void
+swap_rec(double *v, uint64_t *p, Py_ssize_t i, Py_ssize_t j)
+{
+    double tv = v[i];
+    uint64_t tp = p[i];
+    v[i] = v[j];
+    p[i] = p[j];
+    v[j] = tv;
+    p[j] = tp;
+}
+
+static void
+insertion_sort(double *v, uint64_t *p, Py_ssize_t lo, Py_ssize_t hi)
+{
+    Py_ssize_t i, j;
+    for (i = lo + 1; i < hi; i++) {
+        double cv = v[i];
+        uint64_t cp = p[i];
+        j = i - 1;
+        while (j >= lo && v[j] > cv) {
+            v[j + 1] = v[j];
+            p[j + 1] = p[j];
+            j--;
+        }
+        v[j + 1] = cv;
+        p[j + 1] = cp;
+    }
+}
+
+static double
+median_of_three(double *v, uint64_t *p,
+                Py_ssize_t lo, Py_ssize_t mid, Py_ssize_t hi)
+{
+    if (v[mid] < v[lo])
+        swap_rec(v, p, lo, mid);
+    if (v[hi] < v[lo])
+        swap_rec(v, p, lo, hi);
+    if (v[hi] < v[mid])
+        swap_rec(v, p, mid, hi);
+    return v[mid];
+}
+
+static double
+quickselect(double *v, uint64_t *p, Py_ssize_t n, Py_ssize_t target)
+{
+    Py_ssize_t left = 0, right = n - 1;
+    while (right - left >= SMALL_CUTOFF) {
+        Py_ssize_t mid = left + (right - left) / 2;
+        double pivot = median_of_three(v, p, left, mid, right);
+        /* Hoare partition; the median-of-three placed sentinels at
+         * both ends, so the inner scans cannot run off the region. */
+        Py_ssize_t i = left, j = right;
+        while (i <= j) {
+            while (v[i] < pivot)
+                i++;
+            while (v[j] > pivot)
+                j--;
+            if (i <= j) {
+                swap_rec(v, p, i, j);
+                i++;
+                j--;
+            }
+        }
+        if (target <= j)
+            right = j;
+        else if (target >= i)
+            left = i;
+        else
+            return v[target];
+    }
+    insertion_sort(v, p, left, right + 1);
+    return v[target];
+}
+
+static void
+dnf(double *v, uint64_t *p, Py_ssize_t n, double pivot, int big_on_right)
+{
+    Py_ssize_t lt = 0, i = 0, gt = n;
+    while (i < gt) {
+        double x = v[i];
+        int low = big_on_right ? (x < pivot) : (x > pivot);
+        if (low) {
+            swap_rec(v, p, i, lt);
+            lt++;
+            i++;
+        }
+        else {
+            int high = big_on_right ? (x > pivot) : (x < pivot);
+            if (high) {
+                gt--;
+                swap_rec(v, p, i, gt);
+            }
+            else {
+                i++;
+            }
+        }
+    }
+}
+
+/* Validate the (vals, perm) buffer pair; returns the record count or
+ * -1 with an exception set.  Buffers are already acquired by the
+ * caller's PyArg_ParseTuple and must be released there on all paths. */
+static Py_ssize_t
+check_buffers(Py_buffer *vbuf, Py_buffer *pbuf)
+{
+    if (vbuf->len % (Py_ssize_t)sizeof(double) != 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "vals buffer length is not a multiple of 8");
+        return -1;
+    }
+    Py_ssize_t n = vbuf->len / (Py_ssize_t)sizeof(double);
+    if (pbuf->len != n * (Py_ssize_t)sizeof(uint64_t)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "perm buffer does not match vals length "
+                        "(need one uint64 per double)");
+        return -1;
+    }
+    if (n < 1) {
+        PyErr_SetString(PyExc_ValueError, "empty region");
+        return -1;
+    }
+    return n;
+}
+
+static PyObject *
+py_select_kth(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    Py_buffer vbuf, pbuf;
+    Py_ssize_t kth;
+    if (!PyArg_ParseTuple(args, "w*w*n:select_kth", &vbuf, &pbuf, &kth))
+        return NULL;
+    Py_ssize_t n = check_buffers(&vbuf, &pbuf);
+    if (n < 0 || kth < 0 || kth >= n) {
+        if (n >= 0)
+            PyErr_Format(PyExc_ValueError,
+                         "kth=%zd out of range for %zd records", kth, n);
+        PyBuffer_Release(&vbuf);
+        PyBuffer_Release(&pbuf);
+        return NULL;
+    }
+    double *v = (double *)vbuf.buf;
+    uint64_t *p = (uint64_t *)pbuf.buf;
+    double result;
+    Py_BEGIN_ALLOW_THREADS
+    result = quickselect(v, p, n, kth);
+    Py_END_ALLOW_THREADS
+    PyBuffer_Release(&vbuf);
+    PyBuffer_Release(&pbuf);
+    return PyFloat_FromDouble(result);
+}
+
+static PyObject *
+py_dnf_partition(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    Py_buffer vbuf, pbuf;
+    double pivot;
+    int big_on_right;
+    if (!PyArg_ParseTuple(args, "w*w*dp:dnf_partition",
+                          &vbuf, &pbuf, &pivot, &big_on_right))
+        return NULL;
+    Py_ssize_t n = check_buffers(&vbuf, &pbuf);
+    if (n < 0) {
+        PyBuffer_Release(&vbuf);
+        PyBuffer_Release(&pbuf);
+        return NULL;
+    }
+    double *v = (double *)vbuf.buf;
+    uint64_t *p = (uint64_t *)pbuf.buf;
+    Py_BEGIN_ALLOW_THREADS
+    dnf(v, p, n, pivot, big_on_right);
+    Py_END_ALLOW_THREADS
+    PyBuffer_Release(&vbuf);
+    PyBuffer_Release(&pbuf);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef native_methods[] = {
+    {"select_kth", py_select_kth, METH_VARARGS,
+     "select_kth(vals, perm, kth) -> float\n\n"
+     "In-place quickselect of the ascending-rank kth value of the\n"
+     "float64 buffer, co-swapping the uint64 permutation buffer."},
+    {"dnf_partition", py_dnf_partition, METH_VARARGS,
+     "dnf_partition(vals, perm, pivot, big_on_right) -> None\n\n"
+     "In-place three-way partition around pivot, co-swapping the\n"
+     "uint64 permutation buffer."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.core.kernels._native",
+    "Compiled select/partition maintenance routines (see native.py).",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    return PyModule_Create(&native_module);
+}

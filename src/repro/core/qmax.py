@@ -40,11 +40,13 @@ Deviations from the paper (documented in DESIGN.md §5):
 
 from __future__ import annotations
 
+import os
 from time import perf_counter
 from typing import Generator, Iterator, List, Optional, Sequence
 
 from repro._compat import HAVE_NUMPY, np
 from repro.core.interface import QMaxBase
+from repro.core.kernels import DEFAULT_KERNEL, KERNEL_ENV, resolve_kernel
 from repro.core.select import (
     partition_top,
     stepwise_partition_top,
@@ -108,6 +110,29 @@ class QMax(QMaxBase):
         element strided sample at the target's proportional rank (see
         :func:`repro.core.select.stepwise_select_sampled`).  Mutually
         exclusive with ``deterministic_select``.
+    kernel:
+        Maintenance execution strategy (see :mod:`repro.core.kernels`).
+        ``None`` consults ``REPRO_KERNEL`` then defaults to
+        ``"stepwise"`` — the deamortized generator schedule above,
+        with its per-update O(1/γ) bound.  ``"numpy"`` / ``"native"``
+        (or any kernel instance, including a
+        :class:`~repro.core.kernels.stepwise.StepwiseKernel`) switch to
+        **one-shot drives**: maintenance runs as a single fast call at
+        each iteration boundary (every ``g`` admissions), which trades
+        the per-update worst-case bound for a much smaller amortized
+        constant.  Ψ then tightens only at boundaries (it is exact at
+        every boundary and remains a valid lower bound throughout), so
+        admission decisions between a one-shot structure and the
+        deamortized default can differ mid-iteration — the top-q
+        answer is exact either way (docs/ALGORITHMS.md).  Unavailable
+        kernels degrade gracefully (``native`` → ``numpy`` →
+        ``stepwise``); :meth:`stats` reports what actually resolved.
+        Step-budget Select strategies (``deterministic_select``,
+        ``pivot_sample``) are meaningless under one-shot drives: they
+        raise with an explicitly requested kernel, and win over a
+        kernel that merely came from ``REPRO_KERNEL`` (the deamortized
+        schedule is preserved whenever step-budget semantics are
+        requested).  ``step_batch`` is ignored in one-shot mode.
     use_numpy:
         Controls the :meth:`add_many` batch filter.  ``None`` (default)
         auto-selects: NumPy when installed and the batch is large
@@ -173,6 +198,11 @@ class QMax(QMaxBase):
         "_trace",
         "_trace_hists",
         "_maint_phase",
+        "_phase_mark",
+        "kernel",
+        "_kernel_requested",
+        "_kernel_obj",
+        "_array_store",
     )
 
     def __init__(
@@ -185,6 +215,7 @@ class QMax(QMaxBase):
         deterministic_select: bool = False,
         use_numpy: Optional[bool] = None,
         pivot_sample: int = 0,
+        kernel=None,
         metrics=None,
         trace: bool = False,
     ) -> None:
@@ -234,8 +265,66 @@ class QMax(QMaxBase):
         self._track_evictions = track_evictions
         self._instrument = instrument
         self._evicted: List[Item] = []
+        self._resolve_kernel(kernel, deterministic_select, pivot_sample)
         self._bind_obs(resolve_registry(metrics), trace)
         self.reset()
+
+    def _resolve_kernel(
+        self, kernel, deterministic_select: bool, pivot_sample: int
+    ) -> None:
+        """Resolve the maintenance kernel (cold path, __init__ only).
+
+        Sets ``self._kernel_obj`` (``None`` = deamortized stepwise
+        schedule; an instance = one-shot drives at iteration
+        boundaries), ``self.kernel`` (the resolved name — what will
+        actually run) and ``self._kernel_requested``.
+        """
+        if kernel is None:
+            requested = os.environ.get(KERNEL_ENV) or DEFAULT_KERNEL
+            from_env = requested != DEFAULT_KERNEL
+        elif isinstance(kernel, str):
+            requested, from_env = kernel, False
+        else:
+            requested = getattr(kernel, "name", type(kernel).__name__)
+            from_env = False
+        self._kernel_requested = requested
+        if kernel is not None and not isinstance(kernel, str):
+            # An explicit instance always drives one-shot — including a
+            # StepwiseKernel, the differential suites' reference mode.
+            self._kernel_obj = resolve_kernel(kernel)
+        else:
+            resolved = resolve_kernel(kernel)
+            self._kernel_obj = (
+                None if resolved.name == DEFAULT_KERNEL else resolved
+            )
+        if self._kernel_obj is not None and (
+            deterministic_select or pivot_sample
+        ):
+            if from_env:
+                # Step-budget Select strategies were requested in code;
+                # an environment-level kernel preference must not break
+                # their drive-schedule semantics.
+                self._kernel_obj = None
+            else:
+                raise ConfigurationError(
+                    "one-shot kernels are mutually exclusive with the "
+                    "step-budget Select strategies "
+                    "(deterministic_select / pivot_sample)"
+                )
+        if self._kernel_obj is None:
+            self.kernel = DEFAULT_KERNEL
+        else:
+            self.kernel = getattr(
+                self._kernel_obj, "name", type(self._kernel_obj).__name__
+            )
+            # One-shot mode: maintenance runs once per iteration, so
+            # the only drive point is the boundary itself.
+            self._batch = self._g
+        self._array_store = (
+            self._kernel_obj is not None
+            and self._use_numpy
+            and getattr(self._kernel_obj, "array_storage", False)
+        )
 
     def _bind_obs(self, registry, trace: bool) -> None:
         """Bind observability instruments once (cold path).
@@ -292,12 +381,19 @@ class QMax(QMaxBase):
             "repro_qmax_gamma_actual",
             "realized γ = 2⌊qγ/2⌋/q after slot rounding",
         ).set(2 * self._g / self.q)
+        registry.gauge(
+            "repro_qmax_kernel",
+            "active maintenance kernel (1 = the labelled kernel runs "
+            "this structure's drives, post fallback)",
+            kernel=self.kernel,
+        ).set(1.0)
         self._trace = bool(trace)
         self._trace_hists = {
             phase: registry.histogram(
                 "repro_qmax_maintenance_seconds",
                 "wall-clock time of maintenance drives by phase",
                 phase=phase,
+                kernel=self.kernel,
             )
             for phase in ("select", "pivot", "boundary")
         } if trace else None
@@ -332,8 +428,16 @@ class QMax(QMaxBase):
     def reset(self) -> None:
         """Clear all state (see :meth:`QMaxBase.reset`)."""
         neg_inf = float("-inf")
-        self._vals: List[Value] = [neg_inf] * self._n
-        self._ids: List[ItemId] = [_EMPTY] * self._n
+        if self._array_store:
+            # Kernel mode on the NumPy stack: a float64 value column
+            # (kernels drive it without touching Python objects) plus
+            # an object id column.  Values coerce to float64 on
+            # admission — the same contract as add_many_array.
+            self._vals = np.full(self._n, neg_inf, dtype=np.float64)
+            self._ids = np.full(self._n, _EMPTY, dtype=object)
+        else:
+            self._vals: List[Value] = [neg_inf] * self._n
+            self._ids: List[ItemId] = [_EMPTY] * self._n
         self._psi: Value = neg_inf
         self._steps = 0
         self._sel_steps = max(1, self._g // 2)
@@ -345,8 +449,9 @@ class QMax(QMaxBase):
         self.admitted = 0
         self.rejected = 0
         self._maint_phase = "select"
+        self._phase_mark = 0.0
         self._maint: Optional[Generator[int, None, None]] = (
-            self._maintenance_gen()
+            None if self._kernel_obj is not None else self._maintenance_gen()
         )
 
     def _maintenance_gen(self) -> Generator[int, None, None]:
@@ -372,6 +477,10 @@ class QMax(QMaxBase):
         if obs is not None:
             self._obs_selects.inc()
             self._obs_psi.set(psi)
+        if self._trace:
+            # Mark the select→pivot transition so the drive that spans
+            # it can split its span honestly (see _drive).
+            self._phase_mark = perf_counter()
         self._maint_phase = "pivot"
         yield from stepwise_partition_top(
             self._vals, self._ids, lo, hi, psi, self._pivot_side(), piv_ops
@@ -538,6 +647,7 @@ class QMax(QMaxBase):
         ids_a = self._ids
         g = self._g
         batch = self._batch
+        array_store = self._array_store
         admitted = 0
         # One vectorized pass rejects everything at-or-below the current
         # Ψ (the common case); survivors are admitted chunk by chunk.
@@ -557,7 +667,12 @@ class QMax(QMaxBase):
                 take = room
             sel = cand[k : k + take]
             pos = self._insert_base + steps
-            vals_a[pos : pos + take] = varr[sel].tolist()
+            if array_store:
+                # Kernel-mode float64 column: ndarray→ndarray copy, no
+                # Python float objects materialize.
+                vals_a[pos : pos + take] = varr[sel]
+            else:
+                vals_a[pos : pos + take] = varr[sel].tolist()
             if iarr is not None:
                 ids_a[pos : pos + take] = iarr[sel].tolist()
             else:
@@ -589,25 +704,32 @@ class QMax(QMaxBase):
         trace = self._trace
         if maint is not None:
             if trace:
+                phase0 = self._maint_phase
+                self._phase_mark = 0.0
                 t0 = perf_counter()
-            try:
-                step_ops = next(maint)
-            except StopIteration:
-                self._maint = None
-            if trace:
+                try:
+                    step_ops = next(maint)
+                except StopIteration:
+                    self._maint = None
+                t1 = perf_counter()
                 # A drive that finishes the Select mid-budget continues
-                # into the pivot; the whole drive is attributed to the
-                # phase it ended in — exact at iteration granularity.
-                self._trace_hists[self._maint_phase].observe(
-                    perf_counter() - t0
-                )
-        if steps >= self._g:
-            if trace:
-                t0 = perf_counter()
-                step_ops += self._finish_iteration()
-                self._trace_hists["boundary"].observe(perf_counter() - t0)
+                # into the pivot; the generator marks the transition
+                # instant, so the span splits into an honest per-phase
+                # pair instead of charging everything to one phase.
+                mark = self._phase_mark
+                hists = self._trace_hists
+                if mark:
+                    hists[phase0].observe(mark - t0)
+                    hists["pivot"].observe(t1 - mark)
+                else:
+                    hists[phase0].observe(t1 - t0)
             else:
-                step_ops += self._finish_iteration()
+                try:
+                    step_ops = next(maint)
+                except StopIteration:
+                    self._maint = None
+        if steps >= self._g:
+            step_ops += self._finish_iteration()
         if self._obs is not None:
             self._obs_drives.inc()
         if self._instrument:
@@ -615,17 +737,53 @@ class QMax(QMaxBase):
             if step_ops > self.max_step_ops:
                 self.max_step_ops = step_ops
 
+    def _kernel_drive(self) -> None:
+        """One-shot maintenance: a full select+pivot in one kernel call."""
+        lo, hi = self._s1_bounds()
+        psi = self._kernel_obj.drive(
+            self._vals, self._ids, lo, hi, self.q, self._pivot_side(),
+            observe=self._observe_phase if self._trace else None,
+        )
+        self._psi = psi
+        if self._obs is not None:
+            self._obs_selects.inc()
+            self._obs_pivots.inc()
+            self._obs_psi.set(psi)
+
+    def _observe_phase(self, phase: str, seconds: float) -> None:
+        """Trace callback handed to one-shot kernels."""
+        self._trace_hists[phase].observe(seconds)
+
     def _finish_iteration(self) -> int:
         """Force-finish maintenance, evict, and flip orientation."""
         ops = 0
-        maint = self._maint
-        if maint is not None:
-            try:
-                while True:
-                    ops += next(maint)
-            except StopIteration:
-                pass
-            self._maint = None
+        trace = self._trace
+        if self._kernel_obj is not None:
+            self._kernel_drive()
+        else:
+            maint = self._maint
+            if maint is not None:
+                if trace:
+                    phase0 = self._maint_phase
+                    self._phase_mark = 0.0
+                    t0 = perf_counter()
+                try:
+                    while True:
+                        ops += next(maint)
+                except StopIteration:
+                    pass
+                self._maint = None
+                if trace:
+                    t1 = perf_counter()
+                    mark = self._phase_mark
+                    hists = self._trace_hists
+                    if mark:
+                        hists[phase0].observe(mark - t0)
+                        hists["pivot"].observe(t1 - mark)
+                    else:
+                        hists[phase0].observe(t1 - t0)
+        if trace:
+            tb = perf_counter()
         d_lo, d_hi = self._discard_bounds()
         if self._track_evictions:
             vals, ids = self._vals, self._ids
@@ -643,7 +801,13 @@ class QMax(QMaxBase):
         self._orient_left = not self._orient_left
         self._insert_base = d_lo
         self._steps = 0
-        self._maint = self._maintenance_gen()
+        if self._kernel_obj is None:
+            self._maint = self._maintenance_gen()
+            self._maint_phase = "select"
+        if trace:
+            # Boundary span: eviction scan + flip bookkeeping only —
+            # residual select/pivot work was attributed above.
+            self._trace_hists["boundary"].observe(perf_counter() - tb)
         return ops
 
     # ------------------------------------------------------------------
@@ -653,6 +817,11 @@ class QMax(QMaxBase):
     def items(self) -> Iterator[Item]:
         """Live items: all of S1 plus the filled prefix of S2."""
         vals, ids = self._vals, self._ids
+        if self._array_store:
+            # Yield plain Python floats, not np.float64 scalars — the
+            # engine's result decoding and the tests compare by value
+            # but serialize by type.
+            vals = vals.tolist()
         lo, hi = self._s1_bounds()
         for i in range(lo, hi):
             if ids[i] is not _EMPTY:
@@ -697,7 +866,47 @@ class QMax(QMaxBase):
 
     @property
     def name(self) -> str:
+        if self._kernel_obj is not None:
+            return f"qmax(gamma={self.gamma:g},kernel={self.kernel})"
         return f"qmax(gamma={self.gamma:g})"
+
+    def stats(self) -> dict:
+        """Configuration and counter snapshot.
+
+        Every entry reports what the structure *actually runs*, after
+        kernel fallback and NumPy availability are settled — never the
+        requested configuration: ``kernel`` is the resolved kernel
+        (``kernel_requested`` keeps the original ask so callers can
+        detect a silent downgrade), ``select`` is the Select strategy
+        driving maintenance (``one-shot`` in kernel mode, where the
+        step-budget Select generators never run), and ``batch_numpy``
+        is True only when the vectorized batch filter is really
+        engaged.
+        """
+        if self._kernel_obj is not None:
+            select = "one-shot"
+        elif self._select is stepwise_select_deterministic:
+            select = "bfprt"
+        elif self._select is stepwise_select:
+            select = "quickselect"
+        else:
+            select = "sampled"
+        return {
+            "backend": type(self).__name__,
+            "q": self.q,
+            "size": sum(1 for _ in self.items()),
+            "gamma": self.gamma,
+            "space_slots": self._n,
+            "kernel": self.kernel,
+            "kernel_requested": self._kernel_requested,
+            "select": select,
+            "step_batch": self._batch,
+            "batch_numpy": self._use_numpy,
+            "array_store": self._array_store,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "psi": self._psi,
+        }
 
     def check_invariants(self) -> None:
         """Verify Ψ is a valid lower bound and regions are consistent."""

@@ -136,6 +136,13 @@ class ShardedQMaxEngine(QMaxBase):
         dropping it.
     shard_seed:
         Seed of the flow → shard multiply-shift hash.
+    kernel:
+        Maintenance kernel name forwarded to every qmax shard
+        (``stepwise``/``numpy``/``native``, see
+        :mod:`repro.core.kernels`); each worker resolves it locally, so
+        a missing extension degrades per process and
+        :meth:`shard_stats` reports what each shard actually runs.
+        Only valid with ``backend="qmax"``.
     instrument:
         Inline mode only: record cumulative per-shard service seconds
         in :attr:`shard_seconds` (the scaling benchmark's probe).
@@ -162,6 +169,7 @@ class ShardedQMaxEngine(QMaxBase):
         backend_factory: Optional[Callable[[], QMaxBase]] = None,
         use_numpy: Optional[bool] = None,
         backend_kwargs: Optional[Dict[str, Any]] = None,
+        kernel: Optional[str] = None,
         instrument: bool = False,
         metrics=None,
     ) -> None:
@@ -180,6 +188,14 @@ class ShardedQMaxEngine(QMaxBase):
                 "use_numpy=True but numpy is not installed "
                 "(pip install .[fast])"
             )
+        if kernel is not None:
+            if backend_factory is not None or backend != "qmax":
+                raise ConfigurationError(
+                    "kernel= applies to the qmax backend only; bake it "
+                    "into backend_factory / backend_kwargs instead"
+                )
+            backend_kwargs = dict(backend_kwargs or {})
+            backend_kwargs["kernel"] = kernel
         self._metrics = resolve_registry(metrics)
         if backend_factory is not None:
             self._spec: Any = backend_factory
@@ -658,6 +674,9 @@ class ShardedQMaxEngine(QMaxBase):
             out = []
             for s, b in enumerate(self._backends):
                 stats: Dict[str, Any] = {"backend": b.name}
+                kern = getattr(b, "kernel", None)
+                if kern is not None:
+                    stats["kernel"] = kern
                 for attr in ("admitted", "rejected", "compactions"):
                     val = getattr(b, attr, None)
                     if val is not None:

@@ -177,6 +177,11 @@ def _shard_stats(
         "consumed": consumed,
         "backend": backend.name,
     }
+    kern = getattr(backend, "kernel", None)
+    if kern is not None:
+        # Resolved in *this* process — a worker without the native
+        # extension reports its actual fallback, not the request.
+        stats["kernel"] = kern
     for attr in ("admitted", "rejected", "compactions"):
         value = getattr(backend, attr, None)
         if value is not None:
