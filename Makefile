@@ -11,7 +11,8 @@ BENCH_SUBSET = benchmarks/bench_fig04_gamma.py \
                benchmarks/bench_tab01_speedups.py \
                benchmarks/bench_abl_shard_scaling.py \
                benchmarks/bench_shard_wallclock.py \
-               benchmarks/bench_abl_kernel.py
+               benchmarks/bench_abl_kernel.py \
+               benchmarks/bench_fleet_scale.py
 
 # Synthetic SHAs for the local/CI instrumentation-overhead gate: the
 # all-a row is measured with metrics off, the all-b row with
@@ -25,7 +26,7 @@ OBS_SUBSET = benchmarks/bench_fig04_gamma.py \
 
 .PHONY: test bench bench-fast bench-subset bench-report bench-gate \
         bench-overhead bench-wallclock build-native examples serve-demo \
-        lint all outputs
+        fleet-demo lint all outputs
 
 test:
 	$(PYTEST) tests/
@@ -73,6 +74,9 @@ examples:
 
 serve-demo:  ## start a daemon, replay a synthetic trace at it, query it
 	PYTHONPATH=src python examples/serve_demo.py
+
+fleet-demo:  ## coordinator + three daemons: epochs, global top-q, a kill
+	PYTHONPATH=src python examples/fleet_demo.py
 
 outputs:  ## the deliverable transcripts
 	$(PYTEST) tests/ 2>&1 | tee test_output.txt

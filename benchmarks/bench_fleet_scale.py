@@ -1,0 +1,190 @@
+"""Fleet coordination overhead: epoch cycle vs. coordinator merge.
+
+Runs the real distributed stack in-process — a
+:class:`~repro.fleet.CoordinatorThread` plus three
+:class:`~repro.service.daemon.DaemonThread` members on ephemeral
+ports — partitions a synthetic stream across the daemons (records
+injected through the feeder, the same entry the socket sources use),
+then drives one full measurement epoch: ``begin``, ``collect``, and a
+global ``top`` answered from the collected reports.
+
+The row recorded is the coordination cost a deployment would see:
+fleet-wide ingest MPPS, the end-to-end epoch wall clock (RPC fan-out
+to every daemon, per-daemon report extraction, transport, storage),
+and the coordinator's own merge time within it.  The acceptance gate
+is that the global merge stays a small fraction of the epoch — the
+coordinator must be bottlenecked by pulling reports, not by combining
+them, or it cannot scale past a handful of daemons.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_common import emit_table
+from conftest import scaled
+
+from repro.fleet import CoordinatorThread, FleetConfig
+from repro.parallel.merge import merge_top_items
+from repro.service.config import ServiceConfig
+from repro.service.daemon import DaemonThread
+from repro.service.rpc import rpc_call
+from repro.service.snapshot import decode_id
+from repro.traffic.synthetic import PROFILES, generate_packets
+
+Q = 512
+N_DAEMONS = 3
+BURST = 2048
+
+#: The acceptance gate: coordinator merge time must stay under this
+#: fraction of the end-to-end epoch (begin + collect + global top).
+MERGE_OVERHEAD_GATE = 0.10
+
+
+def _stream(n: int, seed: int = 7):
+    packets = generate_packets(
+        PROFILES["caida16"], n, seed=seed, n_flows=max(256, n // 20)
+    )
+    ids = [p.src_ip for p in packets]
+    vals = [float(p.size) for p in packets]
+    return ids, vals
+
+
+def _partition(ids, vals, n_parts):
+    parts = [([], []) for _ in range(n_parts)]
+    for item_id, val in zip(ids, vals):
+        part = parts[hash(item_id) % n_parts]
+        part[0].append(item_id)
+        part[1].append(val)
+    return parts
+
+
+def _wait_alive(coord, n, deadline_s=30.0):
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        status = rpc_call(coord.host, coord.port, "status")
+        if status["daemons"]["alive"] == n:
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"fleet did not reach {n} daemons")
+
+
+def _metric_sum(coord, name):
+    snapshot = rpc_call(coord.host, coord.port, "metrics")
+    for metric in snapshot["metrics"]:
+        if metric["name"] == name:
+            return metric["sum"]
+    return 0.0
+
+
+def test_fleet_scale(benchmark):
+    n = scaled(150_000, minimum=30_000)
+    ids, vals = _stream(n)
+    parts = _partition(ids, vals, N_DAEMONS)
+
+    fleet_config = FleetConfig(
+        port=0, q=Q, heartbeat_interval=0.2, heartbeat_timeout=2.0,
+    )
+    with CoordinatorThread(fleet_config) as coord:
+        daemons = [
+            DaemonThread(ServiceConfig(
+                udp_port=0, tcp_port=0, rpc_port=0, q=Q,
+                fleet=coord.address, daemon_id=f"bench-d{i}",
+                heartbeat_interval=0.2, flush_interval=0.01,
+            ))
+            for i in range(N_DAEMONS)
+        ]
+        try:
+            _wait_alive(coord, N_DAEMONS)
+
+            ingest_start = time.perf_counter()
+            for daemon, (pids, pvals) in zip(daemons, parts):
+                for lo in range(0, len(pids), BURST):
+                    daemon.feed(
+                        pids[lo:lo + BURST], pvals[lo:lo + BURST]
+                    )
+            ingest_s = time.perf_counter() - ingest_start
+            ingest_mpps = n / ingest_s / 1e6
+
+            # One full epoch, timed end to end from the client side.
+            epoch_start = time.perf_counter()
+            rpc_call(coord.host, coord.port, "epoch", action="begin",
+                     timeout=30.0)
+            collected = rpc_call(coord.host, coord.port, "epoch",
+                                 action="collect", timeout=30.0)
+            answer = rpc_call(coord.host, coord.port, "top", q=Q,
+                              source="epoch", timeout=30.0)
+            epoch_s = time.perf_counter() - epoch_start
+
+            merge_s = _metric_sum(coord, "repro_fleet_merge_seconds")
+            merge_pct = merge_s / epoch_s
+            coverage = answer["coverage"]
+            observed = collected["observed"]
+            # The reports the global answer came from, for the
+            # pytest-benchmark merge-only loop below.
+            report_items = [
+                [(decode_id(i), v) for i, v in
+                 rpc_call(d.host, d.rpc_port, "top", q=Q)]
+                for d in daemons
+            ]
+        finally:
+            for daemon in daemons:
+                daemon.stop()
+
+    assert observed == n, (
+        f"fleet ingested {observed} of {n} records before collect"
+    )
+    assert coverage == 1.0
+    # Per-daemon reports dedup repeated flow records, so the global
+    # answer holds at most Q distinct flows — possibly fewer.
+    assert 0 < len(answer["items"]) <= Q
+
+    emit_table(
+        f"Fleet epoch cost: {N_DAEMONS} daemons + coordinator "
+        f"(q={Q}, n={n})",
+        ["stage", "seconds", "note"],
+        [
+            ["ingest (fleet-wide)", round(ingest_s, 4),
+             f"{ingest_mpps:.3f} MPPS"],
+            ["epoch begin+collect+top", round(epoch_s, 4),
+             f"collect pull {collected['seconds']:.4f}s"],
+            ["coordinator merge", round(merge_s, 4),
+             f"{merge_pct:.1%} of epoch"],
+        ],
+        metrics=[
+            {"name": "fleet/ingest", "value": round(ingest_mpps, 4),
+             "unit": "mpps"},
+            {"name": "fleet/epoch_seconds", "value": round(epoch_s, 5),
+             "unit": "seconds"},
+            {"name": "fleet/merge_seconds", "value": round(merge_s, 5),
+             "unit": "seconds"},
+            {"name": "fleet/merge_overhead_pct",
+             "value": round(100 * merge_pct, 3), "unit": "percent"},
+        ],
+        config={
+            "q": Q,
+            "daemons": N_DAEMONS,
+            "items": n,
+            "burst": BURST,
+            "coverage": coverage,
+            "trace": "caida16-profile flow ids / packet sizes",
+            "metric_note": (
+                "epoch_seconds is client-observed wall clock for "
+                "begin + collect + global top over RPC; "
+                "merge_seconds is the coordinator's "
+                "repro_fleet_merge span total within it."
+            ),
+        },
+    )
+
+    # The acceptance gate: merging must not be what the epoch pays for.
+    assert merge_pct < MERGE_OVERHEAD_GATE, (
+        f"coordinator merge took {merge_pct:.1%} of the epoch "
+        f"(gate: <{MERGE_OVERHEAD_GATE:.0%}) — merge_s={merge_s:.4f} "
+        f"epoch_s={epoch_s:.4f}"
+    )
+
+    def run():
+        merge_top_items(report_items, Q, merge=max)
+
+    benchmark(run)

@@ -18,7 +18,12 @@ network operator would actually run:
   ``BENCH_*.json`` artifacts (see docs/BENCHMARKS.md).
 * ``serve``       — run the live measurement daemon (UDP NetFlow +
   TCP report ingest, JSON query RPC, snapshots); see docs/SERVICE.md.
+  ``--fleet host:port`` makes it register with a fleet coordinator.
 * ``query``       — query a running daemon over its RPC port.
+* ``fleet``       — the distributed fleet (docs/FLEET.md):
+  ``fleet serve`` runs the coordinator, ``fleet query`` asks it for
+  global answers (top/hh/epoch/...), ``fleet status`` summarises
+  membership and coverage.
 
 Every command prints a small table to stdout and exits 0 on success;
 argument errors exit 2 (argparse) and data errors exit 1 with a message
@@ -342,6 +347,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         recover=not args.no_recover,
         track_evictions=args.track_evictions,
         metrics=not args.no_metrics,
+        fleet=args.fleet,
+        daemon_id=args.daemon_id,
+        heartbeat_interval=args.heartbeat_interval,
     )
 
     def _ready(daemon) -> None:
@@ -374,7 +382,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
     def _once():
         result = rpc_call(args.host, args.port, args.op,
-                          timeout=args.timeout, **params)
+                          timeout=args.timeout, retries=args.retries,
+                          retry_backoff=args.retry_backoff, **params)
         if isinstance(result, str):
             # Prometheus exposition text: already line-oriented.
             sys.stdout.write(result)
@@ -403,6 +412,97 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"recorded {len(row.metrics)} metric point(s) for "
             f"{row.git_sha}",
             file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from repro.fleet import FleetConfig, serve_fleet
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    config = FleetConfig(
+        host=args.host,
+        port=args.port,
+        q=args.q,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+        pull_timeout=args.pull_timeout,
+        reset_on_advance=not args.no_reset_on_advance,
+        metrics=not args.no_metrics,
+    )
+
+    def _ready(coordinator) -> None:
+        print(
+            f"repro.fleet coordinator up: rpc={coordinator.rpc.port} "
+            f"q={config.q} heartbeat_timeout={config.heartbeat_timeout:g}s",
+            flush=True,
+        )
+
+    asyncio.run(serve_fleet(config, ready=_ready))
+    print("repro.fleet coordinator stopped")
+    return 0
+
+
+def _cmd_fleet_query(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.rpc import rpc_call
+
+    params = {}
+    if args.op in ("top", "hh", "epoch") and args.q:
+        params["q"] = args.q
+    if args.op in ("top", "hh"):
+        params["source"] = args.source
+    if args.op == "hh":
+        params.update(theta=args.theta, epsilon=args.epsilon,
+                      mode=args.mode)
+    if args.op == "epoch":
+        params["action"] = args.action
+    if args.op == "metrics" and args.format != "json":
+        params["format"] = args.format
+    result = rpc_call(args.host, args.port, args.op,
+                      timeout=args.timeout, retries=args.retries,
+                      retry_backoff=args.retry_backoff, **params)
+    if isinstance(result, str):
+        sys.stdout.write(result)
+        sys.stdout.flush()
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True), flush=True)
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.service.rpc import rpc_call
+
+    status = rpc_call(args.host, args.port, "status",
+                      timeout=args.timeout, retries=args.retries,
+                      retry_backoff=args.retry_backoff)
+    daemons = status["daemons"]
+    print(
+        f"fleet {status['fleet']}: epoch {status['epoch']}, "
+        f"{daemons['alive']}/{daemons['registered']} daemons alive, "
+        f"coverage {status['coverage']:.0%}"
+    )
+    if status.get("last_collect"):
+        lc = status["last_collect"]
+        print(
+            f"last collect: epoch {lc['epoch']}, {lc['reports']} "
+            f"report(s), {lc['observed']} records, {lc['seconds']:.3f}s"
+        )
+    print(f"{'daemon':>24} {'state':>6} {'rejoins':>8} {'pulls':>6} "
+          f"{'errors':>7}")
+    for member in status["members"]:
+        state = "alive" if member["alive"] else "lost"
+        print(
+            f"{member['daemon_id']:>24} {state:>6} "
+            f"{member['rejoins']:>8} {member['pulls']:>6} "
+            f"{member['pull_errors']:>7}"
         )
     return 0
 
@@ -607,6 +707,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-metrics", action="store_true",
                    help="disable the observability registry "
                    "(the metrics RPC op returns an empty snapshot)")
+    p.add_argument("--fleet", default=None, metavar="HOST:PORT",
+                   help="register with a fleet coordinator and serve "
+                   "its measurement epochs (docs/FLEET.md)")
+    p.add_argument("--daemon-id", default=None,
+                   help="stable fleet identity (default: host:rpc-port; "
+                   "set one so a restart rejoins instead of appearing "
+                   "as a new daemon)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="fleet heartbeat cadence, seconds")
     p.add_argument("--log-level", default="info",
                    choices=("debug", "info", "warning", "error"),
                    help="stdlib logging level for repro.* loggers")
@@ -622,7 +731,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the daemon's RPC port")
     p.add_argument("-q", type=int, default=0,
                    help="top: how many items (0 = the engine's q)")
-    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-attempt socket timeout, seconds")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra connect attempts before giving up "
+                   "(exponential backoff; only the connect is retried)")
+    p.add_argument("--retry-backoff", type=float, default=0.25,
+                   help="first retry delay, seconds (doubles each try)")
     p.add_argument("--format", default="json",
                    choices=("json", "prometheus"),
                    help="metrics: exposition format")
@@ -634,6 +749,78 @@ def build_parser() -> argparse.ArgumentParser:
                    help="metrics: append selected gauges to the bench "
                    "trajectory store")
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("fleet",
+                       help="distributed fleet: coordinator + global "
+                       "queries (docs/FLEET.md)")
+    fsub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_client_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--host", default="127.0.0.1")
+        parser.add_argument("--port", type=int, required=True,
+                            help="the coordinator's RPC port")
+        parser.add_argument("--timeout", type=float, default=30.0,
+                            help="per-attempt socket timeout, seconds "
+                            "(covers the coordinator's daemon fan-out)")
+        parser.add_argument("--retries", type=int, default=0,
+                            help="extra connect attempts before giving "
+                            "up (exponential backoff)")
+        parser.add_argument("--retry-backoff", type=float, default=0.25,
+                            help="first retry delay, seconds")
+
+    fp = fsub.add_parser("serve", help="run the fleet coordinator")
+    fp.add_argument("--host", default="127.0.0.1")
+    fp.add_argument("--port", type=int, default=9990,
+                    help="coordinator RPC port (0 = ephemeral)")
+    fp.add_argument("-q", type=int, default=1_000,
+                    help="default size of global answers")
+    fp.add_argument("--heartbeat-interval", type=float, default=1.0,
+                    help="cadence handed to registering daemons")
+    fp.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                    help="silence past this marks a daemon lost")
+    fp.add_argument("--pull-timeout", type=float, default=10.0,
+                    help="per-daemon budget for one report pull")
+    fp.add_argument("--no-reset-on-advance", action="store_true",
+                    help="keep daemon engines cumulative across epochs")
+    fp.add_argument("--no-metrics", action="store_true",
+                    help="disable the coordinator's metrics registry")
+    fp.add_argument("--log-level", default="info",
+                    choices=("debug", "info", "warning", "error"))
+    fp.set_defaults(func=_cmd_fleet_serve)
+
+    fp = fsub.add_parser("query",
+                         help="ask the coordinator a global question")
+    fp.add_argument("op",
+                    choices=("status", "top", "hh", "epoch", "health",
+                             "metrics"))
+    _add_client_options(fp)
+    fp.add_argument("-q", type=int, default=0,
+                    help="top/hh/epoch collect: answer size "
+                    "(0 = the coordinator's q)")
+    fp.add_argument("--source", default="live",
+                    choices=("live", "epoch"),
+                    help="top/hh: pull fresh reports, or answer from "
+                    "the last epoch collect")
+    fp.add_argument("--theta", type=float, default=0.01,
+                    help="hh: heavy-hitter threshold fraction")
+    fp.add_argument("--epsilon", type=float, default=0.0,
+                    help="hh: false-negative margin")
+    fp.add_argument("--mode", default="volume",
+                    choices=("volume", "sample"),
+                    help="hh: share-of-volume over retained flows, or "
+                    "the paper's KMV packet-sample estimate")
+    fp.add_argument("--action", default="collect",
+                    choices=("begin", "collect", "advance"),
+                    help="epoch: which cycle step to run")
+    fp.add_argument("--format", default="json",
+                    choices=("json", "prometheus"),
+                    help="metrics: exposition format")
+    fp.set_defaults(func=_cmd_fleet_query)
+
+    fp = fsub.add_parser("status",
+                         help="human-readable membership summary")
+    _add_client_options(fp)
+    fp.set_defaults(func=_cmd_fleet_status)
 
     return parser
 

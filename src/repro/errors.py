@@ -81,3 +81,14 @@ class ServiceError(ReproError, RuntimeError):
     snapshot file at recovery time, or a daemon that failed to come up
     within its startup timeout.
     """
+
+
+class FleetError(ServiceError):
+    """Raised by the fleet coordinator (:mod:`repro.fleet`).
+
+    Examples: a malformed registration request, an epoch op against a
+    daemon the coordinator never saw, or a coordinator that failed to
+    come up within its startup timeout.  Subclasses
+    :class:`ServiceError` so RPC clients catching the service type
+    handle coordinator errors identically.
+    """

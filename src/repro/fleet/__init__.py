@@ -1,0 +1,30 @@
+"""repro.fleet — coordinator for a distributed measurement fleet.
+
+Many :mod:`repro.service` daemons, one coordinator, global answers:
+the live multi-process realisation of the paper's §6 network-wide
+scheme.  Daemons register and heartbeat; the coordinator drives the
+measurement epoch cycle, pulls per-daemon reports over the daemons'
+existing RPC, and serves network-wide top-q and heavy-hitter queries
+with an explicit coverage fraction when part of the fleet is down.
+
+See docs/FLEET.md for the architecture, the epoch protocol, and the
+failure/rejoin semantics.
+"""
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.coordinator import (
+    FLEET_OPS,
+    CoordinatorThread,
+    DaemonRecord,
+    FleetCoordinator,
+    serve_fleet,
+)
+
+__all__ = [
+    "FleetConfig",
+    "FleetCoordinator",
+    "CoordinatorThread",
+    "DaemonRecord",
+    "FLEET_OPS",
+    "serve_fleet",
+]

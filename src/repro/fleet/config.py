@@ -1,0 +1,79 @@
+"""Coordinator configuration.
+
+:class:`FleetConfig` mirrors :class:`~repro.service.config.
+ServiceConfig`'s shape — a plain validated dataclass buildable from
+CLI flags, test fixtures, or embedding code — and carries everything
+the coordinator needs: where to listen, the global ``q``, the failure
+detector's timing, and the epoch-cycle policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class FleetConfig:
+    """Everything the fleet coordinator needs.
+
+    Parameters
+    ----------
+    host, port:
+        The coordinator's RPC listen address (one port serves both
+        daemons — register/heartbeat — and operators — status/top/hh/
+        epoch).  Port 0 asks the kernel for an ephemeral port.
+    q:
+        Default size of global answers (``top``/``hh`` accept a
+        per-query override).
+    heartbeat_interval:
+        The cadence handed to registering daemons; the failure
+        detector expects roughly one heartbeat per interval.
+    heartbeat_timeout:
+        A daemon silent for this long is marked **lost**: it stops
+        being pulled, and query results report the reduced coverage.
+        Must exceed ``heartbeat_interval``.
+    pull_timeout:
+        Per-daemon budget for one report/epoch RPC during a fan-out;
+        a daemon blowing it is marked lost for that round.
+    reset_on_advance:
+        When ``True`` (interval measurement), ``epoch advance`` resets
+        every daemon's engine so each epoch answers over its own
+        traffic; ``False`` keeps engines cumulative.
+    metrics:
+        Keep a per-coordinator :class:`~repro.obs.MetricsRegistry`
+        (registered/alive/coverage gauges, epoch latency and merge
+        spans) and serve the ``metrics`` RPC op from it.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 9990
+    q: int = 1000
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 5.0
+    pull_timeout: float = 10.0
+    reset_on_advance: bool = True
+    metrics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {self.q}")
+        if not 0 <= self.port < 65536:
+            raise ConfigurationError(
+                f"port must be in [0, 65536), got {self.port}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be > 0, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ConfigurationError(
+                f"heartbeat_timeout ({self.heartbeat_timeout}) must "
+                f"exceed heartbeat_interval ({self.heartbeat_interval})"
+            )
+        if self.pull_timeout <= 0:
+            raise ConfigurationError(
+                f"pull_timeout must be > 0, got {self.pull_timeout}"
+            )

@@ -1,0 +1,791 @@
+"""The fleet coordinator: many daemons, one global answer.
+
+:class:`FleetCoordinator` is the live multi-process version of the
+paper's §6 network-wide setting — the role
+:class:`~repro.netwide.controller.Controller` plays in the offline
+simulation, lifted onto real sockets.  N
+:class:`~repro.service.daemon.MeasurementDaemon` processes (edge
+collectors) register with it over the same newline-JSON RPC the daemon
+itself serves; the coordinator issues measurement epochs, pulls
+per-daemon NMP-style reports over each daemon's *existing* RPC
+(``top`` / ``stats`` / ``epoch collect``), and answers global queries:
+
+* **top** — network-wide top-q via
+  :func:`repro.parallel.merge.merge_top_items` over per-daemon
+  retained sets (duplicate ids across daemons are repeated
+  observations of one flow, merged by ``max``);
+* **hh** — network-wide heavy hitters, either share-of-total volume
+  (``mode="volume"``) or the paper's KMV sample estimate
+  (``mode="sample"``) via the same
+  :func:`repro.netwide.controller.heavy_hitters_from_reports` math the
+  offline controller runs.
+
+**Failure semantics** (docs/FLEET.md): a daemon heartbeats every
+``heartbeat_interval``; silence past ``heartbeat_timeout`` — or a
+failed pull — marks it *lost*.  The coordinator never blocks a global
+query on a lost daemon: it answers from the daemons that responded and
+reports the **coverage fraction** (responding / registered) alongside
+every result, so a consumer can tell a full answer from a degraded
+one.  A lost daemon that comes back re-registers (the daemon's fleet
+agent does this automatically after restoring its snapshot), which
+counts as a *rejoin* and puts it back into the epoch cycle.
+
+Everything runs on one asyncio loop; daemon state is only touched from
+RPC handlers and the watchdog task, so no locking is needed —
+:class:`CoordinatorThread` is the background-thread harness for tests,
+the demo, and synchronous embedders, mirroring
+:class:`~repro.service.daemon.DaemonThread`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FleetError
+from repro.fleet.config import FleetConfig
+from repro.netwide.controller import heavy_hitters_from_reports
+from repro.obs import MetricsRegistry, NULL_REGISTRY, render_prometheus
+from repro.parallel.merge import merge_top_items
+from repro.service.rpc import RpcServer, rpc_call_async
+from repro.service.snapshot import decode_id, encode_id
+
+_LOG = logging.getLogger("repro.fleet.coordinator")
+
+#: Operations the coordinator serves (documented in docs/FLEET.md).
+FLEET_OPS = (
+    "register", "heartbeat", "deregister",
+    "status", "top", "hh", "epoch", "health", "metrics",
+)
+
+
+@dataclass
+class DaemonRecord:
+    """Everything the coordinator knows about one member daemon."""
+
+    daemon_id: str
+    host: str
+    rpc_port: int
+    info: Dict[str, Any] = field(default_factory=dict)
+    registered_at: float = 0.0
+    last_seen: float = 0.0
+    alive: bool = True
+    rejoins: int = 0
+    pulls: int = 0
+    pull_errors: int = 0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "daemon_id": self.daemon_id,
+            "host": self.host,
+            "rpc_port": self.rpc_port,
+            "alive": self.alive,
+            "registered_at": self.registered_at,
+            "last_seen": self.last_seen,
+            "rejoins": self.rejoins,
+            "pulls": self.pulls,
+            "pull_errors": self.pull_errors,
+            "info": self.info,
+        }
+
+
+class FleetCoordinator:
+    """One coordinator process: see the module docstring."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self.registry = (
+            MetricsRegistry() if config.metrics else NULL_REGISTRY
+        )
+        self.daemons: Dict[str, DaemonRecord] = {}
+        self.epoch = 0
+        self.started_at: Optional[float] = None
+        # Last collected reports, keyed by daemon id — keyed storage is
+        # what makes duplicate report delivery idempotent: a re-pulled
+        # report *replaces* its predecessor instead of double counting.
+        self._reports: Dict[str, Dict[str, Any]] = {}
+        self.last_collect: Dict[str, Any] = {}
+        self.registrations = 0
+        self.rejoins = 0
+        self.heartbeats = 0
+        self.lost_events = 0
+        self.epochs_begun = 0
+        self.rpc: RpcServer = None  # type: ignore[assignment]
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._stop_requested: asyncio.Event = None  # type: ignore
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stop_requested = asyncio.Event()
+        self.rpc = RpcServer(
+            self.handle_rpc, self.config.host, self.config.port
+        )
+        await self.rpc.start()
+        self._watchdog_task = asyncio.get_running_loop().create_task(
+            self._watchdog(), name="repro-fleet-watchdog"
+        )
+        self.started_at = time.time()
+        self._register_gauges()
+        _LOG.info(
+            "coordinator up: rpc=%d q=%d heartbeat_timeout=%gs",
+            self.rpc.port, self.config.q, self.config.heartbeat_timeout,
+        )
+
+    def _register_gauges(self) -> None:
+        reg = self.registry
+        if not reg.enabled:
+            return
+        reg.callback_gauge(
+            "repro_fleet_daemons_registered",
+            lambda: float(len(self.daemons)),
+            "daemons the coordinator has seen and not deregistered",
+        )
+        reg.callback_gauge(
+            "repro_fleet_daemons_alive",
+            lambda: float(sum(1 for d in self.daemons.values()
+                              if d.alive)),
+            "daemons currently passing the heartbeat failure detector",
+        )
+        reg.callback_gauge(
+            "repro_fleet_coverage", self.coverage,
+            "alive daemons / registered daemons (1.0 = full fleet)",
+        )
+        reg.callback_gauge(
+            "repro_fleet_epoch", lambda: float(self.epoch),
+            "current measurement epoch",
+        )
+        for attr, help_text in (
+            ("registrations", "register handshakes accepted"),
+            ("rejoins", "re-registrations of a known daemon id"),
+            ("heartbeats", "heartbeats received"),
+            ("lost_events", "times a daemon was marked lost"),
+            ("epochs_begun", "epochs begun"),
+        ):
+            reg.callback_gauge(
+                f"repro_fleet_{attr}",
+                (lambda a=attr: float(getattr(self, a))),
+                help_text, agg="sum",
+            )
+
+    async def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._watchdog_task
+        await self.rpc.close()
+        _LOG.info(
+            "coordinator stopped: %d daemons, epoch %d",
+            len(self.daemons), self.epoch,
+        )
+
+    def request_stop(self) -> None:
+        """Signal-handler-safe shutdown request."""
+        self._stop_requested.set()
+
+    async def wait_for_stop_request(self) -> None:
+        await self._stop_requested.wait()
+
+    # ------------------------------------------------------------------
+    # Failure detection.
+    # ------------------------------------------------------------------
+
+    async def _watchdog(self) -> None:
+        interval = min(
+            self.config.heartbeat_interval,
+            self.config.heartbeat_timeout / 4,
+        )
+        while True:
+            await asyncio.sleep(interval)
+            self.check_liveness()
+
+    def check_liveness(self, now: Optional[float] = None) -> None:
+        """Mark daemons silent past the heartbeat timeout as lost."""
+        now = time.time() if now is None else now
+        cutoff = now - self.config.heartbeat_timeout
+        for rec in self.daemons.values():
+            if rec.alive and rec.last_seen < cutoff:
+                self._mark_lost(rec, "heartbeat timeout")
+
+    def _mark_lost(self, rec: DaemonRecord, why: str) -> None:
+        rec.alive = False
+        self.lost_events += 1
+        _LOG.warning("daemon %s lost (%s)", rec.daemon_id, why)
+
+    def coverage(self) -> float:
+        """Alive / registered — the degradation fraction every query
+        result carries."""
+        if not self.daemons:
+            return 0.0
+        alive = sum(1 for d in self.daemons.values() if d.alive)
+        return alive / len(self.daemons)
+
+    def alive_daemons(self) -> List[DaemonRecord]:
+        return [d for d in self.daemons.values() if d.alive]
+
+    # ------------------------------------------------------------------
+    # RPC dispatch.
+    # ------------------------------------------------------------------
+
+    def handle_rpc(self, op: str, request: Dict[str, Any]) -> Any:
+        if op == "register":
+            return self._op_register(request)
+        if op == "heartbeat":
+            return self._op_heartbeat(request)
+        if op == "deregister":
+            return self._op_deregister(request)
+        if op == "status":
+            return self._op_status()
+        if op == "health":
+            return self._op_health()
+        if op == "metrics":
+            return self._op_metrics(request)
+        if op == "top":
+            return self._op_top(request)      # coroutine: server awaits
+        if op == "hh":
+            return self._op_hh(request)       # coroutine: server awaits
+        if op == "epoch":
+            return self._op_epoch(request)    # coroutine: server awaits
+        raise FleetError(f"unknown op {op!r}")
+
+    # -- daemon-facing ops ---------------------------------------------
+
+    def _op_register(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        daemon_id = request.get("daemon_id")
+        host = request.get("host")
+        rpc_port = request.get("rpc_port")
+        if not isinstance(daemon_id, str) or not daemon_id:
+            raise FleetError("register needs a non-empty daemon_id")
+        if not isinstance(host, str) or not host:
+            raise FleetError("register needs the daemon's host")
+        if not isinstance(rpc_port, int) or not 0 < rpc_port < 65536:
+            raise FleetError(
+                f"register needs a valid rpc_port, got {rpc_port!r}"
+            )
+        now = time.time()
+        info = {
+            k: v for k, v in request.items()
+            if k not in ("op", "daemon_id", "host", "rpc_port")
+        }
+        rec = self.daemons.get(daemon_id)
+        if rec is None:
+            rec = DaemonRecord(
+                daemon_id=daemon_id, host=host, rpc_port=rpc_port,
+                registered_at=now,
+            )
+            self.daemons[daemon_id] = rec
+            _LOG.info(
+                "daemon %s registered (%s:%d), fleet size %d",
+                daemon_id, host, rpc_port, len(self.daemons),
+            )
+        else:
+            # A known id re-registering is the rejoin path — whether it
+            # was marked lost already or crashed faster than the
+            # failure detector noticed.
+            rec.rejoins += 1
+            self.rejoins += 1
+            rec.host, rec.rpc_port = host, rpc_port
+            _LOG.info(
+                "daemon %s rejoined (%s:%d), rejoin #%d",
+                daemon_id, host, rpc_port, rec.rejoins,
+            )
+        rec.info = info
+        rec.alive = True
+        rec.last_seen = now
+        self.registrations += 1
+        return {
+            "fleet": f"{self.config.host}:{self.rpc.port}",
+            "epoch": self.epoch,
+            "heartbeat_interval": self.config.heartbeat_interval,
+            "daemons": len(self.daemons),
+        }
+
+    def _require_known(self, request: Dict[str, Any]) -> DaemonRecord:
+        daemon_id = request.get("daemon_id")
+        rec = self.daemons.get(daemon_id)  # type: ignore[arg-type]
+        if rec is None:
+            # Forces a full re-register after a coordinator restart:
+            # the daemon's fleet agent treats this error as "go through
+            # the handshake again".
+            raise FleetError(f"unknown daemon {daemon_id!r}; register")
+        return rec
+
+    def _op_heartbeat(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rec = self._require_known(request)
+        rec.last_seen = time.time()
+        if not rec.alive:
+            rec.alive = True
+            _LOG.info("daemon %s back from lost", rec.daemon_id)
+        self.heartbeats += 1
+        return {"epoch": self.epoch}
+
+    def _op_deregister(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        rec = self._require_known(request)
+        del self.daemons[rec.daemon_id]
+        self._reports.pop(rec.daemon_id, None)
+        _LOG.info(
+            "daemon %s deregistered, fleet size %d",
+            rec.daemon_id, len(self.daemons),
+        )
+        return {"daemons": len(self.daemons)}
+
+    # -- operator-facing ops -------------------------------------------
+
+    def _op_status(self) -> Dict[str, Any]:
+        return {
+            "fleet": f"{self.config.host}:{self.rpc.port}",
+            "epoch": self.epoch,
+            "q": self.config.q,
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+            "daemons": {
+                "registered": len(self.daemons),
+                "alive": len(self.alive_daemons()),
+            },
+            "coverage": self.coverage(),
+            "counters": {
+                "registrations": self.registrations,
+                "rejoins": self.rejoins,
+                "heartbeats": self.heartbeats,
+                "lost_events": self.lost_events,
+                "epochs_begun": self.epochs_begun,
+            },
+            "last_collect": self.last_collect,
+            "members": [
+                rec.summary() for rec in sorted(
+                    self.daemons.values(), key=lambda r: r.daemon_id
+                )
+            ],
+        }
+
+    def _op_health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "role": "fleet-coordinator",
+            "epoch": self.epoch,
+            "daemons_alive": len(self.alive_daemons()),
+            "coverage": self.coverage(),
+            "uptime_s": (
+                time.time() - self.started_at if self.started_at else 0.0
+            ),
+        }
+
+    def _op_metrics(self, request: Dict[str, Any]) -> Any:
+        fmt = request.get("format", "json")
+        snapshot = self.registry.snapshot()
+        if fmt == "json":
+            return snapshot
+        if fmt == "prometheus":
+            return render_prometheus(snapshot)
+        raise FleetError(
+            f"metrics format must be 'json' or 'prometheus', got {fmt!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Pulling from daemons.
+    # ------------------------------------------------------------------
+
+    async def _pull_one(
+        self, rec: DaemonRecord, op: str, **params: Any
+    ) -> Optional[Any]:
+        """One daemon RPC; a failure marks the daemon lost and returns
+        ``None`` instead of failing the whole fan-out."""
+        rec.pulls += 1
+        try:
+            with self.registry.span(
+                "repro_fleet_pull", "per-daemon report pull latency"
+            ):
+                return await rpc_call_async(
+                    rec.host, rec.rpc_port, op,
+                    timeout=self.config.pull_timeout, **params,
+                )
+        except FleetError:
+            raise
+        except Exception as exc:  # ServiceError, cancelled peer, ...
+            rec.pull_errors += 1
+            self._mark_lost(rec, f"pull {op!r} failed: {exc}")
+            return None
+
+    async def _pull_alive(
+        self, op: str, **params: Any
+    ) -> Tuple[Dict[str, Any], int]:
+        """Fan one RPC out to every alive daemon.
+
+        Returns ``(responses by daemon_id, registered_count)`` —
+        daemons that failed are absent from the responses (and now
+        marked lost), which is exactly what the coverage fraction of
+        the eventual answer is computed from.
+        """
+        recs = self.alive_daemons()
+        registered = len(self.daemons)
+        results = await asyncio.gather(
+            *(self._pull_one(rec, op, **params) for rec in recs)
+        )
+        responses = {
+            rec.daemon_id: result
+            for rec, result in zip(recs, results)
+            if result is not None
+        }
+        return responses, registered
+
+    @staticmethod
+    def _decoded_items(report: Dict[str, Any]) -> List[Tuple[Any, float]]:
+        rows = report.get("top", []) if isinstance(report, dict) else []
+        return [(decode_id(i), float(v)) for i, v in rows]
+
+    def _answer(
+        self,
+        responded: int,
+        registered: int,
+        extra: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """The envelope every global answer shares: epoch, coverage,
+        and the daemon counts behind it."""
+        coverage = responded / registered if registered else 0.0
+        answer = {
+            "epoch": self.epoch,
+            "coverage": coverage,
+            "daemons": {
+                "responded": responded,
+                "registered": registered,
+                "alive": len(self.alive_daemons()),
+            },
+        }
+        answer.update(extra)
+        return answer
+
+    async def _gather_reports(
+        self, k: int, source: str
+    ) -> Tuple[Dict[str, Dict[str, Any]], int]:
+        """Per-daemon reports for a global query.
+
+        ``source="live"`` pulls fresh ``epoch collect`` reports right
+        now; ``source="epoch"`` answers from the last explicit collect
+        without touching the daemons (the controller-poll pattern of
+        "Give Me Some Slack": queries between collections are free).
+        """
+        if source == "epoch":
+            return dict(self._reports), max(
+                len(self.daemons), len(self._reports)
+            )
+        if source != "live":
+            raise FleetError(
+                f"source must be 'live' or 'epoch', got {source!r}"
+            )
+        responses, registered = await self._pull_alive(
+            "epoch", action="collect", q=k
+        )
+        return responses, registered
+
+    # ------------------------------------------------------------------
+    # Global queries.
+    # ------------------------------------------------------------------
+
+    async def _op_top(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        k = request.get("q", self.config.q)
+        if not isinstance(k, int) or k < 1:
+            raise FleetError(f"q must be a positive int, got {k!r}")
+        source = request.get("source", "live")
+        reports, registered = await self._gather_reports(k, source)
+        with self.registry.span(
+            "repro_fleet_merge", "global top-q merge time"
+        ):
+            parts = [self._decoded_items(r) for r in reports.values()]
+            merged = merge_top_items(parts, k, merge=max)
+        return self._answer(len(reports), registered, {
+            "source": source,
+            "items": [[encode_id(i), v] for i, v in merged],
+        })
+
+    async def _op_hh(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        theta = request.get("theta", 0.01)
+        epsilon = request.get("epsilon", 0.0)
+        mode = request.get("mode", "volume")
+        k = request.get("q", self.config.q)
+        if not isinstance(k, int) or k < 1:
+            raise FleetError(f"q must be a positive int, got {k!r}")
+        if not isinstance(theta, (int, float)) or not 0 < theta <= 1:
+            raise FleetError(f"theta must be in (0, 1], got {theta!r}")
+        if not isinstance(epsilon, (int, float)) or epsilon < 0:
+            raise FleetError(f"epsilon must be >= 0, got {epsilon!r}")
+        source = request.get("source", "live")
+        reports, registered = await self._gather_reports(k, source)
+        with self.registry.span(
+            "repro_fleet_merge", "global top-q merge time"
+        ):
+            if mode == "volume":
+                extra = self._hh_volume(reports, k, theta, epsilon)
+            elif mode == "sample":
+                extra = self._hh_sample(reports, k, theta, epsilon)
+            else:
+                raise FleetError(
+                    f"mode must be 'volume' or 'sample', got {mode!r}"
+                )
+        extra["source"] = source
+        extra["mode"] = mode
+        return self._answer(len(reports), registered, extra)
+
+    def _hh_volume(
+        self,
+        reports: Dict[str, Dict[str, Any]],
+        k: int,
+        theta: float,
+        epsilon: float,
+    ) -> Dict[str, Any]:
+        """Share-of-total heavy hitters over flow volumes.
+
+        Per-daemon retained sets are merged by ``max`` (a flow observed
+        at several daemons contributes its largest retained volume —
+        identical observations deduplicate); the threshold is measured
+        against the fleet's total ingested value volume, which every
+        epoch report carries.  Exact for flows large enough to be in
+        every observer's local top-k (the §5.2 mergeability argument).
+        """
+        parts = [self._decoded_items(r) for r in reports.values()]
+        merged = merge_top_items(parts, k, merge=max)
+        total = sum(
+            float(r.get("volume", 0.0)) for r in reports.values()
+        )
+        cutoff = (theta - epsilon) * total
+        heavy = [(i, v) for i, v in merged if v >= cutoff]
+        return {
+            "total_volume": total,
+            "cutoff": cutoff,
+            "hitters": [[encode_id(i), v] for i, v in heavy],
+        }
+
+    def _hh_sample(
+        self,
+        reports: Dict[str, Dict[str, Any]],
+        k: int,
+        theta: float,
+        epsilon: float,
+    ) -> Dict[str, Any]:
+        """The paper's KMV estimate over ``((flow, pid), hash)``
+        entries — the same :mod:`repro.netwide.controller` math the
+        offline simulation runs, against live daemon reports.
+
+        Assumes daemons aggregate NMP wire reports (ids are
+        ``(flow, packet_id)`` tuples, values are unit-interval hashes)
+        and retain at least as many entries as were fed; non-tuple ids
+        are skipped and counted so a mixed fleet degrades loudly.
+        """
+        entry_lists = []
+        skipped = 0
+        for report in reports.values():
+            entries = []
+            for item_id, value in self._decoded_items(report):
+                if isinstance(item_id, tuple) and len(item_id) == 2:
+                    entries.append((item_id, value))
+                else:
+                    skipped += 1
+            entry_lists.append(entries)
+        heavy = heavy_hitters_from_reports(
+            entry_lists, k, theta, epsilon
+        )
+        return {
+            "skipped_entries": skipped,
+            "hitters": [[encode_id(i), v] for i, v in heavy],
+        }
+
+    # ------------------------------------------------------------------
+    # The epoch cycle.
+    # ------------------------------------------------------------------
+
+    async def _op_epoch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        action = request.get("action")
+        if action == "begin":
+            return await self._epoch_begin()
+        if action == "collect":
+            return await self._epoch_collect(request)
+        if action == "advance":
+            return await self._epoch_advance()
+        raise FleetError(
+            f"epoch action must be begin/collect/advance, got {action!r}"
+        )
+
+    async def _broadcast_epoch(
+        self, **params: Any
+    ) -> Tuple[Dict[str, Any], int]:
+        return await self._pull_alive("epoch", **params)
+
+    async def _epoch_begin(self) -> Dict[str, Any]:
+        self.epoch += 1
+        self.epochs_begun += 1
+        acks, registered = await self._broadcast_epoch(
+            action="begin", epoch=self.epoch
+        )
+        _LOG.info(
+            "epoch %d begun at %d/%d daemons",
+            self.epoch, len(acks), registered,
+        )
+        return self._answer(len(acks), registered, {"action": "begin"})
+
+    async def _epoch_collect(
+        self, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        k = request.get("q", self.config.q)
+        if not isinstance(k, int) or k < 1:
+            raise FleetError(f"q must be a positive int, got {k!r}")
+        start = time.perf_counter()
+        with self.registry.span(
+            "repro_fleet_collect", "end-to-end epoch collect time"
+        ):
+            reports, registered = await self._pull_alive(
+                "epoch", action="collect", q=k
+            )
+            # Replace-by-id: collecting twice in one epoch (or a
+            # duplicate delivery) overwrites, never double counts.
+            for daemon_id, report in reports.items():
+                self._reports[daemon_id] = report
+        elapsed = time.perf_counter() - start
+        observed = sum(
+            int(r.get("observed", 0)) for r in reports.values()
+        )
+        self.last_collect = {
+            "epoch": self.epoch,
+            "reports": len(reports),
+            "observed": observed,
+            "seconds": elapsed,
+            "at": time.time(),
+        }
+        return self._answer(len(reports), registered, {
+            "action": "collect",
+            "observed": observed,
+            "seconds": elapsed,
+        })
+
+    async def _epoch_advance(self) -> Dict[str, Any]:
+        next_epoch = self.epoch + 1
+        acks, registered = await self._broadcast_epoch(
+            action="advance", epoch=next_epoch,
+            reset=self.config.reset_on_advance,
+        )
+        self.epoch = next_epoch
+        self.epochs_begun += 1
+        _LOG.info(
+            "advanced to epoch %d (%d/%d daemons, reset=%s)",
+            self.epoch, len(acks), registered,
+            self.config.reset_on_advance,
+        )
+        return self._answer(len(acks), registered, {
+            "action": "advance",
+            "reset": self.config.reset_on_advance,
+        })
+
+
+# ----------------------------------------------------------------------
+# Entry points.
+# ----------------------------------------------------------------------
+
+async def serve_fleet(
+    config: FleetConfig,
+    ready=None,
+) -> None:
+    """Run a coordinator until SIGTERM/SIGINT.
+
+    ``ready`` (if given) is called with the live coordinator right
+    after startup — the CLI uses it to print the bound port.
+    """
+    import signal as _signal
+
+    coordinator = FleetCoordinator(config)
+    await coordinator.start()
+    loop = asyncio.get_running_loop()
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, coordinator.request_stop)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    if ready is not None:
+        ready(coordinator)
+    try:
+        await coordinator.wait_for_stop_request()
+    finally:
+        await coordinator.stop()
+
+
+class CoordinatorThread:
+    """A coordinator on a private event loop in a background thread —
+    the test/demo/embedding harness, mirroring
+    :class:`~repro.service.daemon.DaemonThread`."""
+
+    def __init__(
+        self, config: FleetConfig, start_timeout: float = 15.0
+    ) -> None:
+        self.config = config
+        self.coordinator: FleetCoordinator = None  # type: ignore
+        self._loop: asyncio.AbstractEventLoop = None  # type: ignore
+        self._ready = threading.Event()
+        self._finish: asyncio.Event = None  # type: ignore[assignment]
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-fleet", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(start_timeout):
+            raise FleetError(
+                f"coordinator did not start within {start_timeout:g}s"
+            )
+        if self._startup_error is not None:
+            raise FleetError(
+                f"coordinator failed to start: {self._startup_error!r}"
+            ) from self._startup_error
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._finish = asyncio.Event()
+        self.coordinator = FleetCoordinator(self.config)
+        try:
+            await self.coordinator.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._finish.wait()
+        await self.coordinator.stop()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._finish.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog path
+            raise FleetError(
+                f"coordinator did not stop within {timeout:g}s"
+            )
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        return self.coordinator.rpc.port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` in the form ``ServiceConfig.fleet`` expects."""
+        return f"{self.host}:{self.port}"
+
+    def __enter__(self) -> "CoordinatorThread":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

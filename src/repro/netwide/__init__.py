@@ -14,7 +14,13 @@ routes packets across NMPs to exercise the de-duplication property.
 """
 
 from repro.netwide.nmp import MeasurementPoint
-from repro.netwide.controller import Controller
+from repro.netwide.controller import (
+    Controller,
+    estimate_total_from_sample,
+    flow_estimates_from_reports,
+    heavy_hitters_from_reports,
+    merge_reports_from_entries,
+)
 from repro.netwide.topology import NetworkTopology
 from repro.netwide.simulation import NetworkSimulation
 from repro.netwide.sliding import SlidingMeasurementPoint, SlidingController
@@ -23,6 +29,10 @@ from repro.netwide.sliding_simulation import SlidingNetworkSimulation
 __all__ = [
     "MeasurementPoint",
     "Controller",
+    "merge_reports_from_entries",
+    "estimate_total_from_sample",
+    "flow_estimates_from_reports",
+    "heavy_hitters_from_reports",
     "NetworkTopology",
     "NetworkSimulation",
     "SlidingMeasurementPoint",

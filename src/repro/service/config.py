@@ -69,6 +69,16 @@ class ServiceConfig:
         the ``metrics`` RPC op from it (core, ingest, RPC, and snapshot
         instrumentation).  ``False`` wires the no-op registry
         everywhere — the zero-overhead configuration.
+    fleet, daemon_id, heartbeat_interval:
+        When ``fleet`` is set to a coordinator address (``host:port``),
+        the daemon runs a fleet agent: it registers with the
+        :class:`~repro.fleet.coordinator.FleetCoordinator` at startup
+        (announcing ``daemon_id`` and its live listen ports), then
+        heartbeats every ``heartbeat_interval`` seconds.  A lost
+        coordinator is retried with exponential backoff and the daemon
+        re-registers when it returns — the rejoin path.  ``daemon_id``
+        defaults to ``host:rpc_port`` resolved after bind; give stable
+        ids to daemons that must survive restarts (snapshot + rejoin).
     """
 
     q: int = 1000
@@ -91,6 +101,9 @@ class ServiceConfig:
     track_evictions: bool = False
     evicted_cap: int = 1 << 17
     metrics: bool = True
+    fleet: Optional[str] = None
+    daemon_id: Optional[str] = None
+    heartbeat_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.q < 1:
@@ -137,6 +150,36 @@ class ServiceConfig:
                 raise ConfigurationError(
                     f"{name} must be in [0, 65536), got {port}"
                 )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                f"heartbeat_interval must be > 0, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.fleet is not None:
+            self.fleet_address()  # validate eagerly
+
+    def fleet_address(self) -> Optional[tuple]:
+        """The coordinator ``(host, port)``, or ``None`` when not in a
+        fleet.  Raises :class:`ConfigurationError` on a malformed
+        ``fleet`` string."""
+        if self.fleet is None:
+            return None
+        host, sep, port = self.fleet.rpartition(":")
+        if not sep or not host:
+            raise ConfigurationError(
+                f"fleet must be 'host:port', got {self.fleet!r}"
+            )
+        try:
+            port_no = int(port)
+        except ValueError:
+            raise ConfigurationError(
+                f"fleet port must be an int, got {port!r}"
+            ) from None
+        if not 0 < port_no < 65536:
+            raise ConfigurationError(
+                f"fleet port must be in (0, 65536), got {port_no}"
+            )
+        return host, port_no
 
     def build_engine(self, metrics=False) -> QMaxBase:
         """Build the measurement backend this config describes.

@@ -33,10 +33,11 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import logging
+import os
 import signal
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ServiceError
 from repro.obs import MetricsRegistry, NULL_REGISTRY, render_prometheus
@@ -48,7 +49,7 @@ from repro.service.ingest import (
     NetFlowUdpSource,
     ReportTcpSource,
 )
-from repro.service.rpc import OPS, RpcServer
+from repro.service.rpc import OPS, RpcServer, rpc_call_async
 from repro.types import Item
 
 _LOG = logging.getLogger("repro.service.daemon")
@@ -81,6 +82,15 @@ class MeasurementDaemon:
         self._snapshot_task: Optional[asyncio.Task] = None
         self._stop_requested: asyncio.Event = None  # type: ignore
         self._stopped = False
+        # Fleet membership (docs/FLEET.md): identity, current epoch,
+        # and the background register/heartbeat agent.
+        self.daemon_id: Optional[str] = config.daemon_id
+        self.epoch = 0
+        self.registered = False
+        self.fleet_registrations = 0
+        self.fleet_heartbeats = 0
+        self.fleet_errors = 0
+        self._fleet_task: Optional[asyncio.Task] = None
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -113,6 +123,12 @@ class MeasurementDaemon:
                 self._snapshot_loop(), name="repro-snapshot"
             )
         self.started_at = time.time()
+        if self.daemon_id is None:
+            self.daemon_id = f"{cfg.host}:{self.rpc.port}"
+        if cfg.fleet is not None:
+            self._fleet_task = asyncio.get_running_loop().create_task(
+                self._fleet_agent(), name="repro-fleet-agent"
+            )
         self._register_gauges()
         _LOG.info(
             "daemon up: backend=%s udp=%d tcp=%d rpc=%d recovered=%s",
@@ -162,6 +178,17 @@ class MeasurementDaemon:
             "repro_snapshot_errors", lambda: float(self.snapshot_errors),
             "snapshot write failures", agg="sum",
         )
+        if self.config.fleet is not None:
+            for attr, help_text in (
+                ("fleet_registrations", "fleet register handshakes"),
+                ("fleet_heartbeats", "fleet heartbeats delivered"),
+                ("fleet_errors", "fleet coordinator call failures"),
+            ):
+                reg.callback_gauge(
+                    f"repro_{attr}",
+                    (lambda a=attr: float(getattr(self, a))),
+                    help_text, agg="sum",
+                )
         reg.callback_gauge(
             "repro_service_uptime_seconds",
             lambda: (
@@ -199,6 +226,93 @@ class MeasurementDaemon:
             except OSError:
                 self.snapshot_errors += 1
 
+    # ------------------------------------------------------------------
+    # Fleet agent: register with the coordinator, then heartbeat.
+    # ------------------------------------------------------------------
+
+    def fleet_announcement(self) -> Dict[str, Any]:
+        """What the daemon tells the coordinator about itself."""
+        return {
+            "daemon_id": self.daemon_id,
+            "host": self.config.host,
+            "rpc_port": self.rpc.port,
+            "udp_port": self.udp.port,
+            "tcp_port": self.tcp.port,
+            "pid": os.getpid(),
+            "started_at": self.started_at,
+            "recovered": self.recovered,
+            "backend": self.engine.name,
+            "q": self.engine.q,
+        }
+
+    async def _fleet_agent(self) -> None:
+        """Register, heartbeat, re-register on any failure.
+
+        The agent is the daemon half of the rejoin story: a daemon that
+        crashed and restarted recovers its snapshot in :meth:`start`
+        *before* this task runs, so by the time the coordinator sees
+        the registration the replayed state is already live.  A
+        coordinator outage degrades to retry-with-backoff; the daemon
+        keeps ingesting and serving its local RPC throughout.
+        """
+        host, port = self.config.fleet_address()
+        interval = self.config.heartbeat_interval
+        backoff = min(0.2, interval)
+        while True:
+            try:
+                if not self.registered:
+                    ack = await rpc_call_async(
+                        host, port, "register",
+                        timeout=5.0, **self.fleet_announcement(),
+                    )
+                    self.registered = True
+                    self.fleet_registrations += 1
+                    backoff = min(0.2, interval)
+                    if isinstance(ack, dict):
+                        self.epoch = int(ack.get("epoch", self.epoch))
+                    _LOG.info(
+                        "registered with fleet %s:%d as %s (epoch %d)",
+                        host, port, self.daemon_id, self.epoch,
+                    )
+                await asyncio.sleep(interval)
+                await rpc_call_async(
+                    host, port, "heartbeat",
+                    timeout=5.0, daemon_id=self.daemon_id,
+                )
+                self.fleet_heartbeats += 1
+            except asyncio.CancelledError:
+                raise
+            except ServiceError as exc:
+                # Coordinator down or restarting: back off, then go
+                # through the full register handshake again.
+                self.fleet_errors += 1
+                if self.registered:
+                    _LOG.warning(
+                        "fleet %s:%d unreachable (%s); will re-register",
+                        host, port, exc,
+                    )
+                self.registered = False
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 10.0)
+
+    async def _fleet_goodbye(self) -> None:
+        """Best-effort deregistration on graceful shutdown."""
+        if self._fleet_task is None:
+            return
+        self._fleet_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._fleet_task
+        self._fleet_task = None
+        if not self.registered:
+            return
+        host, port = self.config.fleet_address()
+        with contextlib.suppress(ServiceError):
+            await rpc_call_async(
+                host, port, "deregister",
+                timeout=2.0, daemon_id=self.daemon_id,
+            )
+        self.registered = False
+
     def request_stop(self) -> None:
         """Signal-handler-safe: ask the daemon to shut down."""
         self._stop_requested.set()
@@ -212,6 +326,7 @@ class MeasurementDaemon:
             return
         self._stopped = True
         _LOG.info("stopping: stalling ingest and draining feeder")
+        await self._fleet_goodbye()
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -241,6 +356,8 @@ class MeasurementDaemon:
             return
         self._stopped = True
         _LOG.warning("kill: tearing down with no drain and no snapshot")
+        if self._fleet_task is not None:
+            self._fleet_task.cancel()  # no goodbye: the crash path
         if self._snapshot_task is not None:
             self._snapshot_task.cancel()
         if self.udp is not None:
@@ -340,7 +457,67 @@ class MeasurementDaemon:
             return self._rpc_health()
         if op == "metrics":
             return self._rpc_metrics(request)
+        if op == "epoch":
+            return self._rpc_epoch(request)
         raise ServiceError(f"unknown op {op!r}")
+
+    def _rpc_epoch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """The fleet epoch ops (docs/FLEET.md):
+
+        ``{"op":"epoch","action":"begin","epoch":E}``
+            Flush pending ingest and enter epoch ``E``.
+        ``{"op":"epoch","action":"collect","q":k}``
+            Flush, then return this daemon's NMP-style report: its
+            top-k items plus the ingest counters the coordinator's
+            coverage/volume accounting needs.  Idempotent — collecting
+            twice returns the same report (modulo new ingest), which
+            is what makes duplicate delivery at the coordinator safe.
+        ``{"op":"epoch","action":"advance","epoch":E,"reset":bool}``
+            Optionally reset the engine (interval semantics), then
+            enter epoch ``E``.
+        """
+        action = request.get("action")
+        if action not in ("begin", "collect", "advance"):
+            raise ServiceError(
+                f"epoch action must be begin/collect/advance, "
+                f"got {action!r}"
+            )
+        if action == "collect":
+            return self.epoch_report(request.get("q"))
+        epoch = request.get("epoch")
+        if not isinstance(epoch, int) or epoch < 0:
+            raise ServiceError(
+                f"epoch must be an int >= 0, got {epoch!r}"
+            )
+        self.feeder.flush_now()
+        if action == "advance" and request.get("reset", False):
+            self.engine.reset()
+            self._evicted_log = []
+            self._evicted_dropped = 0
+        self.epoch = epoch
+        return {
+            "daemon_id": self.daemon_id,
+            "epoch": self.epoch,
+            "records_in": self.feeder.records_in,
+        }
+
+    def epoch_report(self, k: Optional[int] = None) -> Dict[str, Any]:
+        """This daemon's per-epoch report — the live analogue of a
+        :meth:`~repro.netwide.nmp.MeasurementPoint.report`."""
+        if k is None:
+            k = self.engine.q
+        if not isinstance(k, int) or k < 1:
+            raise ServiceError(f"q must be a positive int, got {k!r}")
+        self.feeder.flush_now()
+        top = merge_top_items([self.engine.query()], k)
+        return {
+            "daemon_id": self.daemon_id,
+            "epoch": self.epoch,
+            "q": self.engine.q,
+            "top": [[snap.encode_id(i), v] for i, v in top],
+            "observed": self.feeder.records_in,
+            "volume": self.feeder.value_sum,
+        }
 
     def _rpc_top(self, request: Dict[str, Any]) -> List[List[Any]]:
         k = request.get("q", self.engine.q)
@@ -415,12 +592,34 @@ class MeasurementDaemon:
                 "size": sum(1 for _ in self.engine.items()),
             }
         dropped = self.udp.malformed + self.tcp.malformed
+        cfg = self.config
+        snapshot_path = (
+            os.path.join(cfg.snapshot_dir, snap.SNAPSHOT_FILE)
+            if cfg.snapshot_dir else None
+        )
         return {
             "backend": self.engine.name,
             "q": self.engine.q,
             "uptime_s": (
                 time.time() - self.started_at if self.started_at else 0.0
             ),
+            # Identity: everything a fleet status page needs in the
+            # one op it already pulls — who this daemon is, where it
+            # listens, and where its checkpoint lives.
+            "identity": {
+                "daemon_id": self.daemon_id,
+                "host": cfg.host,
+                "listen": {
+                    "udp": self.udp.port,
+                    "tcp": self.tcp.port,
+                    "rpc": self.rpc.port,
+                },
+                "pid": os.getpid(),
+                "started_at": self.started_at,
+                "snapshot_path": snapshot_path,
+                "fleet": cfg.fleet,
+                "epoch": self.epoch,
+            },
             "udp": self.udp.stats(),
             "tcp": self.tcp.stats(),
             "feeder": self.feeder.stats(),
@@ -542,6 +741,27 @@ class DaemonThread:
     def abort(self, timeout: float = 30.0) -> None:
         """Simulated crash: everything not yet snapshotted is lost."""
         self._shutdown("abort", timeout)
+
+    def feed(
+        self,
+        ids: Sequence[Any],
+        vals: Sequence[float],
+        timeout: float = 60.0,
+    ) -> None:
+        """Inject decoded records from the calling thread.
+
+        Runs the feeder's ``put_async`` on the daemon loop — the same
+        entry the socket sources use, backpressure included — so
+        embedders (the fleet bench, the demo) can drive a daemon at
+        memory speed without a UDP encode/decode round trip.  Blocks
+        until the records are accepted (not necessarily flushed; RPC
+        query ops barrier on flush themselves).
+        """
+        future = asyncio.run_coroutine_threadsafe(
+            self.daemon.feeder.put_async(list(ids), list(vals)),
+            self._loop,
+        )
+        future.result(timeout)
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -108,6 +108,7 @@ class BatchFeeder:
         self._vals: List[Value] = []
         self.records_in = 0
         self.records_out = 0
+        self.value_sum = 0.0
         self.batches = 0
         self.stalls = 0
         self._wake = asyncio.Event()
@@ -200,6 +201,9 @@ class BatchFeeder:
         self._ids, self._vals = [], []
         self._engine.add_many(ids, vals)
         self.records_out += len(ids)
+        # Total ingested value volume: what the fleet's share-of-total
+        # heavy-hitter threshold is measured against.
+        self.value_sum += sum(vals)
         self.batches += 1
         if self._obs_batch is not None:
             self._obs_batch.observe(len(ids))
@@ -243,6 +247,7 @@ class BatchFeeder:
             "pending": self.pending,
             "batches": self.batches,
             "stalls": self.stalls,
+            "value_sum": self.value_sum,
         }
 
 

@@ -10,28 +10,41 @@ curl-able::
 
 Handlers run on the daemon's event loop, which is also the only place
 the engine is touched — the RPC layer is what keeps engine access
-single-threaded while clients connect from anywhere.
+single-threaded while clients connect from anywhere.  A handler may
+return a coroutine, which the server awaits before responding: the
+fleet coordinator's query ops fan out to daemons and need the loop
+while they wait.
 
-:func:`rpc_call` is the blocking client used by ``repro query``, the
-tests, and the demo; it needs nothing beyond the standard library.
+Two clients share the codec:
+
+* :func:`rpc_call` — blocking, stdlib-only; used by ``repro query``,
+  the tests, and the demo.  Takes a per-call ``timeout`` and optional
+  connect ``retries`` with exponential backoff (only the *connect* is
+  retried — a request that reached the server is never re-sent, so
+  non-idempotent ops like ``snapshot`` cannot run twice).
+* :func:`rpc_call_async` — the asyncio twin, used by the coordinator
+  to pull daemon reports and by the daemon's fleet agent to register.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import socket
-from typing import Any, Callable, Dict
+import time
+from typing import Any, Callable, Dict, Tuple
 
 from repro.errors import ReproError, ServiceError
 
 #: Operations the daemon serves (documented in docs/SERVICE.md).
-OPS = ("top", "stats", "snapshot", "reset", "health", "metrics")
+OPS = ("top", "stats", "snapshot", "reset", "health", "metrics", "epoch")
 
 #: Longest accepted request line, bytes.
 MAX_REQUEST_BYTES = 1 << 20
 
-#: A handler takes (op, request-dict) and returns a JSON-safe result.
+#: A handler takes (op, request-dict) and returns a JSON-safe result —
+#: or a coroutine producing one, which the server awaits.
 Handler = Callable[[str, Dict[str, Any]], Any]
 
 
@@ -86,6 +99,8 @@ class RpcServer:
                     break
                 try:
                     result = self._handler(op, request)
+                    if inspect.isawaitable(result):
+                        result = await result
                 except ReproError as exc:
                     self._respond(writer, error=str(exc))
                     continue
@@ -123,23 +138,84 @@ class RpcServer:
         self._server = None  # type: ignore[assignment]
 
 
+# ----------------------------------------------------------------------
+# The shared client codec.
+# ----------------------------------------------------------------------
+
+def encode_request(op: str, params: Dict[str, Any]) -> bytes:
+    """One request line, newline-terminated."""
+    request = dict(params)
+    request["op"] = op
+    return json.dumps(request).encode("utf-8") + b"\n"
+
+
+def decode_response(raw: bytes, where: str) -> Any:
+    """Decode one response line; raise :class:`ServiceError` on any
+    malformed or error response."""
+    if not raw:
+        raise ServiceError(f"RPC to {where}: empty response")
+    try:
+        doc = json.loads(raw)
+    except ValueError as exc:
+        raise ServiceError(
+            f"RPC to {where}: malformed response: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise ServiceError(
+            f"RPC to {where}: unexpected response {doc!r}"
+        )
+    if not doc["ok"]:
+        raise ServiceError(doc.get("error", "unknown RPC error"))
+    return doc.get("result")
+
+
+def retry_delays(retries: int, backoff: float) -> Tuple[float, ...]:
+    """The exponential backoff schedule: ``backoff * 2**attempt`` for
+    each retry.  Exposed so tests and docs can state the schedule."""
+    return tuple(backoff * (2 ** i) for i in range(max(0, retries)))
+
+
 def rpc_call(
     host: str,
     port: int,
     op: str,
+    /,
     timeout: float = 10.0,
+    retries: int = 0,
+    retry_backoff: float = 0.25,
     **params: Any,
 ) -> Any:
     """Blocking client: send one request, return the decoded result.
 
+    ``timeout`` bounds every socket operation of one attempt.  When
+    ``retries > 0``, a *connect* failure (daemon not up yet, listen
+    backlog full) is retried up to that many additional times with
+    exponential backoff (``retry_backoff``, doubling per attempt).
+    Failures after the connection is established are never retried:
+    the request may have been acted on, and re-sending a ``snapshot``
+    or ``reset`` would not be idempotent.
+
     Raises :class:`~repro.errors.ServiceError` on an error response,
     a malformed response, or a connection/timeout failure.
     """
-    request = dict(params)
-    request["op"] = op
-    payload = json.dumps(request).encode("utf-8") + b"\n"
+    payload = encode_request(op, params)
+    delays = retry_delays(retries, retry_backoff)
+    attempt = 0
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            if attempt < len(delays):
+                time.sleep(delays[attempt])
+                attempt += 1
+                continue
+            raise ServiceError(
+                f"RPC to {host}:{port} failed after {attempt + 1} "
+                f"connect attempt(s): {exc}"
+            ) from exc
+        break
     try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
+        with sock:
             sock.sendall(payload)
             chunks = []
             while True:
@@ -153,19 +229,48 @@ def rpc_call(
         raise ServiceError(
             f"RPC to {host}:{port} failed: {exc}"
         ) from exc
-    raw = b"".join(chunks)
-    if not raw:
-        raise ServiceError(f"RPC to {host}:{port}: empty response")
-    try:
-        doc = json.loads(raw)
-    except ValueError as exc:
-        raise ServiceError(
-            f"RPC to {host}:{port}: malformed response: {exc}"
-        ) from exc
-    if not isinstance(doc, dict) or "ok" not in doc:
-        raise ServiceError(
-            f"RPC to {host}:{port}: unexpected response {doc!r}"
+    return decode_response(b"".join(chunks), f"{host}:{port}")
+
+
+async def rpc_call_async(
+    host: str,
+    port: int,
+    op: str,
+    /,
+    timeout: float = 10.0,
+    **params: Any,
+) -> Any:
+    """The asyncio client: one request/response over a fresh
+    connection, bounded end-to-end by ``timeout``.
+
+    Used wherever an event loop must not block on a peer — the fleet
+    coordinator pulling daemon reports, the daemon's fleet agent
+    registering with the coordinator.  Raises
+    :class:`~repro.errors.ServiceError` exactly like :func:`rpc_call`.
+    """
+    where = f"{host}:{port}"
+
+    async def _roundtrip() -> Any:
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_REQUEST_BYTES
         )
-    if not doc["ok"]:
-        raise ServiceError(doc.get("error", "unknown RPC error"))
-    return doc.get("result")
+        try:
+            writer.write(encode_request(op, params))
+            await writer.drain()
+            raw = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return decode_response(raw, where)
+
+    try:
+        return await asyncio.wait_for(_roundtrip(), timeout=timeout)
+    except asyncio.TimeoutError as exc:
+        raise ServiceError(
+            f"RPC to {where} timed out after {timeout:g}s"
+        ) from exc
+    except OSError as exc:
+        raise ServiceError(f"RPC to {where} failed: {exc}") from exc

@@ -1,0 +1,42 @@
+"""Fixtures for the distributed-fleet tests.
+
+Fleet tests run a coordinator plus several daemons on real sockets,
+kill and rejoin members mid-test, and fan RPCs out across them; a
+wedged fan-out (a pull that never returns, a registration loop that
+never converges) must fail loudly instead of hanging the suite.  Same
+scheme as ``tests/service/conftest.py``: CI runs this directory under
+``pytest-timeout``; locally an autouse SIGALRM watchdog arms around
+every ``@pytest.mark.fleet`` test (no-op where SIGALRM is missing).
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: Per-test watchdog for fleet tests (seconds).
+_TEST_TIMEOUT = 120
+
+
+@pytest.fixture(autouse=True)
+def _hung_fleet_guard(request):
+    """SIGALRM per-test timeout for tests marked ``fleet``."""
+    if request.node.get_closest_marker("fleet") is None or not hasattr(
+        signal, "SIGALRM"
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        raise TimeoutError(
+            f"fleet test exceeded {_TEST_TIMEOUT}s (wedged fan-out?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,248 @@
+"""Coordinator behaviour: membership, epochs, failure, rejoin.
+
+Each test runs a real :class:`~repro.fleet.CoordinatorThread` plus one
+or more real :class:`~repro.service.daemon.DaemonThread` members on
+ephemeral ports — the same processes-and-sockets shape as production,
+minus the UDP ingest (records are injected with ``DaemonThread.feed``).
+The edge cases here are the ones docs/FLEET.md promises:
+
+* a daemon joining mid-epoch adopts the coordinator's current epoch;
+* duplicate report delivery (collecting twice) never double counts;
+* a daemon dying during collect degrades coverage instead of failing
+  the query;
+* a rejoin after snapshot replay is counted as a rejoin and brings the
+  recovered state back into global answers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.fleet import CoordinatorThread, FleetConfig
+from repro.service.config import ServiceConfig
+from repro.service.daemon import DaemonThread
+from repro.service.rpc import rpc_call
+
+_POLL_DEADLINE = 30.0
+
+
+def _fleet_config(**overrides):
+    defaults = dict(
+        port=0, q=50, heartbeat_interval=0.1, heartbeat_timeout=0.6,
+        pull_timeout=5.0,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def _daemon_config(coord, daemon_id, **overrides):
+    defaults = dict(
+        udp_port=0, tcp_port=0, rpc_port=0, q=50,
+        fleet=coord.address, daemon_id=daemon_id,
+        heartbeat_interval=0.1, flush_interval=0.01,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _status(coord):
+    return rpc_call(coord.host, coord.port, "status")
+
+
+def _wait(predicate, what):
+    deadline = time.time() + _POLL_DEADLINE
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _wait_alive(coord, n):
+    _wait(
+        lambda: _status(coord)["daemons"]["alive"] == n,
+        f"{n} alive daemon(s)",
+    )
+
+
+@pytest.mark.fleet
+def test_register_heartbeat_status():
+    with CoordinatorThread(_fleet_config()) as coord:
+        with DaemonThread(_daemon_config(coord, "d0")):
+            _wait_alive(coord, 1)
+            status = _status(coord)
+            assert status["coverage"] == 1.0
+            member = status["members"][0]
+            assert member["daemon_id"] == "d0"
+            assert member["alive"] and member["rejoins"] == 0
+            assert member["info"]["backend"]
+            # Heartbeats keep arriving at the configured cadence.
+            before = status["counters"]["heartbeats"]
+            _wait(
+                lambda: _status(coord)["counters"]["heartbeats"]
+                > before,
+                "another heartbeat",
+            )
+        # Graceful stop deregisters.
+        _wait(
+            lambda: _status(coord)["daemons"]["registered"] == 0,
+            "deregistration",
+        )
+
+
+@pytest.mark.fleet
+def test_unknown_daemon_ops_are_errors():
+    with CoordinatorThread(_fleet_config()) as coord:
+        with pytest.raises(ServiceError, match="unknown daemon"):
+            rpc_call(coord.host, coord.port, "heartbeat",
+                     daemon_id="ghost")
+        with pytest.raises(ServiceError, match="daemon_id"):
+            rpc_call(coord.host, coord.port, "register", host="x",
+                     rpc_port=1)
+        with pytest.raises(ServiceError, match="q must be"):
+            rpc_call(coord.host, coord.port, "top", q=0)
+        with pytest.raises(ServiceError, match="unknown op"):
+            rpc_call(coord.host, coord.port, "nonsense")
+
+
+@pytest.mark.fleet
+def test_join_mid_epoch_adopts_current_epoch():
+    with CoordinatorThread(_fleet_config()) as coord:
+        with DaemonThread(_daemon_config(coord, "d0")):
+            _wait_alive(coord, 1)
+            rpc_call(coord.host, coord.port, "epoch", action="begin")
+            rpc_call(coord.host, coord.port, "epoch", action="begin")
+            assert _status(coord)["epoch"] == 2
+            # The late joiner learns epoch 2 from the register ack.
+            with DaemonThread(_daemon_config(coord, "late")) as late:
+                _wait_alive(coord, 2)
+                _wait(
+                    lambda: rpc_call(
+                        late.host, late.rpc_port, "stats"
+                    )["identity"]["epoch"] == 2,
+                    "late joiner adopting epoch 2",
+                )
+
+
+@pytest.mark.fleet
+def test_duplicate_report_delivery_does_not_double_count():
+    with CoordinatorThread(_fleet_config()) as coord:
+        with DaemonThread(_daemon_config(coord, "d0")) as d:
+            _wait_alive(coord, 1)
+            d.feed([1, 2, 3], [30.0, 20.0, 10.0])
+            first = rpc_call(coord.host, coord.port, "epoch",
+                             action="collect")
+            # Deliver the same report again: keyed storage replaces.
+            second = rpc_call(coord.host, coord.port, "epoch",
+                              action="collect")
+            assert first["observed"] == second["observed"] == 3
+            answer = rpc_call(coord.host, coord.port, "hh",
+                              theta=0.25, source="epoch")
+            assert answer["total_volume"] == 60.0
+            assert [v for _i, v in answer["hitters"]] == [30.0, 20.0]
+
+
+@pytest.mark.fleet
+def test_daemon_lost_during_collect_degrades_coverage():
+    with CoordinatorThread(_fleet_config()) as coord:
+        survivor = DaemonThread(_daemon_config(coord, "ok"))
+        victim = DaemonThread(_daemon_config(coord, "doomed"))
+        try:
+            _wait_alive(coord, 2)
+            survivor.feed([1], [5.0])
+            # Kill one member abruptly; the next fan-out must answer
+            # from the survivor, not raise.
+            victim.abort()
+            _wait(
+                lambda: _status(coord)["daemons"]["alive"] == 1,
+                "failure detection",
+            )
+            answer = rpc_call(coord.host, coord.port, "top", q=5)
+            assert answer["coverage"] == 0.5
+            assert answer["daemons"]["responded"] == 1
+            assert [v for _i, v in answer["items"]] == [5.0]
+            status = _status(coord)
+            assert status["counters"]["lost_events"] >= 1
+            doomed = next(m for m in status["members"]
+                          if m["daemon_id"] == "doomed")
+            assert not doomed["alive"]
+        finally:
+            survivor.stop()
+
+
+@pytest.mark.fleet
+def test_rejoin_after_snapshot_replay(tmp_path):
+    with CoordinatorThread(_fleet_config()) as coord:
+        config = _daemon_config(
+            coord, "phoenix",
+            snapshot_dir=str(tmp_path), snapshot_interval=3600.0,
+        )
+        d = DaemonThread(config)
+        try:
+            _wait_alive(coord, 1)
+            d.feed([1, 2], [40.0, 30.0])
+            rpc_call(d.host, d.rpc_port, "snapshot")
+        finally:
+            d.abort()  # crash: no goodbye, no final snapshot
+        _wait(
+            lambda: _status(coord)["daemons"]["alive"] == 0,
+            "crash detection",
+        )
+        # Same identity, same snapshot dir: the restart replays the
+        # snapshot, then the fleet agent re-registers.
+        d = DaemonThread(config)
+        try:
+            assert d.daemon.recovered
+            _wait_alive(coord, 1)
+            status = _status(coord)
+            assert status["counters"]["rejoins"] == 1
+            assert status["members"][0]["rejoins"] == 1
+            answer = rpc_call(coord.host, coord.port, "top", q=5)
+            assert answer["coverage"] == 1.0
+            assert [v for _i, v in answer["items"]] == [40.0, 30.0]
+        finally:
+            d.stop()
+
+
+@pytest.mark.fleet
+def test_epoch_advance_resets_members():
+    with CoordinatorThread(_fleet_config()) as coord:
+        with DaemonThread(_daemon_config(coord, "d0")) as d:
+            _wait_alive(coord, 1)
+            rpc_call(coord.host, coord.port, "epoch", action="begin")
+            d.feed([1], [9.0])
+            collected = rpc_call(coord.host, coord.port, "epoch",
+                                 action="collect")
+            assert collected["observed"] == 1
+            advanced = rpc_call(coord.host, coord.port, "epoch",
+                                action="advance")
+            assert advanced["reset"] is True and advanced["epoch"] == 2
+            # The engine was reset: a live query sees nothing.
+            answer = rpc_call(coord.host, coord.port, "top", q=5)
+            assert answer["items"] == []
+            # ... but the last collected epoch is still queryable.
+            stale = rpc_call(coord.host, coord.port, "top", q=5,
+                             source="epoch")
+            assert [v for _i, v in stale["items"]] == [9.0]
+
+
+def test_fleet_config_validation():
+    with pytest.raises(ConfigurationError, match="heartbeat_timeout"):
+        FleetConfig(heartbeat_interval=2.0, heartbeat_timeout=1.0)
+    with pytest.raises(ConfigurationError, match="q must be"):
+        FleetConfig(q=0)
+    with pytest.raises(ConfigurationError, match="pull_timeout"):
+        FleetConfig(pull_timeout=0.0)
+
+
+def test_service_config_fleet_address():
+    config = ServiceConfig(fleet="10.0.0.1:9990")
+    assert config.fleet_address() == ("10.0.0.1", 9990)
+    assert ServiceConfig().fleet_address() is None
+    with pytest.raises(ConfigurationError, match="fleet"):
+        ServiceConfig(fleet="no-port")
+    with pytest.raises(ConfigurationError, match="heartbeat_interval"):
+        ServiceConfig(fleet="h:1", heartbeat_interval=0.0)

@@ -1,0 +1,224 @@
+"""End-to-end acceptance tests for the distributed fleet.
+
+The contracts proven here are the ones docs/FLEET.md advertises:
+
+* **Differential**: partition a stream of unique-value records across
+  a 3-daemon fleet; the coordinator's global ``top`` equals a
+  reference :class:`~repro.core.qmax.QMax` fed the union stream —
+  value-multiset contract, as in the single-daemon and sharded-engine
+  differentials (ids also compared because the values are unique by
+  construction).  The equality must survive killing one daemon
+  mid-run and rejoining it via snapshot replay.
+* **Sample heavy hitters**: the coordinator's ``hh`` in ``sample``
+  mode computes exactly what the offline
+  :func:`~repro.netwide.controller.heavy_hitters_from_reports` does
+  on the same per-daemon entry lists — the fleet and the §6
+  simulation share one implementation of the network-wide math.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.core.qmax import QMax
+from repro.fleet import CoordinatorThread, FleetConfig
+from repro.netwide.controller import heavy_hitters_from_reports
+from repro.parallel.merge import merge_top_items
+from repro.service.config import ServiceConfig
+from repro.service.daemon import DaemonThread
+from repro.service.rpc import rpc_call
+from repro.service.snapshot import decode_id
+
+from tests.conftest import value_multiset
+
+_POLL_DEADLINE = 30.0
+N_DAEMONS = 3
+
+
+def _wait(predicate, what):
+    deadline = time.time() + _POLL_DEADLINE
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def _wait_alive(coord, n):
+    _wait(
+        lambda: rpc_call(coord.host, coord.port, "status")
+        ["daemons"]["alive"] == n,
+        f"{n} alive daemon(s)",
+    )
+
+
+def _daemon_config(coord, daemon_id, q, **overrides):
+    defaults = dict(
+        udp_port=0, tcp_port=0, rpc_port=0, q=q,
+        fleet=coord.address, daemon_id=daemon_id,
+        heartbeat_interval=0.1, flush_interval=0.01,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _unique_records(n, seed, base=0):
+    """n records with distinct ids AND distinct values, so the
+    value-multiset contract pins ids too."""
+    rng = random.Random(seed)
+    vals = [float(v) for v in rng.sample(range(1, 50 * n), n)]
+    return list(range(base, base + n)), vals
+
+
+def _feed_partitioned(daemons, ids, vals):
+    """Deal the union stream across the fleet by flow hash — each
+    record observed by exactly one daemon, as at disjoint edge taps."""
+    parts = [([], []) for _ in daemons]
+    for item_id, val in zip(ids, vals):
+        part = parts[hash(item_id) % len(daemons)]
+        part[0].append(item_id)
+        part[1].append(val)
+    for daemon, (pids, pvals) in zip(daemons, parts):
+        daemon.feed(pids, pvals)
+
+
+def _global_top(coord, k):
+    answer = rpc_call(coord.host, coord.port, "top", q=k, timeout=30.0)
+    return answer, [
+        (decode_id(i), v) for i, v in answer["items"]
+    ]
+
+
+@pytest.mark.fleet
+def test_fleet_top_equals_reference_across_kill_and_rejoin(tmp_path):
+    """The acceptance differential: 3 daemons, a partitioned stream,
+    global top-q ≡ one reference QMax over the union — before and
+    after one member is killed and rejoined mid-run."""
+    k = 100
+    fleet_config = FleetConfig(
+        port=0, q=k, heartbeat_interval=0.1, heartbeat_timeout=0.6,
+    )
+    with CoordinatorThread(fleet_config) as coord:
+        configs = [
+            _daemon_config(
+                coord, f"d{i}", q=2 * k,
+                snapshot_dir=str(tmp_path / f"d{i}"),
+                snapshot_interval=3600.0,
+            )
+            for i in range(N_DAEMONS)
+        ]
+        daemons = [DaemonThread(c) for c in configs]
+        reference = QMax(2 * k)
+        try:
+            _wait_alive(coord, N_DAEMONS)
+
+            # Phase A: the whole fleet observes its partitions.
+            ids_a, vals_a = _unique_records(3_000, seed=7)
+            _feed_partitioned(daemons, ids_a, vals_a)
+            for item_id, val in zip(ids_a, vals_a):
+                reference.add(item_id, val)
+            answer, got = _global_top(coord, k)
+            want = merge_top_items([reference.query()], k)
+            assert answer["coverage"] == 1.0
+            assert value_multiset(got) == value_multiset(want)
+            assert dict(got) == dict(want)
+
+            # Kill daemon 1 after checkpointing it: crash, not drain.
+            rpc_call(daemons[1].host, daemons[1].rpc_port, "snapshot")
+            daemons[1].abort()
+            _wait(
+                lambda: rpc_call(coord.host, coord.port, "status")
+                ["daemons"]["alive"] == N_DAEMONS - 1,
+                "failure detection",
+            )
+            degraded, _got = _global_top(coord, k)
+            assert degraded["coverage"] == pytest.approx(2 / 3)
+
+            # Rejoin: same identity, same snapshot dir — the restart
+            # replays the snapshot before re-registering.
+            daemons[1] = DaemonThread(configs[1])
+            assert daemons[1].daemon.recovered
+            _wait_alive(coord, N_DAEMONS)
+            status = rpc_call(coord.host, coord.port, "status")
+            assert status["counters"]["rejoins"] == 1
+
+            # Phase B: more traffic for everyone, then the same
+            # differential over the full union stream.
+            ids_b, vals_b = _unique_records(3_000, seed=11, base=3_000)
+            _feed_partitioned(daemons, ids_b, vals_b)
+            for item_id, val in zip(ids_b, vals_b):
+                reference.add(item_id, val)
+            answer, got = _global_top(coord, k)
+            want = merge_top_items([reference.query()], k)
+            assert answer["coverage"] == 1.0
+            assert value_multiset(got) == value_multiset(want)
+            assert dict(got) == dict(want)
+        finally:
+            for daemon in daemons:
+                try:
+                    daemon.stop()
+                except Exception:
+                    pass
+
+
+@pytest.mark.fleet
+def test_fleet_hh_sample_equals_offline_controller():
+    """``hh --mode sample`` over live daemons ≡ the offline §6
+    controller math on the same per-daemon entry lists, duplicates
+    (packets seen at two taps) deduplicated by packet id."""
+    q = 1024
+    theta, epsilon = 0.08, 0.01
+    rng = random.Random(23)
+    # A skewed flow mix: a few heavy flows, a tail of singletons.
+    packets = []
+    for flow, count in [(1, 120), (2, 90), (3, 40)] + [
+        (100 + i, 2) for i in range(60)
+    ]:
+        packets.extend(
+            ((flow, rng.getrandbits(32)), rng.random())
+            for _ in range(count)
+        )
+    rng.shuffle(packets)
+    # Deal packets across 3 taps; every 5th is seen by two taps (the
+    # routing-oblivious double-observation the KMV merge must absorb).
+    per_daemon = [[] for _ in range(N_DAEMONS)]
+    for i, entry in enumerate(packets):
+        per_daemon[i % N_DAEMONS].append(entry)
+        if i % 5 == 0:
+            per_daemon[(i + 1) % N_DAEMONS].append(entry)
+
+    fleet_config = FleetConfig(
+        port=0, q=q, heartbeat_interval=0.1, heartbeat_timeout=0.6,
+    )
+    with CoordinatorThread(fleet_config) as coord:
+        daemons = [
+            DaemonThread(_daemon_config(coord, f"nmp{i}", q=q))
+            for i in range(N_DAEMONS)
+        ]
+        try:
+            _wait_alive(coord, N_DAEMONS)
+            for daemon, entries in zip(daemons, per_daemon):
+                daemon.feed(
+                    [record for record, _h in entries],
+                    [h for _record, h in entries],
+                )
+            answer = rpc_call(
+                coord.host, coord.port, "hh", q=q, theta=theta,
+                epsilon=epsilon, mode="sample", timeout=30.0,
+            )
+            got = [(decode_id(i), v) for i, v in answer["hitters"]]
+        finally:
+            for daemon in daemons:
+                daemon.stop()
+
+    want = heavy_hitters_from_reports(per_daemon, q, theta, epsilon)
+    assert answer["coverage"] == 1.0
+    assert answer["skipped_entries"] == 0
+    assert [flow for flow, _est in got] == [f for f, _e in want]
+    for (_gf, g_est), (_wf, w_est) in zip(got, want):
+        assert g_est == pytest.approx(w_est)
+    # The heavy flows surface, the singleton tail does not.
+    assert {flow for flow, _est in got} == {1, 2, 3}

@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import json
 import socket
+import threading
+import time
 
 import pytest
 
 from repro.errors import ServiceError
 from repro.service.config import ServiceConfig
 from repro.service.daemon import DaemonThread
-from repro.service.rpc import rpc_call
+from repro.service.rpc import retry_delays, rpc_call
 
 
 @pytest.fixture
@@ -57,6 +59,50 @@ class TestOps:
             "reset": True
         }
 
+    def test_stats_identity_section(self, daemon):
+        identity = rpc_call(daemon.host, daemon.rpc_port,
+                            "stats")["identity"]
+        assert identity["daemon_id"] == (
+            f"{daemon.host}:{daemon.rpc_port}"
+        )
+        assert identity["listen"] == {
+            "udp": daemon.udp_port,
+            "tcp": daemon.tcp_port,
+            "rpc": daemon.rpc_port,
+        }
+        assert identity["started_at"] <= time.time()
+        assert identity["pid"] > 0
+        # No snapshot dir, no fleet: both advertised as absent.
+        assert identity["snapshot_path"] is None
+        assert identity["fleet"] is None
+
+    def test_epoch_begin_collect_advance(self, daemon):
+        daemon.feed([1, 2], [20.0, 10.0])
+        ack = rpc_call(daemon.host, daemon.rpc_port, "epoch",
+                       action="begin", epoch=1)
+        assert ack["epoch"] == 1
+        report = rpc_call(daemon.host, daemon.rpc_port, "epoch",
+                          action="collect", q=5)
+        assert report["epoch"] == 1
+        assert report["observed"] == 2
+        assert report["volume"] == 30.0
+        assert [v for _i, v in report["top"]] == [20.0, 10.0]
+        ack = rpc_call(daemon.host, daemon.rpc_port, "epoch",
+                       action="advance", epoch=2, reset=True)
+        assert ack["epoch"] == 2
+        assert rpc_call(daemon.host, daemon.rpc_port, "top") == []
+
+    def test_epoch_rejects_bad_requests(self, daemon):
+        with pytest.raises(ServiceError, match="action"):
+            rpc_call(daemon.host, daemon.rpc_port, "epoch",
+                     action="rewind")
+        with pytest.raises(ServiceError, match="epoch"):
+            rpc_call(daemon.host, daemon.rpc_port, "epoch",
+                     action="begin", epoch=-1)
+        with pytest.raises(ServiceError, match="q"):
+            rpc_call(daemon.host, daemon.rpc_port, "epoch",
+                     action="collect", q=0)
+
 
 @pytest.mark.service
 class TestProtocol:
@@ -96,3 +142,65 @@ class TestProtocol:
         probe.close()
         with pytest.raises(ServiceError):
             rpc_call("127.0.0.1", port, "health", timeout=2.0)
+
+
+def _closed_port():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+@pytest.mark.service
+class TestConnectRetry:
+    def test_retry_schedule_is_exponential(self):
+        assert retry_delays(0, 0.25) == ()
+        assert retry_delays(3, 0.25) == (0.25, 0.5, 1.0)
+
+    def test_retries_bridge_a_late_listener(self):
+        """A server that starts *after* the first connect attempt is
+        reached by a later one — the daemon-not-up-yet race the CLI
+        ``--retries`` flag exists for."""
+        port = _closed_port()
+        listener = socket.socket()
+
+        def _start_late():
+            time.sleep(0.3)
+            listener.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+            conn, _addr = listener.accept()
+            conn.makefile("rb").readline()
+            conn.sendall(
+                json.dumps({"ok": True, "result": "late"}).encode()
+                + b"\n"
+            )
+            conn.close()
+
+        thread = threading.Thread(target=_start_late, daemon=True)
+        thread.start()
+        try:
+            result = rpc_call(
+                "127.0.0.1", port, "health", timeout=5.0,
+                retries=5, retry_backoff=0.1,
+            )
+            assert result == "late"
+        finally:
+            thread.join(10)
+            listener.close()
+
+    def test_without_retries_a_dead_port_fails_immediately(self):
+        port = _closed_port()
+        start = time.perf_counter()
+        with pytest.raises(ServiceError, match="1 connect attempt"):
+            rpc_call("127.0.0.1", port, "health", timeout=2.0)
+        assert time.perf_counter() - start < 1.0
+
+    def test_retry_error_counts_attempts(self):
+        port = _closed_port()
+        with pytest.raises(ServiceError, match="3 connect attempt"):
+            rpc_call("127.0.0.1", port, "health", timeout=2.0,
+                     retries=2, retry_backoff=0.01)
